@@ -1,0 +1,27 @@
+//! `cargo bench --bench figures` regenerates every table and figure of the
+//! paper at bench scale, printing each report and its wall-clock time.
+//!
+//! This is a `harness = false` bench: it is a regeneration harness, not a
+//! statistical micro-benchmark (those live in `mining`, `rewriting` and
+//! `joins`).
+
+use std::time::Instant;
+
+use qpiad_bench::{bench_scale, run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let scale = bench_scale();
+    let total = Instant::now();
+    for id in EXPERIMENT_IDS {
+        let start = Instant::now();
+        let report = run_experiment(id, &scale).expect("known id");
+        let elapsed = start.elapsed();
+        println!("{}", report.render_text());
+        println!("[{id}] regenerated in {elapsed:.2?}\n");
+    }
+    println!(
+        "all {} experiments regenerated in {:.2?}",
+        EXPERIMENT_IDS.len(),
+        total.elapsed()
+    );
+}

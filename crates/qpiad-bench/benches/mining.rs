@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the statistics-mining pipeline (§5): TANE AFD
+//! discovery, Naïve Bayes training, and classifier inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qpiad_data::cars::CarsConfig;
+use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+use qpiad_data::sample::uniform_sample;
+use qpiad_db::Relation;
+use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+use qpiad_learn::nbc::NaiveBayes;
+use qpiad_learn::tane::{discover, TaneConfig};
+
+fn sample_of(rows: usize) -> Relation {
+    let ground = CarsConfig::default().with_rows(rows * 10).generate(7);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+    uniform_sample(&ed, 0.10, 3)
+}
+
+fn bench_tane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_discover");
+    group.sample_size(10);
+    for rows in [500usize, 1_500, 3_000] {
+        let sample = sample_of(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &sample, |b, s| {
+            b.iter(|| discover(s, &TaneConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_mining(c: &mut Criterion) {
+    let sample = sample_of(1_500);
+    let mut group = c.benchmark_group("source_stats_mine");
+    group.sample_size(10);
+    group.bench_function("cars_1500", |b| {
+        b.iter(|| SourceStats::mine(&sample, 15_000, &MiningConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_nbc(c: &mut Criterion) {
+    let sample = sample_of(1_500);
+    let model = sample.schema().expect_attr("model");
+    let body = sample.schema().expect_attr("body_style");
+    let mut group = c.benchmark_group("nbc");
+    group.bench_function("train_body_given_model", |b| {
+        b.iter(|| NaiveBayes::train(&sample, body, vec![model], 1.0));
+    });
+    let nbc = NaiveBayes::train(&sample, body, vec![model], 1.0);
+    let probes: Vec<_> = sample.tuples().iter().take(256).collect();
+    group.bench_function("infer_256_tuples", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|t| nbc.distribution(t).len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tane, bench_full_mining, bench_nbc);
+criterion_main!(benches);

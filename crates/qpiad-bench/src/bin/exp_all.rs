@@ -1,0 +1,16 @@
+//! Runs every experiment and prints the full EXPERIMENTS.md body.
+//! Pass `--quick` for a reduced run.
+
+use qpiad_eval::experiments::common::Scale;
+use qpiad_eval::experiments::run_all_parallel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    eprintln!("running all experiments in parallel ...");
+    for report in run_all_parallel(&scale) {
+        println!("{}", report.render_text());
+        print!("{}", report.render_sparklines());
+        println!();
+    }
+}

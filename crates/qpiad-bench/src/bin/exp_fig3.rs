@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 artifact. Pass `--quick` for a reduced run.
+fn main() {
+    qpiad_bench::experiment_main("fig3");
+}

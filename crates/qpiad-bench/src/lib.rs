@@ -1,0 +1,106 @@
+//! Benchmark and experiment-regeneration harness.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Experiment binaries** (`src/bin/exp_*.rs`) — one per table/figure of
+//!   the paper, each printing the regenerated rows/series at full scale.
+//!   `exp_all` runs the complete suite and emits the `EXPERIMENTS.md`
+//!   body.
+//! * **Criterion-style benches** (`benches/`) — `figures` re-runs every
+//!   experiment at bench scale so `cargo bench` regenerates all paper
+//!   artifacts; `mining`, `rewriting` and `joins` measure the core
+//!   operations' performance; `ablations` quantifies the design choices
+//!   called out in `DESIGN.md` (AKey pruning, classifier strategies,
+//!   base-set-vs-sample rewriting, F-measure vs naïve orderings).
+
+use qpiad_eval::experiments::common::Scale;
+use qpiad_eval::experiments::{self};
+use qpiad_eval::Report;
+
+/// Scale used by `cargo bench` figure regeneration: large enough to be in
+/// the paper's statistical regime, small enough to finish quickly.
+pub fn bench_scale() -> Scale {
+    Scale {
+        cars_rows: 12_000,
+        census_rows: 12_000,
+        complaints_rows: 16_000,
+        sample_fraction: 0.10,
+        seed: 0x9_1AD,
+    }
+}
+
+/// Runs one experiment by id at the given scale.
+///
+/// Ids: `table1`, `table3`, `fig3` … `fig13`.
+pub fn run_experiment(id: &str, scale: &Scale) -> Option<Report> {
+    Some(match id {
+        "table1" => experiments::table1::run(scale),
+        "table3" => experiments::table3::run(scale),
+        "fig3" => experiments::fig3::run(scale),
+        "fig4" => experiments::fig4::run(scale),
+        "fig5" => experiments::fig5::run(scale),
+        "fig6" => experiments::fig6::run(scale),
+        "fig7" => experiments::fig7::run(scale),
+        "fig8" => experiments::fig8::run(scale),
+        "fig9" => experiments::fig9::run(scale),
+        "fig10" => experiments::fig10::run(scale),
+        "fig10census" => experiments::fig10::run_census(scale),
+        "fig11" => experiments::fig11::run(scale),
+        "fig12" => experiments::fig12::run(scale),
+        "fig13" => experiments::fig13::run(scale),
+        "fig13b" => experiments::fig13::run_query(scale, 1),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig10census", "fig11", "fig12", "fig13", "fig13b",
+];
+
+/// Entry point shared by the `exp_*` binaries: parse `--quick` / `--json`,
+/// run, print (text table by default, JSON with `--json`).
+pub fn experiment_main(id: &str) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let report = run_experiment(id, &scale).unwrap_or_else(|| {
+        eprintln!("unknown experiment id: {id}");
+        std::process::exit(2);
+    });
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render_text());
+        print!("{}", report.render_sparklines());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_resolves() {
+        // Only resolve — running them all is the figures bench's job.
+        for id in EXPERIMENT_IDS {
+            // run_experiment at quick scale is exercised by eval's tests;
+            // here we just guard the id table against typos.
+            assert!(
+                ["table1", "table3"].contains(&id) || id.starts_with("fig"),
+                "unexpected id {id}"
+            );
+        }
+        assert!(run_experiment("nope", &Scale::quick()).is_none());
+    }
+
+    #[test]
+    fn id_table_matches_eval_registry() {
+        let registry_ids: Vec<&str> = qpiad_eval::experiments::registry()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(registry_ids, EXPERIMENT_IDS.to_vec());
+    }
+}

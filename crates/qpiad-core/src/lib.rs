@@ -1,0 +1,48 @@
+//! The QPIAD mediator (paper §4).
+//!
+//! Given a user query over an incomplete autonomous database, QPIAD returns
+//! the certain answers *plus* relevant possible answers — tuples with a null
+//! on a constrained attribute that are likely to satisfy the query — without
+//! ever binding nulls and without touching the source's data:
+//!
+//! * [`rewrite`] — generates rewritten queries from the base (certain)
+//!   result set and the mined AFDs (§4.1–4.2), estimating each query's
+//!   precision (via the AFD-enhanced classifiers) and selectivity (§5.4).
+//! * [`rank`] — orders rewritten queries by expected F-measure, selects the
+//!   top-K, and re-orders those by precision so retrieved tuples inherit
+//!   their query's rank (§4.2 steps b–d).
+//! * [`mediator`] — the end-to-end engine: base set, rewriting, ordered
+//!   retrieval, post-filtering, deferred handling of multi-null tuples, and
+//!   per-answer confidence + AFD explanations (§6.1).
+//! * [`baselines`] — the paper's AllReturned and AllRanked comparison
+//!   methods (require null binding; infeasible on real web sources).
+//! * [`aggregate`] — COUNT/SUM/AVG with predicted completions, gated by the
+//!   most-likely-value rule (§4.4).
+//! * [`join`] — two-way joins over incomplete sources with query-pair
+//!   F-measure ordering and join-value prediction (§4.5).
+//! * [`multijoin`] — left-deep multi-way chain joins (the generalization
+//!   §4.5's footnote claims).
+//! * [`correlated`] — retrieving possible answers from sources whose local
+//!   schema does not support the constrained attribute, using statistics
+//!   learned from a correlated source (§4.3).
+//! * [`network`] — the multi-source mediator: one global schema over many
+//!   sources, routing each query to direct QPIAD or correlated retrieval
+//!   per source (Figures 1–2).
+//! * [`relaxation`] — the §7 extension: imprecise queries answered by
+//!   data-driven value similarity (the QUIC/AIMQ direction).
+
+pub mod aggregate;
+pub mod baselines;
+pub mod correlated;
+pub mod join;
+pub mod mediator;
+pub mod multijoin;
+pub mod network;
+pub mod rank;
+pub mod relaxation;
+pub mod rewrite;
+
+pub use mediator::{AnswerSet, Qpiad, QpiadConfig, RankedAnswer};
+pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers};
+pub use rank::{order_rewrites, RankConfig};
+pub use rewrite::{generate_rewrites, RewrittenQuery};

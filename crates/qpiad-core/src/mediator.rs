@@ -1,0 +1,445 @@
+//! The end-to-end QPIAD mediator for selection queries (§4.2).
+
+use std::collections::HashSet;
+
+use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
+use qpiad_learn::afd::Afd;
+use qpiad_learn::knowledge::SourceStats;
+
+use crate::rank::{order_rewrites, RankConfig};
+use crate::rewrite::{generate_rewrites, RewrittenQuery};
+
+/// Mediator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QpiadConfig {
+    /// F-measure α for rewritten-query ordering.
+    pub alpha: f64,
+    /// Maximum number of rewritten queries to issue per user query.
+    pub k: usize,
+    /// Possible answers below this confidence are suppressed (Figure 9's
+    /// user-side filter); 0 disables filtering.
+    pub confidence_threshold: f64,
+}
+
+impl Default for QpiadConfig {
+    fn default() -> Self {
+        QpiadConfig { alpha: 0.0, k: 10, confidence_threshold: 0.0 }
+    }
+}
+
+impl QpiadConfig {
+    /// Overrides α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the query budget K.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the confidence threshold.
+    pub fn with_confidence_threshold(mut self, t: f64) -> Self {
+        self.confidence_threshold = t;
+        self
+    }
+}
+
+/// A possible answer with its relevance assessment.
+#[derive(Debug, Clone)]
+pub struct RankedAnswer {
+    /// The retrieved incomplete tuple.
+    pub tuple: Tuple,
+    /// The answer's assessed degree of relevance: the probability that its
+    /// missing constrained value(s) satisfy the query.
+    pub confidence: f64,
+    /// The expected precision of the rewritten query that retrieved the
+    /// tuple — all tuples of one query share this rank (§4.2 step 2d).
+    pub query_precision: f64,
+    /// Index of the retrieving query in [`AnswerSet::issued`].
+    pub query_index: usize,
+    /// The AFD justifying the assessment (§6.1's explanation).
+    pub explanation: Option<Afd>,
+}
+
+/// The mediator's reply to a selection query.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerSet {
+    /// Certain answers (the base result set), returned first.
+    pub certain: Vec<Tuple>,
+    /// Relevant possible answers in retrieval (= rank) order.
+    pub possible: Vec<RankedAnswer>,
+    /// Tuples with more than one null among the constrained attributes —
+    /// output unranked after the ranked answers (paper, Assumptions).
+    pub deferred: Vec<Tuple>,
+    /// The rewritten queries that were issued, in issue order.
+    pub issued: Vec<RewrittenQuery>,
+}
+
+/// The QPIAD mediator for one source.
+#[derive(Debug, Clone)]
+pub struct Qpiad {
+    stats: SourceStats,
+    config: QpiadConfig,
+}
+
+impl Qpiad {
+    /// Creates a mediator from mined statistics.
+    pub fn new(stats: SourceStats, config: QpiadConfig) -> Self {
+        Qpiad { stats, config }
+    }
+
+    /// The mined statistics.
+    pub fn stats(&self) -> &SourceStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QpiadConfig {
+        &self.config
+    }
+
+    /// Answers a selection query: certain answers plus ranked relevant
+    /// possible answers (§4.2 steps 1–2).
+    ///
+    /// Retrieval stops gracefully when the source's query budget runs out;
+    /// other source errors propagate.
+    pub fn answer(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+    ) -> Result<AnswerSet, SourceError> {
+        // Step 1: base result set (certain answers).
+        let certain = source.query(query)?;
+
+        // Step 2a–2c: generate, select and order rewritten queries.
+        let rewrites = generate_rewrites(query, &certain, &self.stats);
+        let ordered = order_rewrites(
+            rewrites,
+            &RankConfig { alpha: self.config.alpha, k: self.config.k },
+        );
+
+        // Step 2d–2e: retrieve the extended result set, post-filter, rank.
+        let mut seen: HashSet<TupleId> = certain.iter().map(Tuple::id).collect();
+        let constrained = query.constrained_attrs();
+        let mut possible: Vec<RankedAnswer> = Vec::new();
+        let mut deferred: Vec<Tuple> = Vec::new();
+        let mut issued: Vec<RewrittenQuery> = Vec::new();
+
+        for rq in ordered {
+            // A rewritten query can constrain attributes the source's web
+            // form does not expose (the determining set came from global
+            // statistics); such queries are skipped, not fatal.
+            if rq.query.predicates().iter().any(|p| !source.supports(p.attr)) {
+                continue;
+            }
+            let result = match source.query(&rq.query) {
+                Ok(tuples) => tuples,
+                Err(SourceError::QueryLimitExceeded { .. }) => break,
+                Err(e) => return Err(e),
+            };
+            let query_index = issued.len();
+            for t in result {
+                if !seen.insert(t.id()) {
+                    continue; // already retrieved by a higher-ranked query
+                }
+                if query.matches(&t) {
+                    // A certain answer the base query already covers; the
+                    // source returned it again because the rewritten query
+                    // subsumes it. Post-filtering drops it (§4.2 step 2e).
+                    continue;
+                }
+                if !query.possibly_matches(&t) {
+                    // Non-null constrained value contradicting the query.
+                    continue;
+                }
+                if t.null_count_among(&constrained) > 1 {
+                    deferred.push(t);
+                    continue;
+                }
+                let confidence = self.tuple_confidence(query, &t);
+                possible.push(RankedAnswer {
+                    tuple: t,
+                    confidence,
+                    query_precision: rq.precision,
+                    query_index,
+                    explanation: rq.afd.clone(),
+                });
+            }
+            issued.push(rq);
+        }
+
+        if self.config.confidence_threshold > 0.0 {
+            possible.retain(|a| a.confidence >= self.config.confidence_threshold);
+        }
+
+        Ok(AnswerSet { certain, possible, deferred, issued })
+    }
+
+    /// The assessed relevance of a possible answer: the product, over every
+    /// constrained attribute the tuple is missing, of the classifier
+    /// probability that the missing value satisfies the predicate.
+    pub fn tuple_confidence(&self, query: &SelectQuery, tuple: &Tuple) -> f64 {
+        let mut confidence = 1.0;
+        for p in query.predicates() {
+            if tuple.value(p.attr).is_null() {
+                confidence *= self
+                    .stats
+                    .predictor()
+                    .prob_matching(p.attr, tuple, &p.op);
+            }
+        }
+        confidence
+    }
+}
+
+/// Convenience: flattens an answer set into the user-visible order —
+/// certain answers, then ranked possible answers, then deferred tuples.
+pub fn flatten_answers(answers: &AnswerSet) -> Vec<&Tuple> {
+    answers
+        .certain
+        .iter()
+        .chain(answers.possible.iter().map(|a| &a.tuple))
+        .chain(answers.deferred.iter())
+        .collect()
+}
+
+/// Renders a short human-readable justification of a possible answer, e.g.
+/// `confidence 0.91 via {model} ⇝ body_style (0.88)` (§6.1).
+pub fn explain(answer: &RankedAnswer, schema: &qpiad_db::Schema) -> String {
+    match &answer.explanation {
+        Some(afd) => format!(
+            "confidence {:.3} via {}",
+            answer.confidence,
+            afd.display(schema)
+        ),
+        None => format!("confidence {:.3} (no AFD; all-attribute classifier)", answer.confidence),
+    }
+}
+
+/// Reusable check used by tests and the evaluation harness: `true` iff the
+/// possible answer's tuple is missing exactly one constrained value and
+/// contradicts no predicate.
+pub fn is_well_formed_possible(query: &SelectQuery, tuple: &Tuple) -> bool {
+    let constrained = query.constrained_attrs();
+    tuple.null_count_among(&constrained) == 1 && query.possibly_matches(tuple)
+}
+
+/// A value-level helper the aggregate and join modules share: the most
+/// likely completion of `attr` for a tuple, or the actual value when
+/// present.
+pub fn value_or_predicted(
+    stats: &SourceStats,
+    attr: qpiad_db::AttrId,
+    tuple: &Tuple,
+) -> Option<(Value, f64)> {
+    let v = tuple.value(attr);
+    if !v.is_null() {
+        return Some((v.clone(), 1.0));
+    }
+    stats.predictor().predict(attr, tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_data::cars::CarsConfig;
+    use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+    use qpiad_data::sample::uniform_sample;
+    use qpiad_db::{Predicate, WebSource};
+    use qpiad_learn::knowledge::MiningConfig;
+
+    fn setup() -> (WebSource, Qpiad) {
+        let ground = CarsConfig::default().with_rows(8_000).generate(41);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.10, 17);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        (
+            WebSource::new("cars.com", ed),
+            Qpiad::new(stats, QpiadConfig::default()),
+        )
+    }
+
+    fn convt_query(source: &WebSource) -> SelectQuery {
+        let body = source.schema().expect_attr("body_style");
+        SelectQuery::new(vec![Predicate::eq(body, "Convt")])
+    }
+
+    #[test]
+    fn returns_certain_and_possible_answers() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        assert!(!answers.certain.is_empty());
+        assert!(!answers.possible.is_empty());
+        assert!(answers.issued.len() <= qpiad.config().k);
+        // Certain answers certainly match; possible answers possibly match.
+        assert!(answers.certain.iter().all(|t| q.matches(t)));
+        assert!(answers
+            .possible
+            .iter()
+            .all(|a| is_well_formed_possible(&q, &a.tuple)));
+    }
+
+    #[test]
+    fn possible_answers_have_null_on_constrained_attr() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let body = source.schema().expect_attr("body_style");
+        let answers = qpiad.answer(&source, &q).unwrap();
+        for a in &answers.possible {
+            assert!(a.tuple.value(body).is_null());
+            assert!((0.0..=1.0).contains(&a.confidence));
+            assert!(a.explanation.is_some());
+        }
+    }
+
+    #[test]
+    fn possible_answers_arrive_in_query_precision_order() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        let precisions: Vec<f64> = answers.possible.iter().map(|a| a.query_precision).collect();
+        for w in precisions.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "precision order violated: {w:?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_tuples_across_answers() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        let mut ids: Vec<TupleId> = flatten_answers(&answers).iter().map(|t| t.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn respects_source_query_limit() {
+        let ground = CarsConfig::default().with_rows(4_000).generate(43);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.10, 19);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        // 1 base query + 3 rewritten queries allowed.
+        let source = WebSource::new("limited", ed).with_query_limit(4);
+        let qpiad = Qpiad::new(stats, QpiadConfig::default().with_k(100));
+        let q = convt_query(&source);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        assert_eq!(answers.issued.len(), 3);
+        assert_eq!(source.meter().queries, 4);
+    }
+
+    #[test]
+    fn confidence_threshold_filters_answers() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let all = qpiad.answer(&source, &q).unwrap();
+        let strict = Qpiad::new(
+            qpiad.stats().clone(),
+            QpiadConfig::default().with_confidence_threshold(0.9),
+        );
+        source.reset_meter();
+        let filtered = strict.answer(&source, &q).unwrap();
+        assert!(filtered.possible.len() <= all.possible.len());
+        assert!(filtered.possible.iter().all(|a| a.confidence >= 0.9));
+    }
+
+    #[test]
+    fn multi_null_tuples_are_deferred() {
+        let ground = CarsConfig::default().with_rows(8_000).generate(44);
+        // Corrupt aggressively so two-null tuples exist across body & year.
+        let body = ground.schema().expect_attr("body_style");
+        let year = ground.schema().expect_attr("year");
+        let (ed1, _) = corrupt(
+            &ground,
+            &CorruptionConfig::default()
+                .with_fraction(0.25)
+                .with_attrs(vec![body])
+                .with_seed(1),
+        );
+        let (ed, _) = corrupt(
+            &ed1,
+            &CorruptionConfig::default()
+                .with_fraction(0.25)
+                .with_attrs(vec![year])
+                .with_seed(2),
+        );
+        let sample = uniform_sample(&ed, 0.10, 23);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        let source = WebSource::new("cars.com", ed);
+        let qpiad = Qpiad::new(stats, QpiadConfig::default().with_k(30));
+        let q = SelectQuery::new(vec![
+            Predicate::eq(body, "Sedan"),
+            Predicate::eq(year, 2003i64),
+        ]);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        for t in &answers.deferred {
+            assert_eq!(t.null_count_among(&[body, year]), 2);
+        }
+        for a in &answers.possible {
+            assert_eq!(a.tuple.null_count_among(&[body, year]), 1);
+        }
+        assert!(!answers.deferred.is_empty() || !answers.possible.is_empty());
+    }
+
+    #[test]
+    fn value_or_predicted_prefers_stored_values() {
+        let (source, qpiad) = setup();
+        let schema = source.relation().schema().clone();
+        let body = schema.expect_attr("body_style");
+        let model = schema.expect_attr("model");
+        // Stored value: returned verbatim with probability 1.
+        let stored = source
+            .relation()
+            .tuples()
+            .iter()
+            .find(|t| !t.value(body).is_null())
+            .unwrap();
+        let (v, p) = value_or_predicted(qpiad.stats(), body, stored).unwrap();
+        assert_eq!(&v, stored.value(body));
+        assert_eq!(p, 1.0);
+        // Missing value: predicted from the model evidence.
+        let missing = stored
+            .with_value(body, qpiad_db::Value::Null)
+            .with_value(model, qpiad_db::Value::str("Miata"));
+        let (v, p) = value_or_predicted(qpiad.stats(), body, &missing).unwrap();
+        assert_eq!(v, qpiad_db::Value::str("Convt"));
+        assert!(p < 1.0 && p > 0.3);
+    }
+
+    #[test]
+    fn unsupported_rewrite_attributes_are_skipped_not_fatal() {
+        let ground = CarsConfig::default().with_rows(4_000).generate(45);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.10, 21);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        let schema = ed.schema().clone();
+        let body = schema.expect_attr("body_style");
+        let model = schema.expect_attr("model");
+        // The web form only exposes body_style and year: model-based
+        // rewrites cannot be issued there.
+        let year = schema.expect_attr("year");
+        let source = WebSource::new("narrow", ed).with_queryable(&[body, year]);
+        let qpiad = Qpiad::new(stats, QpiadConfig::default().with_k(20));
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answers = qpiad.answer(&source, &q).expect("must not error");
+        for rq in &answers.issued {
+            assert!(rq.query.predicate_on(model).is_none());
+        }
+    }
+
+    #[test]
+    fn explain_renders_confidence_and_afd() {
+        let (source, qpiad) = setup();
+        let q = convt_query(&source);
+        let answers = qpiad.answer(&source, &q).unwrap();
+        let text = explain(&answers.possible[0], source.schema());
+        assert!(text.contains("confidence"), "{text}");
+        assert!(text.contains("body_style"), "{text}");
+    }
+}

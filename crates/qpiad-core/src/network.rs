@@ -1,0 +1,360 @@
+//! Multi-source mediation: one global schema, many autonomous sources.
+//!
+//! The paper's mediator (Figures 1–2) fronts several web databases at once:
+//! some support every global attribute, others lack a few. For each query,
+//! [`MediatorNetwork::answer`] gathers certain and possible answers from
+//! *every* registered source:
+//!
+//! * a source supporting all constrained attributes is served by the plain
+//!   QPIAD pipeline with its own mined statistics;
+//! * a source lacking a constrained attribute is served via the best
+//!   **correlated source** per Definition 4 — the supporting source whose
+//!   AFD for the missing attribute has the highest confidence and whose
+//!   determining set the deficient source can bind.
+
+use std::sync::Arc;
+
+use qpiad_db::{AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, Tuple};
+use qpiad_learn::knowledge::SourceStats;
+
+use crate::correlated::{answer_from_correlated, is_correlated_source_usable};
+use crate::mediator::{Qpiad, QpiadConfig, RankedAnswer};
+use crate::rank::RankConfig;
+
+/// One registered source.
+struct Member<'a> {
+    source: &'a dyn AutonomousSource,
+    binding: SourceBinding,
+    /// Statistics mined from this source's sample, if the source supports
+    /// the full global schema (statistics live in global-attribute space).
+    stats: Option<SourceStats>,
+}
+
+/// Answers contributed by one source.
+#[derive(Debug, Clone)]
+pub struct SourceAnswers {
+    /// The contributing source's name.
+    pub source: String,
+    /// Certain answers (global schema).
+    pub certain: Vec<Tuple>,
+    /// Ranked possible answers (global schema).
+    pub possible: Vec<RankedAnswer>,
+    /// Name of the correlated source whose statistics drove retrieval, if
+    /// this source could not bind the query directly.
+    pub via_correlated: Option<String>,
+}
+
+/// The combined mediation result.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkAnswer {
+    /// Per-source contributions, in registration order.
+    pub per_source: Vec<SourceAnswers>,
+}
+
+impl NetworkAnswer {
+    /// Total certain answers across sources.
+    pub fn certain_count(&self) -> usize {
+        self.per_source.iter().map(|s| s.certain.len()).sum()
+    }
+
+    /// Total possible answers across sources.
+    pub fn possible_count(&self) -> usize {
+        self.per_source.iter().map(|s| s.possible.len()).sum()
+    }
+}
+
+/// A mediator over several autonomous sources sharing a global schema.
+pub struct MediatorNetwork<'a> {
+    global: Arc<Schema>,
+    members: Vec<Member<'a>>,
+    config: QpiadConfig,
+}
+
+impl<'a> MediatorNetwork<'a> {
+    /// Creates an empty network over the global schema.
+    pub fn new(global: Arc<Schema>, config: QpiadConfig) -> Self {
+        MediatorNetwork { global, members: Vec::new(), config }
+    }
+
+    /// Registers a source that supports the full global schema, together
+    /// with its mined statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's schema does not cover every global attribute
+    /// by name.
+    pub fn add_supporting(mut self, source: &'a dyn AutonomousSource, stats: SourceStats) -> Self {
+        let binding = SourceBinding::by_name(source.name(), &self.global, source.schema());
+        for g in self.global.attr_ids() {
+            assert!(
+                binding.supports(g),
+                "source `{}` lacks global attribute `{}`; register it with add_deficient",
+                source.name(),
+                self.global.attr(g).name()
+            );
+        }
+        self.members.push(Member { source, binding, stats: Some(stats) });
+        self
+    }
+
+    /// Registers a source whose local schema lacks some global attributes;
+    /// queries on those attributes are served through a correlated source.
+    pub fn add_deficient(mut self, source: &'a dyn AutonomousSource) -> Self {
+        let binding = SourceBinding::by_name(source.name(), &self.global, source.schema());
+        self.members.push(Member { source, binding, stats: None });
+        self
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` iff no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Picks the best correlated member for a query against a deficient
+    /// member (Definition 4): among members with statistics whose best AFD
+    /// for each constrained attribute has a determining set the deficient
+    /// member supports, the one with the highest (minimum-over-attributes)
+    /// AFD confidence.
+    fn correlated_for(&self, target: &Member<'a>, query: &SelectQuery) -> Option<&Member<'a>> {
+        let mut best: Option<(f64, &Member<'a>)> = None;
+        for m in &self.members {
+            let Some(stats) = &m.stats else { continue };
+            if std::ptr::eq(m, target) {
+                continue;
+            }
+            if !is_correlated_source_usable(stats, &target.binding, query) {
+                continue;
+            }
+            let conf = query
+                .constrained_attrs()
+                .iter()
+                .filter_map(|a| stats.afds().best(*a).map(|afd| afd.confidence))
+                .fold(f64::INFINITY, f64::min);
+            if conf.is_finite() && best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
+                best = Some((conf, m));
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    /// Answers a global-schema query against every registered source.
+    ///
+    /// Sources that can neither bind the query nor be reached through a
+    /// correlated source contribute an empty answer set (exactly what a
+    /// conventional mediator would return for them).
+    pub fn answer(&self, query: &SelectQuery) -> Result<NetworkAnswer, SourceError> {
+        let mut out = NetworkAnswer::default();
+        for member in &self.members {
+            let supports_all = query
+                .constrained_attrs()
+                .iter()
+                .all(|a| member.binding.supports(*a) && member.source.supports(
+                    member.binding.local_attr(*a).expect("supported attr maps"),
+                ));
+            let answers = if supports_all {
+                if let Some(stats) = &member.stats {
+                    // Direct QPIAD. Statistics and query share the global
+                    // schema; supporting members map attributes 1:1.
+                    let local = member.binding.translate_query(query)?;
+                    let qpiad = Qpiad::new(stats.clone(), self.config);
+                    let set = qpiad.answer(member.source, &local)?;
+                    SourceAnswers {
+                        source: member.source.name().to_string(),
+                        certain: set.certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                        possible: set
+                            .possible
+                            .into_iter()
+                            .map(|mut a| {
+                                a.tuple = member.binding.lift_tuple(&a.tuple);
+                                a
+                            })
+                            .collect(),
+                        via_correlated: None,
+                    }
+                } else {
+                    // Supports the attributes but has no statistics: certain
+                    // answers only.
+                    let local = member.binding.translate_query(query)?;
+                    let certain = member.source.query(&local)?;
+                    SourceAnswers {
+                        source: member.source.name().to_string(),
+                        certain: certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                        possible: Vec::new(),
+                        via_correlated: None,
+                    }
+                }
+            } else {
+                // Deficient for this query: try a correlated source.
+                match self.correlated_for(member, query) {
+                    Some(correlated) => {
+                        let stats = correlated.stats.as_ref().expect("correlated has stats");
+                        let possible = answer_from_correlated(
+                            correlated.source,
+                            stats,
+                            member.source,
+                            &member.binding,
+                            query,
+                            &RankConfig { alpha: self.config.alpha, k: self.config.k },
+                        )?;
+                        SourceAnswers {
+                            source: member.source.name().to_string(),
+                            certain: Vec::new(),
+                            possible,
+                            via_correlated: Some(correlated.source.name().to_string()),
+                        }
+                    }
+                    None => SourceAnswers {
+                        source: member.source.name().to_string(),
+                        certain: Vec::new(),
+                        possible: Vec::new(),
+                        via_correlated: None,
+                    },
+                }
+            };
+            out.per_source.push(answers);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_data::cars::CarsConfig;
+    use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+    use qpiad_data::sample::uniform_sample;
+    use qpiad_db::{Predicate, Relation, Value, WebSource};
+    use qpiad_learn::knowledge::MiningConfig;
+
+    fn mined(ed: &Relation, seed: u64) -> SourceStats {
+        let sample = uniform_sample(ed, 0.10, seed);
+        SourceStats::mine(&sample, ed.len(), &MiningConfig::default())
+    }
+
+    struct Fixture {
+        global: Arc<Schema>,
+        cars: WebSource,
+        cars_stats: SourceStats,
+        yahoo: WebSource,
+        yahoo_ground: Relation,
+    }
+
+    fn fixture() -> Fixture {
+        let cars_gd = CarsConfig::default().with_rows(6_000).generate(61);
+        let global = cars_gd.schema().clone();
+        let (cars_ed, _) = corrupt(&cars_gd, &CorruptionConfig::default().with_seed(1));
+        let cars_stats = mined(&cars_ed, 2);
+        let cars = WebSource::new("cars.com", cars_ed);
+
+        let yahoo_ground = CarsConfig::default().with_rows(6_000).generate(62);
+        let keep: Vec<_> = global
+            .attr_ids()
+            .filter(|a| global.attr(*a).name() != "body_style")
+            .collect();
+        let yahoo_local = yahoo_ground.project_to("yahoo_autos", &keep);
+        let yahoo = WebSource::new("yahoo_autos", yahoo_local);
+
+        Fixture { global, cars, cars_stats, yahoo, yahoo_ground }
+    }
+
+    #[test]
+    fn network_answers_from_all_sources() {
+        let f = fixture();
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting(&f.cars, f.cars_stats.clone())
+            .add_deficient(&f.yahoo);
+        assert_eq!(network.len(), 2);
+
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answer = network.answer(&q).unwrap();
+        assert_eq!(answer.per_source.len(), 2);
+
+        // Cars.com contributes certain + possible answers directly.
+        let cars_part = &answer.per_source[0];
+        assert_eq!(cars_part.source, "cars.com");
+        assert!(cars_part.via_correlated.is_none());
+        assert!(!cars_part.certain.is_empty());
+        assert!(!cars_part.possible.is_empty());
+
+        // Yahoo contributes possible answers via the correlated source.
+        let yahoo_part = &answer.per_source[1];
+        assert_eq!(yahoo_part.source, "yahoo_autos");
+        assert_eq!(yahoo_part.via_correlated.as_deref(), Some("cars.com"));
+        assert!(yahoo_part.certain.is_empty());
+        assert!(!yahoo_part.possible.is_empty());
+        // All lifted to the global schema with a null on body_style.
+        for a in &yahoo_part.possible {
+            assert_eq!(a.tuple.arity(), f.global.arity());
+            assert!(a.tuple.value(body).is_null());
+        }
+        assert!(answer.certain_count() > 0);
+        assert!(answer.possible_count() > cars_part.possible.len());
+    }
+
+    #[test]
+    fn correlated_answers_are_mostly_relevant() {
+        let f = fixture();
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting(&f.cars, f.cars_stats.clone())
+            .add_deficient(&f.yahoo);
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "SUV")]);
+        let answer = network.answer(&q).unwrap();
+        let yahoo_part = &answer.per_source[1];
+        let hits = yahoo_part
+            .possible
+            .iter()
+            .filter(|a| {
+                f.yahoo_ground
+                    .by_id(a.tuple.id())
+                    .map(|t| t.value(body) == &Value::str("SUV"))
+                    .unwrap_or(false)
+            })
+            .count();
+        let precision = hits as f64 / yahoo_part.possible.len().max(1) as f64;
+        assert!(precision > 0.6, "correlated precision {precision}");
+    }
+
+    #[test]
+    fn queries_on_supported_attrs_hit_deficient_sources_directly() {
+        let f = fixture();
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
+            .add_supporting(&f.cars, f.cars_stats.clone())
+            .add_deficient(&f.yahoo);
+        let model = f.global.expect_attr("model");
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Civic")]);
+        let answer = network.answer(&q).unwrap();
+        // Yahoo supports model: it serves certain answers itself (no stats →
+        // no possible answers from it).
+        let yahoo_part = &answer.per_source[1];
+        assert!(yahoo_part.via_correlated.is_none());
+        assert!(!yahoo_part.certain.is_empty());
+    }
+
+    #[test]
+    fn unreachable_queries_yield_empty_contributions() {
+        let f = fixture();
+        // Network with ONLY the deficient source: no correlated member.
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
+            .add_deficient(&f.yahoo);
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answer = network.answer(&q).unwrap();
+        assert_eq!(answer.certain_count(), 0);
+        assert_eq!(answer.possible_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks global attribute")]
+    fn add_supporting_rejects_partial_schemas() {
+        let f = fixture();
+        let _ = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
+            .add_supporting(&f.yahoo, f.cars_stats.clone());
+    }
+}

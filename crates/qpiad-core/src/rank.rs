@@ -1,0 +1,174 @@
+//! F-measure ordering of rewritten queries (§4.2 steps 2b–2c).
+//!
+//! Selecting which K rewritten queries to issue trades precision against
+//! recall. QPIAD scores each query with the weighted harmonic mean
+//!
+//! ```text
+//! F(α) = (1 + α) · P · R / (α · P + R)
+//! ```
+//!
+//! where `P` is the query's expected precision and `R` its expected recall:
+//! the query's *throughput* (precision × estimated selectivity) normalized
+//! by the cumulative throughput of all rewritten queries. With `α = 0` the
+//! ordering degenerates to pure precision; growing `α` favours high-recall
+//! queries.
+//!
+//! After the top-K queries are selected by F-measure they are **re-ordered
+//! by precision**, so that every tuple a query retrieves can inherit the
+//! query's rank without further sorting (§4.2 step 2c).
+
+use crate::rewrite::RewrittenQuery;
+
+/// Ordering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RankConfig {
+    /// The F-measure α: 0 = precision only, 1 = balanced, >1 = recall-heavy.
+    pub alpha: f64,
+    /// Maximum number of rewritten queries to issue.
+    pub k: usize,
+}
+
+impl Default for RankConfig {
+    fn default() -> Self {
+        RankConfig { alpha: 0.0, k: 10 }
+    }
+}
+
+/// The F-measure of one query given the cumulative throughput of all
+/// candidates. Returns 0 when either component is 0.
+pub fn f_measure(precision: f64, recall: f64, alpha: f64) -> f64 {
+    let denom = alpha * precision + recall;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (1.0 + alpha) * precision * recall / denom
+}
+
+/// Selects the top-K rewritten queries by F-measure and returns them in
+/// decreasing expected-precision order.
+pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec<RewrittenQuery> {
+    let total_throughput: f64 = rewrites
+        .iter()
+        .map(|r| r.precision * r.est_selectivity)
+        .sum();
+
+    let mut scored: Vec<(f64, RewrittenQuery)> = rewrites
+        .into_iter()
+        .map(|r| {
+            let recall = if total_throughput > 0.0 {
+                r.precision * r.est_selectivity / total_throughput
+            } else {
+                0.0
+            };
+            // With a zero α and a degenerate recall estimate fall back to
+            // precision so the ordering stays meaningful.
+            let f = if total_throughput > 0.0 {
+                f_measure(r.precision, recall, config.alpha)
+            } else {
+                r.precision
+            };
+            (f, r)
+        })
+        .collect();
+
+    // Deterministic order: F desc, precision desc, then query structure.
+    scored.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| b.1.precision.total_cmp(&a.1.precision))
+            .then_with(|| format!("{:?}", a.1.query).cmp(&format!("{:?}", b.1.query)))
+    });
+    scored.truncate(config.k);
+
+    let mut selected: Vec<RewrittenQuery> = scored.into_iter().map(|(_, r)| r).collect();
+    selected.sort_by(|a, b| {
+        b.precision
+            .total_cmp(&a.precision)
+            .then_with(|| format!("{:?}", a.query).cmp(&format!("{:?}", b.query)))
+    });
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_db::{AttrId, Predicate, SelectQuery};
+
+    fn rq(tag: i64, precision: f64, selectivity: f64) -> RewrittenQuery {
+        RewrittenQuery {
+            query: SelectQuery::new(vec![Predicate::eq(AttrId(0), tag)]),
+            target_attr: AttrId(1),
+            precision,
+            est_selectivity: selectivity,
+            afd: None,
+        }
+    }
+
+    #[test]
+    fn f_measure_basics() {
+        // α = 0: F = P (when R > 0).
+        assert!((f_measure(0.8, 0.3, 0.0) - 0.8).abs() < 1e-12);
+        // α = 1: harmonic mean.
+        let f = f_measure(0.5, 0.5, 1.0);
+        assert!((f - 0.5).abs() < 1e-12);
+        // Zero recall ⇒ zero F.
+        assert_eq!(f_measure(0.9, 0.0, 1.0), 0.0);
+        assert_eq!(f_measure(0.0, 0.9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn alpha_zero_orders_by_precision() {
+        let rewrites = vec![rq(1, 0.9, 1.0), rq(2, 0.5, 100.0), rq(3, 0.7, 50.0)];
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 0.0, k: 10 });
+        let precisions: Vec<f64> = ordered.iter().map(|r| r.precision).collect();
+        assert_eq!(precisions, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn large_alpha_admits_high_throughput_queries() {
+        // With k = 1: α = 0 picks the precise query; α = 2 picks the
+        // high-selectivity one.
+        let rewrites = vec![rq(1, 0.95, 1.0), rq(2, 0.6, 500.0)];
+        let precise = order_rewrites(rewrites.clone(), &RankConfig { alpha: 0.0, k: 1 });
+        assert!((precise[0].precision - 0.95).abs() < 1e-12);
+        let recallful = order_rewrites(rewrites, &RankConfig { alpha: 2.0, k: 1 });
+        assert!((recallful[0].precision - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncates_to_k_then_reorders_by_precision() {
+        let rewrites = vec![
+            rq(1, 0.4, 400.0),
+            rq(2, 0.9, 5.0),
+            rq(3, 0.6, 100.0),
+            rq(4, 0.8, 20.0),
+        ];
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 2 });
+        assert_eq!(ordered.len(), 2);
+        // Whatever was selected, the output is precision-descending.
+        assert!(ordered[0].precision >= ordered[1].precision);
+    }
+
+    #[test]
+    fn zero_throughput_falls_back_to_precision() {
+        let rewrites = vec![rq(1, 0.9, 0.0), rq(2, 0.5, 0.0)];
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 10 });
+        assert_eq!(ordered.len(), 2);
+        assert!((ordered[0].precision - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let rewrites = vec![rq(1, 0.9, 1.0)];
+        assert!(order_rewrites(rewrites, &RankConfig { alpha: 0.0, k: 0 }).is_empty());
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let rewrites = vec![rq(2, 0.5, 10.0), rq(1, 0.5, 10.0)];
+        let a = order_rewrites(rewrites.clone(), &RankConfig::default());
+        let b = order_rewrites(rewrites, &RankConfig::default());
+        let qa: Vec<String> = a.iter().map(|r| format!("{:?}", r.query)).collect();
+        let qb: Vec<String> = b.iter().map(|r| format!("{:?}", r.query)).collect();
+        assert_eq!(qa, qb);
+    }
+}

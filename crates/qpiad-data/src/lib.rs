@@ -1,0 +1,43 @@
+//! Synthetic dataset generators, incompleteness injection, and sampling.
+//!
+//! The paper evaluates on data extracted from Cars.com (~55k tuples), the
+//! UCI Census database (~45k tuples) and the NHTSA consumer-complaints
+//! repository (~200k tuples). Those extractions are not redistributable, so
+//! this crate generates synthetic stand-ins with the *same dependency
+//! structure* the QPIAD algorithms exploit:
+//!
+//! * [`cars`] — used-car listings over a fixed model catalog. `Model → Make`
+//!   holds exactly; `Model → Body Style` and `{Year, Model} → Price` hold
+//!   with configurable noise, which is precisely the regime in which the
+//!   paper mines its AFDs (§4.1, §5.1).
+//! * [`census`] — census records whose `Relationship` attribute is strongly
+//!   (but not exactly) determined by `{Marital Status, Age}`.
+//! * [`complaints`] — vehicle complaints sharing the cars model catalog, so
+//!   that `Cars ⋈_Model Complaints` join experiments (§4.5, Figure 13) have
+//!   a meaningful join attribute, and `Detailed Component → General
+//!   Component` provides a high-confidence AFD.
+//! * [`corrupt`] — ground truth → experimental dataset conversion: randomly
+//!   select a fraction of tuples and null one randomly chosen attribute,
+//!   remembering the true value as *provenance* for the evaluation oracle
+//!   (§6.2).
+//! * [`housing`] — a third selection domain (Realtor.com-like listings with
+//!   `Neighborhood → City/Zip` exact and `Neighborhood → Style`
+//!   approximate), exercising the pipeline beyond the evaluation datasets.
+//! * [`io`] — CSV import/export so downstream users can mediate over their
+//!   own extracts (header row, type inference, RFC-4180-style quoting).
+//! * [`sample`] — the mediator's offline sample: either a uniform sample of
+//!   the stored relation or an honest random-probing workflow against an
+//!   [`qpiad_db::AutonomousSource`] that also estimates the sample ratio and
+//!   the incomplete-tuple percentage (§5.4).
+
+pub mod cars;
+pub mod catalog;
+pub mod census;
+pub mod complaints;
+pub mod corrupt;
+pub mod housing;
+pub mod io;
+pub mod sample;
+
+pub use catalog::CarCatalog;
+pub use corrupt::{corrupt, CorruptionConfig, Provenance};

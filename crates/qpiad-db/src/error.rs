@@ -1,0 +1,61 @@
+//! Errors raised by autonomous sources.
+
+use std::fmt;
+
+use crate::schema::AttrId;
+
+/// Why a source rejected a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The query binds a null (`attr IS NULL`) and the source's web-form
+    /// interface cannot express that pattern.
+    NullBindingUnsupported {
+        /// The offending attribute (in the source's local schema).
+        attr: AttrId,
+    },
+    /// The query constrains an attribute the source's local schema does not
+    /// support.
+    UnsupportedAttribute {
+        /// The offending attribute id as used in the query.
+        attr: AttrId,
+    },
+    /// The source's per-session query budget is exhausted (web sources may
+    /// limit the number of queries they answer, §4.1).
+    QueryLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::NullBindingUnsupported { attr } => {
+                write!(f, "source does not support null binding on attribute {attr}")
+            }
+            SourceError::UnsupportedAttribute { attr } => {
+                write!(f, "source does not support queries on attribute {attr}")
+            }
+            SourceError::QueryLimitExceeded { limit } => {
+                write!(f, "source query limit of {limit} queries exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SourceError::NullBindingUnsupported { attr: AttrId(3) };
+        assert!(e.to_string().contains("null binding"));
+        let e = SourceError::UnsupportedAttribute { attr: AttrId(1) };
+        assert!(e.to_string().contains("does not support queries"));
+        let e = SourceError::QueryLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

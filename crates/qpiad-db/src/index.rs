@@ -1,0 +1,275 @@
+//! Equality indexes and index-backed selection.
+//!
+//! A QPIAD workload hammers a source with conjunctive equality queries (one
+//! per rewritten query, per probe, per aggregate gate). Scanning the whole
+//! relation for each is O(n·queries); [`SelectionEngine`] lazily builds one
+//! hash index per touched attribute — `value → row positions` plus a null
+//! list — picks the most selective indexed predicate as the access path,
+//! and verifies the remaining predicates only on the candidates.
+//!
+//! The engine is internally synchronized so sources can stay `&self` in
+//! their query path.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::query::{PredOp, SelectQuery};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An equality + range index over one attribute: a hash table for point
+/// lookups and a sorted map for `BETWEEN` ranges.
+#[derive(Debug)]
+pub struct AttrIndex {
+    /// Rows per non-null value, in relation order.
+    by_value: HashMap<Value, Vec<u32>>,
+    /// The same postings in value order, for range predicates.
+    sorted: BTreeMap<Value, Vec<u32>>,
+    /// Rows whose value is null, in relation order.
+    nulls: Vec<u32>,
+}
+
+impl AttrIndex {
+    /// Builds the index for `attr` over a relation.
+    pub fn build(relation: &Relation, attr: AttrId) -> Self {
+        let mut by_value: HashMap<Value, Vec<u32>> = HashMap::new();
+        let mut nulls = Vec::new();
+        for (row, t) in relation.tuples().iter().enumerate() {
+            let v = t.value(attr);
+            if v.is_null() {
+                nulls.push(row as u32);
+            } else {
+                by_value.entry(v.clone()).or_default().push(row as u32);
+            }
+        }
+        let sorted = by_value
+            .iter()
+            .map(|(v, rows)| (v.clone(), rows.clone()))
+            .collect();
+        AttrIndex { by_value, sorted, nulls }
+    }
+
+    /// Rows with exactly this value.
+    pub fn rows_eq(&self, v: &Value) -> &[u32] {
+        self.by_value.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rows with `lo ≤ value ≤ hi`, in relation order.
+    pub fn rows_between(&self, lo: &Value, hi: &Value) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .sorted
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, rs)| rs.iter().copied())
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Rows with a null value.
+    pub fn null_rows(&self) -> &[u32] {
+        &self.nulls
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_values(&self) -> usize {
+        self.by_value.len()
+    }
+}
+
+/// Lazily indexed selection over a fixed relation.
+#[derive(Debug, Default)]
+pub struct SelectionEngine {
+    indexes: RwLock<HashMap<AttrId, Arc<AttrIndex>>>,
+}
+
+impl SelectionEngine {
+    /// Creates an engine with no indexes built yet.
+    pub fn new() -> Self {
+        SelectionEngine::default()
+    }
+
+    /// Number of indexes built so far (for tests and diagnostics).
+    pub fn built_indexes(&self) -> usize {
+        self.indexes.read().len()
+    }
+
+    fn index_for(&self, relation: &Relation, attr: AttrId) -> Arc<AttrIndex> {
+        if let Some(idx) = self.indexes.read().get(&attr) {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(AttrIndex::build(relation, attr));
+        let mut write = self.indexes.write();
+        Arc::clone(write.entry(attr).or_insert(built))
+    }
+
+    /// Picks the indexable predicate with the fewest candidate rows.
+    fn best_candidates(&self, relation: &Relation, query: &SelectQuery) -> Option<Vec<u32>> {
+        let mut best: Option<(usize, Vec<u32>)> = None;
+        for p in query.predicates() {
+            let candidates: Vec<u32> = match &p.op {
+                PredOp::Eq(v) => self.index_for(relation, p.attr).rows_eq(v).to_vec(),
+                PredOp::IsNull => self.index_for(relation, p.attr).null_rows().to_vec(),
+                PredOp::Between(lo, hi) => {
+                    self.index_for(relation, p.attr).rows_between(lo, hi)
+                }
+            };
+            if best.as_ref().map(|(n, _)| candidates.len() < *n).unwrap_or(true) {
+                let n = candidates.len();
+                best = Some((n, candidates));
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        best.map(|(_, candidates)| candidates)
+    }
+
+    /// Answers a selection with certain-answer semantics, equivalent to
+    /// [`Relation::select`] but using the most selective available index as
+    /// the access path (hash postings for `Eq`/`IsNull`, sorted postings
+    /// for `Between`).
+    pub fn select(&self, relation: &Relation, query: &SelectQuery) -> Vec<Tuple> {
+        match self.best_candidates(relation, query) {
+            Some(candidates) => candidates
+                .into_iter()
+                .map(|row| &relation.tuples()[row as usize])
+                .filter(|t| query.matches(t))
+                .cloned()
+                .collect(),
+            None => relation.select(query),
+        }
+    }
+
+    /// Counts the certain answers using the same access path as
+    /// [`Self::select`], without materializing tuples.
+    pub fn count(&self, relation: &Relation, query: &SelectQuery) -> usize {
+        match self.best_candidates(relation, query) {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter(|row| query.matches(&relation.tuples()[*row as usize]))
+                .count(),
+            None => relation.count(query),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::schema::{AttrType, Schema};
+    use crate::tuple::TupleId;
+
+    fn relation() -> Relation {
+        let schema = Schema::of(
+            "cars",
+            &[
+                ("model", AttrType::Categorical),
+                ("year", AttrType::Integer),
+                ("body", AttrType::Categorical),
+            ],
+        );
+        let rows: Vec<(Option<&str>, i64, Option<&str>)> = vec![
+            (Some("A4"), 2001, Some("Sedan")),
+            (Some("Z4"), 2002, Some("Convt")),
+            (Some("Z4"), 2003, None),
+            (None, 2002, Some("Convt")),
+            (Some("A4"), 2002, Some("Sedan")),
+            (Some("Civic"), 2004, Some("Sedan")),
+        ];
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, y, b))| {
+                Tuple::new(
+                    TupleId(i as u32),
+                    vec![
+                        m.map(Value::str).unwrap_or(Value::Null),
+                        Value::int(y),
+                        b.map(Value::str).unwrap_or(Value::Null),
+                    ],
+                )
+            })
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    #[test]
+    fn attr_index_partitions_rows() {
+        let r = relation();
+        let idx = AttrIndex::build(&r, AttrId(0));
+        assert_eq!(idx.rows_eq(&Value::str("Z4")), &[1, 2]);
+        assert_eq!(idx.rows_eq(&Value::str("A4")), &[0, 4]);
+        assert_eq!(idx.rows_eq(&Value::str("F150")), &[] as &[u32]);
+        assert_eq!(idx.null_rows(), &[3]);
+        assert_eq!(idx.distinct_values(), 3);
+    }
+
+    #[test]
+    fn range_index_matches_value_order() {
+        let r = relation();
+        let idx = AttrIndex::build(&r, AttrId(1));
+        assert_eq!(idx.rows_between(&Value::int(2002), &Value::int(2003)), vec![1, 2, 3, 4]);
+        assert_eq!(idx.rows_between(&Value::int(2005), &Value::int(2010)), Vec::<u32>::new());
+        // Inclusive bounds.
+        assert_eq!(idx.rows_between(&Value::int(2004), &Value::int(2004)), vec![5]);
+    }
+
+    #[test]
+    fn engine_matches_scan_semantics() {
+        let r = relation();
+        let engine = SelectionEngine::new();
+        let queries = vec![
+            SelectQuery::new(vec![Predicate::eq(AttrId(0), "Z4")]),
+            SelectQuery::new(vec![Predicate::eq(AttrId(0), "Z4"), Predicate::eq(AttrId(1), 2002i64)]),
+            SelectQuery::new(vec![Predicate::is_null(AttrId(2))]),
+            SelectQuery::new(vec![Predicate::between(AttrId(1), 2002i64, 2003i64)]),
+            SelectQuery::new(vec![
+                Predicate::between(AttrId(1), 2002i64, 2003i64),
+                Predicate::eq(AttrId(2), "Convt"),
+            ]),
+            SelectQuery::all(),
+            SelectQuery::new(vec![Predicate::eq(AttrId(0), "F150")]),
+        ];
+        for q in &queries {
+            assert_eq!(engine.select(&r, q), r.select(q), "query {q:?}");
+            assert_eq!(engine.count(&r, q), r.count(q), "count {q:?}");
+        }
+    }
+
+    #[test]
+    fn engine_builds_indexes_lazily() {
+        let r = relation();
+        let engine = SelectionEngine::new();
+        assert_eq!(engine.built_indexes(), 0);
+        engine.select(&r, &SelectQuery::new(vec![Predicate::eq(AttrId(0), "Z4")]));
+        assert_eq!(engine.built_indexes(), 1);
+        // Range queries use the same per-attribute index.
+        engine.select(&r, &SelectQuery::new(vec![Predicate::between(AttrId(1), 0i64, 3000i64)]));
+        assert_eq!(engine.built_indexes(), 2);
+        engine.select(&r, &SelectQuery::new(vec![Predicate::is_null(AttrId(2))]));
+        assert_eq!(engine.built_indexes(), 3);
+        // Unindexable queries (no predicates) build nothing further.
+        engine.select(&r, &SelectQuery::all());
+        assert_eq!(engine.built_indexes(), 3);
+    }
+
+    #[test]
+    fn picks_most_selective_candidate_list() {
+        // With both predicates indexed, the result must still be exact even
+        // though only one candidate list is verified in full.
+        let r = relation();
+        let engine = SelectionEngine::new();
+        let q = SelectQuery::new(vec![
+            Predicate::eq(AttrId(0), "Civic"),
+            Predicate::eq(AttrId(1), 2002i64),
+        ]);
+        // Civic has 1 row, year 2002 has 3: results must be empty because
+        // the Civic row has year 2004.
+        assert!(engine.select(&r, &q).is_empty());
+    }
+}

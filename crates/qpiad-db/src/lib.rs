@@ -1,0 +1,41 @@
+//! Relational substrate for QPIAD.
+//!
+//! This crate implements everything QPIAD needs *below* the mediator:
+//!
+//! * [`value`] — nullable attribute values with a total order,
+//! * [`schema`] — typed relation schemas and attribute identifiers,
+//! * [`tuple`] / [`relation`] — incomplete tuples and in-memory relations,
+//! * [`query`] — conjunctive selection, aggregate, and join query ASTs with
+//!   *certain-answer* evaluation semantics over incomplete tuples,
+//! * [`source`] — autonomous-source access layers: a [`source::WebSource`]
+//!   that models the restricted query interface of a web database (no null
+//!   binding, limited attribute support, metered access) and a
+//!   [`source::DirectSource`] that allows null binding (used only to
+//!   implement the paper's infeasible baselines),
+//! * [`catalog`] — the mediator-side global-schema catalog mapping global
+//!   attributes onto each source's local schema.
+//!
+//! The design goal is to reproduce the *access-pattern constraints* that
+//! motivate QPIAD: a mediator can only issue bound conjunctive selection
+//! queries over the attributes a source supports, and can never ask a web
+//! form for "tuples where attribute X is null".
+
+pub mod catalog;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod source;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{GlobalCatalog, SourceBinding};
+pub use error::SourceError;
+pub use index::{AttrIndex, SelectionEngine};
+pub use query::{AggFunc, AggregateQuery, JoinQuery, PredOp, Predicate, SelectQuery};
+pub use relation::Relation;
+pub use schema::{AttrId, AttrType, Attribute, Schema};
+pub use source::{AutonomousSource, DirectSource, SourceMeter, WebSource};
+pub use tuple::{Tuple, TupleId};
+pub use value::Value;

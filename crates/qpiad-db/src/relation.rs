@@ -1,0 +1,309 @@
+//! In-memory relations.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::query::SelectQuery;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// An in-memory relation: a schema plus a vector of (possibly incomplete)
+/// tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+/// Summary statistics mirroring the paper's Table 1: how incomplete a
+/// database is, overall and per attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompletenessStats {
+    /// Total number of tuples.
+    pub total_tuples: usize,
+    /// Fraction of tuples with at least one null.
+    pub incomplete_fraction: f64,
+    /// Per-attribute fraction of tuples with a null on that attribute,
+    /// indexed by attribute position.
+    pub missing_fraction: Vec<f64>,
+}
+
+impl Relation {
+    /// Creates a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tuple's arity does not match the schema.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        for t in &tuples {
+            assert_eq!(
+                t.arity(),
+                schema.arity(),
+                "tuple arity does not match schema `{}`",
+                schema.name()
+            );
+        }
+        Relation { schema, tuples }
+    }
+
+    /// An empty relation over the schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable access, used by corruption injection.
+    pub fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.tuples
+    }
+
+    /// Looks up a tuple by its stable id (linear scan fallback; ids are
+    /// assigned densely by generators so we first try direct indexing).
+    pub fn by_id(&self, id: TupleId) -> Option<&Tuple> {
+        let guess = id.0 as usize;
+        if let Some(t) = self.tuples.get(guess) {
+            if t.id() == id {
+                return Some(t);
+            }
+        }
+        self.tuples.iter().find(|t| t.id() == id)
+    }
+
+    /// Certain answers of a selection query, in relation order.
+    pub fn select(&self, q: &SelectQuery) -> Vec<Tuple> {
+        self.tuples.iter().filter(|t| q.matches(t)).cloned().collect()
+    }
+
+    /// Number of certain answers (used for selectivity estimation without
+    /// materializing).
+    pub fn count(&self, q: &SelectQuery) -> usize {
+        self.tuples.iter().filter(|t| q.matches(t)).count()
+    }
+
+    /// Distinct value combinations of `attrs` among the given tuples,
+    /// skipping combinations that contain a null (a null determining-set
+    /// value cannot be used to build a rewritten query).
+    pub fn distinct_projections(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Vec<Value>> {
+        let mut seen: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in tuples {
+            let combo = t.project(attrs);
+            if combo.iter().any(Value::is_null) {
+                continue;
+            }
+            if seen.insert(combo.clone()) {
+                out.push(combo);
+            }
+        }
+        out
+    }
+
+    /// The active domain of an attribute: distinct non-null values, sorted.
+    pub fn active_domain(&self, attr: AttrId) -> Vec<Value> {
+        let mut set: BTreeSet<Value> = BTreeSet::new();
+        for t in &self.tuples {
+            let v = t.value(attr);
+            if !v.is_null() {
+                set.insert(v.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Incompleteness statistics (Table 1's quantities).
+    pub fn incompleteness(&self) -> IncompletenessStats {
+        let n = self.tuples.len();
+        let mut missing = vec![0usize; self.schema.arity()];
+        let mut incomplete = 0usize;
+        for t in &self.tuples {
+            let mut any = false;
+            for (i, v) in t.values().iter().enumerate() {
+                if v.is_null() {
+                    missing[i] += 1;
+                    any = true;
+                }
+            }
+            if any {
+                incomplete += 1;
+            }
+        }
+        let frac = |c: usize| if n == 0 { 0.0 } else { c as f64 / n as f64 };
+        IncompletenessStats {
+            total_tuples: n,
+            incomplete_fraction: frac(incomplete),
+            missing_fraction: missing.into_iter().map(frac).collect(),
+        }
+    }
+
+    /// Returns a new relation containing only tuples complete on *all*
+    /// attributes (used to build ground-truth datasets, §6.2).
+    pub fn complete_only(&self) -> Relation {
+        Relation {
+            schema: Arc::clone(&self.schema),
+            tuples: self.tuples.iter().filter(|t| t.is_complete()).cloned().collect(),
+        }
+    }
+
+    /// Projects the relation onto a subset of attributes, producing a new
+    /// relation with a derived schema (used when modelling local schemas
+    /// that support fewer attributes than the global schema).
+    pub fn project_to(&self, name: &str, attrs: &[AttrId]) -> Relation {
+        let schema = Schema::new(
+            name,
+            attrs.iter().map(|a| self.schema.attr(*a).clone()).collect(),
+        );
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| Tuple::new(t.id(), t.project(attrs)))
+            .collect();
+        Relation { schema, tuples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::schema::AttrType;
+
+    fn fixture() -> Relation {
+        let schema = Schema::of(
+            "cars",
+            &[
+                ("make", AttrType::Categorical),
+                ("model", AttrType::Categorical),
+                ("body", AttrType::Categorical),
+            ],
+        );
+        // The paper's Table 2 fragment (ids 0..6).
+        let rows: Vec<(&str, &str, Option<&str>)> = vec![
+            ("Audi", "A4", Some("Convt")),
+            ("BMW", "Z4", Some("Convt")),
+            ("Porsche", "Boxster", Some("Convt")),
+            ("BMW", "Z4", None),
+            ("Honda", "Civic", None),
+            ("Toyota", "Camry", Some("Sedan")),
+        ];
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mk, md, b))| {
+                Tuple::new(
+                    TupleId(i as u32),
+                    vec![
+                        Value::str(mk),
+                        Value::str(md),
+                        b.map(Value::str).unwrap_or(Value::Null),
+                    ],
+                )
+            })
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    #[test]
+    fn select_returns_certain_answers_only() {
+        let r = fixture();
+        let body = r.schema().expect_attr("body");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let res = r.select(&q);
+        // Tuples 3 and 4 have null body style: excluded.
+        assert_eq!(res.len(), 3);
+        assert!(res.iter().all(|t| t.value(body) == &Value::str("Convt")));
+        assert_eq!(r.count(&q), 3);
+    }
+
+    #[test]
+    fn by_id_finds_tuples() {
+        let r = fixture();
+        assert_eq!(r.by_id(TupleId(4)).unwrap().id(), TupleId(4));
+        assert!(r.by_id(TupleId(99)).is_none());
+    }
+
+    #[test]
+    fn distinct_projections_skip_nulls() {
+        let r = fixture();
+        let model = r.schema().expect_attr("model");
+        let body = r.schema().expect_attr("body");
+        let combos = Relation::distinct_projections(r.tuples(), &[model]);
+        assert_eq!(combos.len(), 5); // A4, Z4, Boxster, Civic, Camry
+        let combos = Relation::distinct_projections(r.tuples(), &[body]);
+        assert_eq!(combos.len(), 2); // Convt, Sedan (nulls skipped)
+    }
+
+    #[test]
+    fn active_domain_sorted_distinct() {
+        let r = fixture();
+        let make = r.schema().expect_attr("make");
+        let dom = r.active_domain(make);
+        assert_eq!(
+            dom,
+            vec![
+                Value::str("Audi"),
+                Value::str("BMW"),
+                Value::str("Honda"),
+                Value::str("Porsche"),
+                Value::str("Toyota"),
+            ]
+        );
+    }
+
+    #[test]
+    fn incompleteness_stats() {
+        let r = fixture();
+        let stats = r.incompleteness();
+        assert_eq!(stats.total_tuples, 6);
+        assert!((stats.incomplete_fraction - 2.0 / 6.0).abs() < 1e-12);
+        let body = r.schema().expect_attr("body");
+        assert!((stats.missing_fraction[body.index()] - 2.0 / 6.0).abs() < 1e-12);
+        let make = r.schema().expect_attr("make");
+        assert_eq!(stats.missing_fraction[make.index()], 0.0);
+    }
+
+    #[test]
+    fn complete_only_filters() {
+        let r = fixture();
+        assert_eq!(r.complete_only().len(), 4);
+    }
+
+    #[test]
+    fn project_to_narrows_schema() {
+        let r = fixture();
+        let make = r.schema().expect_attr("make");
+        let model = r.schema().expect_attr("model");
+        let p = r.project_to("cars_narrow", &[model, make]);
+        assert_eq!(p.schema().arity(), 2);
+        assert_eq!(p.schema().attr(AttrId(0)).name(), "model");
+        assert_eq!(p.len(), r.len());
+        // Ids are preserved.
+        assert_eq!(p.tuples()[3].id(), TupleId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let schema = Schema::of("one", &[("a", AttrType::Integer)]);
+        Relation::new(schema, vec![Tuple::new(TupleId(0), vec![Value::int(1), Value::int(2)])]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Autonomous-source access layers.
+//!
+//! A mediator never touches a web database's storage; it can only issue
+//! queries through a (restricted) query interface and observe the returned
+//! tuples. [`WebSource`] models that interface faithfully:
+//!
+//! * **no null binding** — `attr IS NULL` predicates are rejected,
+//! * **limited attribute support** — the local schema may omit attributes of
+//!   the mediator's global schema, and only supported attributes may be
+//!   constrained,
+//! * **metered access** — every query and transferred tuple is counted, so
+//!   the efficiency experiments (Figure 8) can report real costs,
+//! * **optional query budget** — sources may cap queries per session.
+//!
+//! [`DirectSource`] lifts the null-binding restriction; it exists only so
+//! the paper's infeasible baselines (AllReturned, AllRanked) can be
+//! evaluated against the same data.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::SourceError;
+use crate::index::SelectionEngine;
+use crate::query::SelectQuery;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+
+/// Cumulative access costs incurred against a source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceMeter {
+    /// Number of queries answered.
+    pub queries: usize,
+    /// Total number of tuples returned across all queries.
+    pub tuples_returned: usize,
+    /// Number of queries rejected (null binding, unsupported attribute,
+    /// budget exhaustion).
+    pub rejected: usize,
+}
+
+/// The query interface every autonomous source exposes to the mediator.
+pub trait AutonomousSource {
+    /// Source name (for diagnostics and catalog lookups).
+    fn name(&self) -> &str;
+
+    /// The source's local schema.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// `true` iff the local schema supports binding the given attribute in
+    /// a query.
+    fn supports(&self, attr: AttrId) -> bool {
+        attr.index() < self.schema().arity()
+    }
+
+    /// Whether `attr IS NULL` predicates are accepted.
+    fn allows_null_binding(&self) -> bool;
+
+    /// Answers a conjunctive selection query with its certain answers
+    /// (Definition 2), or rejects it.
+    fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError>;
+
+    /// A snapshot of cumulative access costs.
+    fn meter(&self) -> SourceMeter;
+
+    /// Resets the access meter (between experiments).
+    fn reset_meter(&self);
+}
+
+fn validate(
+    q: &SelectQuery,
+    supported: &dyn Fn(AttrId) -> bool,
+    allow_null_binding: bool,
+) -> Result<(), SourceError> {
+    for p in q.predicates() {
+        if !supported(p.attr) {
+            return Err(SourceError::UnsupportedAttribute { attr: p.attr });
+        }
+        if p.op.is_null_binding() && !allow_null_binding {
+            return Err(SourceError::NullBindingUnsupported { attr: p.attr });
+        }
+    }
+    Ok(())
+}
+
+/// Shared implementation for the two concrete sources.
+#[derive(Debug)]
+struct SourceInner {
+    name: String,
+    relation: Relation,
+    engine: SelectionEngine,
+    /// Attributes of the local schema that may be constrained. Attributes
+    /// outside this set exist in the stored data but the web form exposes no
+    /// field for them.
+    queryable: Vec<bool>,
+    allow_null_binding: bool,
+    query_limit: Option<usize>,
+    meter: Mutex<SourceMeter>,
+}
+
+impl SourceInner {
+    fn answer(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
+        let mut meter = self.meter.lock();
+        let check = validate(
+            q,
+            &|a: AttrId| a.index() < self.queryable.len() && self.queryable[a.index()],
+            self.allow_null_binding,
+        );
+        if let Err(e) = check {
+            meter.rejected += 1;
+            return Err(e);
+        }
+        if let Some(limit) = self.query_limit {
+            if meter.queries >= limit {
+                meter.rejected += 1;
+                return Err(SourceError::QueryLimitExceeded { limit });
+            }
+        }
+        // Certain-answer semantics over the stored (incomplete) relation,
+        // served through the lazily built equality indexes. For a
+        // DirectSource, IsNull predicates participate via `PredOp::matches`.
+        let result: Vec<Tuple> = self.engine.select(&self.relation, q);
+        meter.queries += 1;
+        meter.tuples_returned += result.len();
+        Ok(result)
+    }
+}
+
+/// A web database behind a form interface: certain answers only, no null
+/// binding, optionally a query budget and a restricted set of queryable
+/// attributes.
+#[derive(Debug)]
+pub struct WebSource {
+    inner: SourceInner,
+}
+
+impl WebSource {
+    /// Wraps a relation as a web source where every attribute is queryable.
+    pub fn new(name: impl Into<String>, relation: Relation) -> Self {
+        let arity = relation.schema().arity();
+        WebSource {
+            inner: SourceInner {
+                name: name.into(),
+                relation,
+                engine: SelectionEngine::new(),
+                queryable: vec![true; arity],
+                allow_null_binding: false,
+                query_limit: None,
+                meter: Mutex::new(SourceMeter::default()),
+            },
+        }
+    }
+
+    /// Restricts the set of queryable attributes (local schemas that do not
+    /// support some global attributes, §4.3).
+    pub fn with_queryable(mut self, attrs: &[AttrId]) -> Self {
+        let arity = self.inner.relation.schema().arity();
+        let mut queryable = vec![false; arity];
+        for a in attrs {
+            queryable[a.index()] = true;
+        }
+        self.inner.queryable = queryable;
+        self
+    }
+
+    /// Caps the number of queries the source answers per session.
+    pub fn with_query_limit(mut self, limit: usize) -> Self {
+        self.inner.query_limit = Some(limit);
+        self
+    }
+
+    /// Read access to the stored relation (the *evaluation harness* uses
+    /// this as ground truth; the mediator must not).
+    pub fn relation(&self) -> &Relation {
+        &self.inner.relation
+    }
+}
+
+impl AutonomousSource for WebSource {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.relation.schema()
+    }
+
+    fn supports(&self, attr: AttrId) -> bool {
+        attr.index() < self.inner.queryable.len() && self.inner.queryable[attr.index()]
+    }
+
+    fn allows_null_binding(&self) -> bool {
+        false
+    }
+
+    fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
+        self.inner.answer(q)
+    }
+
+    fn meter(&self) -> SourceMeter {
+        *self.inner.meter.lock()
+    }
+
+    fn reset_meter(&self) {
+        *self.inner.meter.lock() = SourceMeter::default();
+    }
+}
+
+/// A source with unrestricted access patterns, including null binding.
+///
+/// Real web databases do not offer this interface; it exists to implement
+/// the AllReturned / AllRanked baselines the paper compares against.
+#[derive(Debug)]
+pub struct DirectSource {
+    inner: SourceInner,
+}
+
+impl DirectSource {
+    /// Wraps a relation as a direct-access source.
+    pub fn new(name: impl Into<String>, relation: Relation) -> Self {
+        let arity = relation.schema().arity();
+        DirectSource {
+            inner: SourceInner {
+                name: name.into(),
+                relation,
+                engine: SelectionEngine::new(),
+                queryable: vec![true; arity],
+                allow_null_binding: true,
+                query_limit: None,
+                meter: Mutex::new(SourceMeter::default()),
+            },
+        }
+    }
+
+    /// Read access to the stored relation.
+    pub fn relation(&self) -> &Relation {
+        &self.inner.relation
+    }
+}
+
+impl AutonomousSource for DirectSource {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.relation.schema()
+    }
+
+    fn allows_null_binding(&self) -> bool {
+        true
+    }
+
+    fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
+        self.inner.answer(q)
+    }
+
+    fn meter(&self) -> SourceMeter {
+        *self.inner.meter.lock()
+    }
+
+    fn reset_meter(&self) {
+        *self.inner.meter.lock() = SourceMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::schema::AttrType;
+    use crate::tuple::TupleId;
+    use crate::value::Value;
+
+    fn relation() -> Relation {
+        let schema = Schema::of(
+            "cars",
+            &[
+                ("model", AttrType::Categorical),
+                ("body", AttrType::Categorical),
+            ],
+        );
+        let rows: Vec<(&str, Option<&str>)> = vec![
+            ("A4", Some("Convt")),
+            ("Z4", Some("Convt")),
+            ("Z4", None),
+            ("Civic", Some("Sedan")),
+        ];
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (m, b))| {
+                Tuple::new(
+                    TupleId(i as u32),
+                    vec![Value::str(m), b.map(Value::str).unwrap_or(Value::Null)],
+                )
+            })
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    #[test]
+    fn web_source_answers_certain_only() {
+        let src = WebSource::new("cars.com", relation());
+        let body = src.schema().expect_attr("body");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let res = src.query(&q).unwrap();
+        assert_eq!(res.len(), 2);
+        let m = src.meter();
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.tuples_returned, 2);
+        assert_eq!(m.rejected, 0);
+    }
+
+    #[test]
+    fn web_source_rejects_null_binding() {
+        let src = WebSource::new("cars.com", relation());
+        let body = src.schema().expect_attr("body");
+        let q = SelectQuery::new(vec![Predicate::is_null(body)]);
+        assert_eq!(
+            src.query(&q),
+            Err(SourceError::NullBindingUnsupported { attr: body })
+        );
+        assert_eq!(src.meter().rejected, 1);
+        assert_eq!(src.meter().queries, 0);
+    }
+
+    #[test]
+    fn web_source_rejects_unsupported_attribute() {
+        let rel = relation();
+        let model = rel.schema().expect_attr("model");
+        let body = rel.schema().expect_attr("body");
+        // Yahoo!-Autos-like source: body style not queryable.
+        let src = WebSource::new("yahoo", rel).with_queryable(&[model]);
+        assert!(src.supports(model));
+        assert!(!src.supports(body));
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        assert_eq!(
+            src.query(&q),
+            Err(SourceError::UnsupportedAttribute { attr: body })
+        );
+        // Supported attribute still works.
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Z4")]);
+        // Certain-answer count: both Z4 tuples stored, both returned
+        // (their *model* is bound and non-null).
+        assert_eq!(src.query(&q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn web_source_enforces_query_limit() {
+        let src = WebSource::new("limited", relation()).with_query_limit(2);
+        let model = src.schema().expect_attr("model");
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Z4")]);
+        assert!(src.query(&q).is_ok());
+        assert!(src.query(&q).is_ok());
+        assert_eq!(
+            src.query(&q),
+            Err(SourceError::QueryLimitExceeded { limit: 2 })
+        );
+        src.reset_meter();
+        assert!(src.query(&q).is_ok());
+    }
+
+    #[test]
+    fn direct_source_allows_null_binding() {
+        let src = DirectSource::new("oracle", relation());
+        assert!(src.allows_null_binding());
+        let body = src.schema().expect_attr("body");
+        let q = SelectQuery::new(vec![Predicate::is_null(body)]);
+        let res = src.query(&q).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id(), TupleId(2));
+    }
+
+    #[test]
+    fn sources_are_safely_shareable_across_threads() {
+        // The mediator may fan queries out; meters and lazy indexes sit
+        // behind locks, so concurrent querying must be linearizable.
+        let src = std::sync::Arc::new(WebSource::new("cars.com", relation()));
+        let model = src.schema().expect_attr("model");
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let src = std::sync::Arc::clone(&src);
+            handles.push(std::thread::spawn(move || {
+                let q = SelectQuery::new(vec![Predicate::eq(model, "Z4")]);
+                let mut tuples = 0;
+                for _ in 0..50 {
+                    tuples += src.query(&q).unwrap().len();
+                }
+                tuples
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 8 * 50 * 2); // two Z4 rows per query
+        let m = src.meter();
+        assert_eq!(m.queries, 400);
+        assert_eq!(m.tuples_returned, 800);
+    }
+
+    #[test]
+    fn meters_accumulate_and_reset() {
+        let src = DirectSource::new("oracle", relation());
+        let q = SelectQuery::all();
+        src.query(&q).unwrap();
+        src.query(&q).unwrap();
+        let m = src.meter();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.tuples_returned, 8);
+        src.reset_meter();
+        assert_eq!(src.meter(), SourceMeter::default());
+    }
+}

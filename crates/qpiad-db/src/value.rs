@@ -1,0 +1,216 @@
+//! Nullable attribute values.
+//!
+//! A [`Value`] is either `Null` (a missing value, written `null` in the
+//! paper), a 64-bit integer, or an interned string. Strings are stored as
+//! `Arc<str>` so that cloning a value — which happens constantly when tuples
+//! flow between sources, the mediator, and classifiers — is a reference-count
+//! bump rather than an allocation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value of an incomplete tuple.
+///
+/// `Null` models the web-database "missing value". Certain-answer semantics
+/// (see [`crate::query`]) treat `Null` as *failing* every bound predicate:
+/// a tuple with `Make = Null` is not a certain answer to `Make = Honda`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A missing value.
+    Null,
+    /// An integer value (years, prices, mileages, ages, ...).
+    Int(i64),
+    /// A categorical string value (makes, models, body styles, ...).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value, interning the given text.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns `true` iff the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A discriminant rank used to give `Value` a total order across
+    /// variants: `Null < Int < Str`.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Str(s) => s.as_bytes().hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(3).is_null());
+        assert!(!Value::str("x").is_null());
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Value::str("Honda"), Value::str("Honda"));
+        assert_ne!(Value::str("Honda"), Value::str("Toyota"));
+        assert_eq!(Value::int(7), Value::int(7));
+        assert_ne!(Value::int(7), Value::int(8));
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::int(0));
+        assert_ne!(Value::str("7"), Value::int(7));
+    }
+
+    #[test]
+    fn ordering_is_total_with_null_first() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(10),
+            Value::Null,
+            Value::str("a"),
+            Value::int(-2),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::int(-2),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        assert_eq!(hash_of(&Value::str("Civic")), hash_of(&Value::str("Civic")));
+        assert_eq!(hash_of(&Value::int(2001)), hash_of(&Value::int(2001)));
+        // Different variants with "same" payload must not collide by design.
+        assert_ne!(hash_of(&Value::Null), hash_of(&Value::int(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("Convt").to_string(), "Convt");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::int(5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::str("z").as_str(), Some("z"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::int(1).as_str(), None);
+    }
+}

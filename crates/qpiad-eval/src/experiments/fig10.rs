@@ -1,0 +1,121 @@
+//! Figure 10 — robustness of rewriting quality to the training-sample size
+//! (3%, 5%, 10%, 15%), on `σ[Body Style = Convt]`.
+//!
+//! Statistics are re-mined per sample size; the figure plots accumulated
+//! precision after each issued rewritten query. The expected shape: all
+//! four curves live in a narrow band — quality does not collapse at 3%.
+
+use qpiad_core::mediator::QpiadConfig;
+use qpiad_data::sample::uniform_sample;
+use qpiad_db::{Predicate, SelectQuery};
+use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+
+use crate::report::{Report, Series};
+
+use super::common::{cars_world, Scale};
+
+/// The sample fractions the paper sweeps.
+pub const SAMPLE_SIZES: [f64; 4] = [0.03, 0.05, 0.10, 0.15];
+
+/// Runs the experiment on the Cars dataset.
+pub fn run(scale: &Scale) -> Report {
+    let world = cars_world(scale);
+    let body = world.ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    run_on(scale, &world, query, "figure10", "Cars, body_style=Convt")
+}
+
+/// The census variant the paper reports "a similar result" for ([17]).
+pub fn run_census(scale: &Scale) -> Report {
+    let world = super::common::census_world(scale);
+    let rel = world.ed.schema().expect_attr("relationship");
+    let query = SelectQuery::new(vec![Predicate::eq(rel, "Own-child")]);
+    run_on(scale, &world, query, "figure10census", "Census, relationship=Own-child")
+}
+
+fn run_on(
+    scale: &Scale,
+    world: &super::common::World,
+    query: SelectQuery,
+    id: &str,
+    label: &str,
+) -> Report {
+    let oracle = world.oracle();
+    let relevant = oracle.relevant_possible(&query);
+
+    let mut report = Report::new(
+        id,
+        format!("Figure 10: accumulated precision per issued query, by sample size ({label})"),
+        "Kth rewritten query",
+        "accumulated precision",
+    );
+    for frac in SAMPLE_SIZES {
+        let sample = uniform_sample(&world.ed, frac, scale.seed.wrapping_add(900));
+        let stats = SourceStats::mine(&sample, world.ed.len(), &MiningConfig::default());
+        let qpiad = qpiad_core::mediator::Qpiad::new(
+            stats,
+            QpiadConfig::default().with_k(60).with_alpha(1.0),
+        );
+        let source = world.web_source("cars.com");
+        let answers = qpiad.answer(&source, &query).expect("query accepted");
+
+        // Accumulated precision after each issued query.
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut per_query: Vec<(usize, usize)> = vec![(0, 0); answers.issued.len()];
+        for a in &answers.possible {
+            per_query[a.query_index].0 += 1;
+            if relevant.contains(&a.tuple.id()) {
+                per_query[a.query_index].1 += 1;
+            }
+        }
+        let mut points = Vec::new();
+        for (i, (n, h)) in per_query.iter().enumerate() {
+            total += n;
+            hits += h;
+            if total > 0 {
+                points.push(((i + 1) as f64, hits as f64 / total as f64));
+            }
+        }
+        report.push_series(Series::new(format!("{}% sample", (frac * 100.0) as u32), points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_robust_across_sample_sizes() {
+        // A 3% sample must still contain a few hundred rows (as in the
+        // paper, where 3% of ~50k ≈ 1.5k) or the 126-value model column is
+        // indistinguishable from a key.
+        let scale = Scale { cars_rows: 12_000, ..Scale::quick() };
+        let report = run(&scale);
+        assert_eq!(report.series.len(), 4);
+        // Compare the curves over a shared early prefix (the tail of every
+        // curve decays toward the base rate once the good rewritten queries
+        // are exhausted — the paper's robustness claim is about the band
+        // the curves share, not the tail).
+        let prefix = report
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .min()
+            .unwrap()
+            .min(10);
+        assert!(prefix >= 3, "curves too short: {prefix}");
+        let early_avg: Vec<f64> = report
+            .series
+            .iter()
+            .map(|s| s.points[..prefix].iter().map(|p| p.y).sum::<f64>() / prefix as f64)
+            .collect();
+        for (s, f) in report.series.iter().zip(&early_avg) {
+            assert!(*f > 0.35, "{}: early precision {f}", s.name);
+        }
+        let min = early_avg.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = early_avg.iter().copied().fold(0.0, f64::max);
+        assert!(max - min < 0.4, "band too wide: {min}..{max}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 7 — average accumulated precision after the K-th retrieved tuple
+//! over 10 Price queries, QPIAD vs AllReturned.
+
+use qpiad_db::{Predicate, SelectQuery, Value};
+
+use crate::report::Report;
+
+use super::common::{cars_world, Scale, World};
+use super::fig6::accumulated_report;
+
+const MAX_K: usize = 200;
+
+/// The 10 most populous price points become the evaluation queries.
+pub fn queries(world: &World) -> Vec<SelectQuery> {
+    let price = world.ed.schema().expect_attr("price");
+    let mut by_count: Vec<(usize, Value)> = world
+        .ed
+        .active_domain(price)
+        .into_iter()
+        .map(|v| {
+            let q = SelectQuery::new(vec![Predicate::eq(price, v.clone())]);
+            (world.ed.count(&q), v)
+        })
+        .collect();
+    by_count.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    by_count
+        .into_iter()
+        .take(10)
+        .map(|(_, v)| SelectQuery::new(vec![Predicate::eq(price, v)]))
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let world = cars_world(scale);
+    let qs = queries(&world);
+    accumulated_report(
+        "figure7",
+        "Figure 7: avg accumulated precision after Kth tuple (price queries)",
+        &world,
+        &qs,
+        MAX_K,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_queries_are_populous_and_distinct() {
+        let world = cars_world(&Scale::quick());
+        let qs = queries(&world);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert!(world.ed.count(q) > 10);
+        }
+    }
+
+    #[test]
+    fn qpiad_beats_all_returned_on_price() {
+        let report = run(&Scale::quick());
+        let avg = |name: &str| {
+            let s = report.series_named(name).unwrap();
+            s.points.iter().map(|p| p.y).sum::<f64>() / s.points.len().max(1) as f64
+        };
+        assert!(
+            avg("QPIAD") > avg("AllReturned"),
+            "QPIAD {} vs AllReturned {}",
+            avg("QPIAD"),
+            avg("AllReturned")
+        );
+    }
+}

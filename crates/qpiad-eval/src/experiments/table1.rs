@@ -1,0 +1,114 @@
+//! Table 1 — statistics on missing values in web databases.
+//!
+//! The paper probes three live sources (AutoTrader, CarsDirect, Google
+//! Base) and reports the fraction of incomplete tuples plus the missing
+//! fraction of two attributes. We rebuild three synthetic sources whose
+//! incompleteness is *calibrated to the paper's measurements* and report
+//! the same statistics, as measured from a random probe of each source —
+//! verifying that the corruption machinery and the probe-side measurement
+//! reproduce the configured regime.
+//!
+//! Attribute substitution: our Cars schema has no `Engine` column; we track
+//! `body_style` (as the paper does) and `mileage` in place of `Engine`.
+
+use qpiad_data::cars::CarsConfig;
+use qpiad_data::corrupt::corrupt_per_attribute;
+use qpiad_db::Relation;
+
+use crate::report::{Report, Series};
+
+use super::common::Scale;
+
+/// Per-source calibration targets from the paper's Table 1.
+struct SourceSpec {
+    name: &'static str,
+    /// Target missing fraction of `body_style`.
+    body: f64,
+    /// Target missing fraction of `mileage` (stand-in for `Engine`).
+    engine: f64,
+    /// Extra uniform noise on the remaining attributes, chosen so the
+    /// overall incomplete-tuple fraction lands near the paper's figure.
+    other: f64,
+}
+
+const SOURCES: [SourceSpec; 3] = [
+    // AutoTrader: 33.67% incomplete, Body 3.6%, Engine 8.1%.
+    SourceSpec { name: "autotrader-like", body: 0.036, engine: 0.081, other: 0.055 },
+    // CarsDirect: 98.74% incomplete, Body 55.7%, Engine 55.8%.
+    SourceSpec { name: "carsdirect-like", body: 0.557, engine: 0.558, other: 0.45 },
+    // Google Base: 100% incomplete, Body 83.36%, Engine 91.98%.
+    SourceSpec { name: "googlebase-like", body: 0.8336, engine: 0.9198, other: 0.65 },
+];
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Report {
+    let ground = CarsConfig::default()
+        .with_rows(scale.cars_rows)
+        .generate(scale.seed.wrapping_add(100));
+    let body = ground.schema().expect_attr("body_style");
+    let mileage = ground.schema().expect_attr("mileage");
+
+    let mut report = Report::new(
+        "table1",
+        "Table 1: statistics on missing values in web databases",
+        "metric (0=incomplete%, 1=body%, 2=engine%)",
+        "fraction",
+    );
+    report.note("Paper targets — autotrader: 33.67/3.6/8.1, carsdirect: 98.74/55.7/55.8, googlebase: 100/83.36/91.98 (%).".to_string());
+    report.note("`mileage` stands in for the paper's `Engine` attribute.".to_string());
+
+    for (i, spec) in SOURCES.iter().enumerate() {
+        let probs: Vec<(qpiad_db::AttrId, f64)> = ground
+            .schema()
+            .attr_ids()
+            .map(|a| {
+                if a == body {
+                    (a, spec.body)
+                } else if a == mileage {
+                    (a, spec.engine)
+                } else {
+                    (a, spec.other)
+                }
+            })
+            .collect();
+        let (ed, _) = corrupt_per_attribute(&ground, &probs, scale.seed.wrapping_add(i as u64));
+        let stats = measure(&ed);
+        report.push_series(Series::new(
+            spec.name,
+            vec![
+                (0.0, stats.0),
+                (1.0, stats.1[body.index()]),
+                (2.0, stats.1[mileage.index()]),
+            ],
+        ));
+    }
+    report
+}
+
+fn measure(ed: &Relation) -> (f64, Vec<f64>) {
+    let s = ed.incompleteness();
+    (s.incomplete_fraction, s.missing_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_targets() {
+        let report = run(&Scale::quick());
+        assert_eq!(report.series.len(), 3);
+        let get = |name: &str, idx: usize| {
+            report.series_named(name).unwrap().points[idx].y
+        };
+        // AutoTrader-like: roughly a third incomplete, body ≈ 3.6%.
+        assert!((get("autotrader-like", 0) - 0.3367).abs() < 0.05);
+        assert!((get("autotrader-like", 1) - 0.036).abs() < 0.02);
+        // CarsDirect-like: nearly every tuple incomplete.
+        assert!(get("carsdirect-like", 0) > 0.95);
+        assert!((get("carsdirect-like", 1) - 0.557).abs() < 0.05);
+        // GoogleBase-like: total incompleteness, engine ≈ 92%.
+        assert!(get("googlebase-like", 0) > 0.99);
+        assert!((get("googlebase-like", 2) - 0.9198).abs() < 0.05);
+    }
+}

@@ -1,0 +1,36 @@
+//! Evaluation harness for the QPIAD reproduction (paper §6).
+//!
+//! * [`truth`] — the ground-truth oracle: given the complete dataset (GD)
+//!   and its corrupted experimental twin (ED), decides which possible
+//!   answers are *relevant* to a query and how many relevant possible
+//!   answers exist (the recall denominator).
+//! * [`metrics`] — precision/recall curves, accumulated precision after the
+//!   K-th tuple, and retrieval-cost-vs-recall summaries.
+//! * [`report`] — a typed experiment report (series of points plus notes)
+//!   rendered as aligned text tables and JSON.
+//! * [`experiments`] — one module per table/figure of §6, each regenerating
+//!   the paper's rows/series on the synthetic stand-in datasets:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table 1 — missing-value statistics |
+//! | [`experiments::table3`] | Table 3 — classifier prediction accuracy |
+//! | [`experiments::fig3`]   | Figure 3 — P/R, QPIAD vs AllReturned (Cars) |
+//! | [`experiments::fig4`]   | Figure 4 — P/R, QPIAD vs AllReturned (Census) |
+//! | [`experiments::fig5`]   | Figure 5 — effect of α on P/R |
+//! | [`experiments::fig6`]   | Figure 6 — accumulated precision (body/mileage) |
+//! | [`experiments::fig7`]   | Figure 7 — accumulated precision (price) |
+//! | [`experiments::fig8`]   | Figure 8 — tuples retrieved vs recall |
+//! | [`experiments::fig9`]   | Figure 9 — precision vs confidence threshold |
+//! | [`experiments::fig10`]  | Figure 10 — robustness to sample size |
+//! | [`experiments::fig11`]  | Figure 11 — correlated sources |
+//! | [`experiments::fig12`]  | Figure 12 — aggregate accuracy |
+//! | [`experiments::fig13`]  | Figure 13 — join queries |
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod truth;
+
+pub use report::{Point, Report, Series};
+pub use truth::Oracle;

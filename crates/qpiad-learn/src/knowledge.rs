@@ -1,0 +1,252 @@
+//! The mined knowledge bundle the mediator holds per source.
+//!
+//! [`SourceStats::mine`] runs the full §5 pipeline — TANE discovery, AKey
+//! pruning, classifier training, selectivity estimation — over a sample and
+//! packages the results for the query rewriter.
+
+use std::sync::Arc;
+
+use qpiad_db::{AttrId, Relation, Schema};
+
+use crate::afd::{prune_afds, AKey, AfdSet};
+use crate::selectivity::SelectivityEstimator;
+use crate::strategy::{FeatureStrategy, ValuePredictor};
+use crate::tane::{discover, TaneConfig};
+
+/// Knobs of the mining pipeline, with the paper's defaults.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MiningConfig {
+    /// TANE search parameters (β, max lhs size, minimality).
+    pub tane: TaneConfig,
+    /// AKey pruning threshold δ (paper: 0.3).
+    pub akey_prune_delta: f64,
+    /// Minimum AKey confidence for the pruning rule to apply.
+    pub akey_min_conf: f64,
+    /// Classifier feature-selection strategy (paper adopts Hybrid One-AFD).
+    pub strategy: FeatureStrategy,
+    /// m-estimate smoothing weight.
+    pub m_estimate: f64,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            tane: TaneConfig::default(),
+            akey_prune_delta: 0.3,
+            akey_min_conf: 0.8,
+            strategy: FeatureStrategy::default(),
+            m_estimate: 1.0,
+        }
+    }
+}
+
+impl MiningConfig {
+    /// Overrides the classifier strategy.
+    pub fn with_strategy(mut self, strategy: FeatureStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Disables AKey pruning — both the post-hoc δ-rule and TANE's in-search
+    /// near-key suppression (ablation).
+    pub fn without_akey_pruning(mut self) -> Self {
+        self.akey_prune_delta = 0.0;
+        self.akey_min_conf = f64::INFINITY;
+        self.tane.near_key_conf = f64::INFINITY;
+        self
+    }
+}
+
+/// Everything QPIAD learned about one source.
+#[derive(Debug, Clone)]
+pub struct SourceStats {
+    schema: Arc<Schema>,
+    afds: AfdSet,
+    akeys: Vec<AKey>,
+    predictor: ValuePredictor,
+    selectivity: SelectivityEstimator,
+}
+
+impl SourceStats {
+    /// Runs the §5 pipeline on a sample of a database with `db_size` tuples.
+    pub fn mine(sample: &Relation, db_size: usize, config: &MiningConfig) -> Self {
+        let selectivity = SelectivityEstimator::from_db_size(sample.clone(), db_size);
+        Self::mine_with_estimator(sample, selectivity, config)
+    }
+
+    /// Like [`Self::mine`], but with externally estimated `SmplRatio` and
+    /// `PerInc` (from a probing run, see `qpiad_data::sample::probe_sample`).
+    pub fn mine_probed(
+        sample: &Relation,
+        smpl_ratio: f64,
+        per_inc: f64,
+        config: &MiningConfig,
+    ) -> Self {
+        let selectivity = SelectivityEstimator::new(sample.clone(), smpl_ratio, per_inc);
+        Self::mine_with_estimator(sample, selectivity, config)
+    }
+
+    fn mine_with_estimator(
+        sample: &Relation,
+        selectivity: SelectivityEstimator,
+        config: &MiningConfig,
+    ) -> Self {
+        let tane_result = discover(sample, &config.tane);
+        let pruned = prune_afds(
+            tane_result.afds.clone(),
+            |lhs| tane_result.akey_confidence(lhs),
+            config.akey_prune_delta,
+            config.akey_min_conf,
+        );
+        let afds = AfdSet::new(pruned);
+        let predictor = ValuePredictor::train(sample, &afds, config.strategy, config.m_estimate);
+        SourceStats {
+            schema: sample.schema().clone(),
+            afds,
+            akeys: tane_result.akeys,
+            predictor,
+            selectivity,
+        }
+    }
+
+    /// The source's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The pruned AFD set.
+    pub fn afds(&self) -> &AfdSet {
+        &self.afds
+    }
+
+    /// Discovered approximate keys.
+    pub fn akeys(&self) -> &[AKey] {
+        &self.akeys
+    }
+
+    /// The per-attribute value predictors.
+    pub fn predictor(&self) -> &ValuePredictor {
+        &self.predictor
+    }
+
+    /// The selectivity estimator.
+    pub fn selectivity(&self) -> &SelectivityEstimator {
+        &self.selectivity
+    }
+
+    /// The determining set for an attribute, from its best (pruned) AFD.
+    pub fn determining_set(&self, attr: AttrId) -> Option<&[AttrId]> {
+        self.afds.best(attr).map(|afd| afd.lhs.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_data::cars::CarsConfig;
+    use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+    use qpiad_data::sample::uniform_sample;
+    use qpiad_db::{Predicate, SelectQuery, Tuple, TupleId, Value};
+
+    fn mined() -> (Relation, SourceStats) {
+        let ground = CarsConfig::default().with_rows(8_000).generate(21);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.10, 3);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        (ed, stats)
+    }
+
+    #[test]
+    fn mines_model_as_determining_set_of_body_style() {
+        let (ed, stats) = mined();
+        let model = ed.schema().expect_attr("model");
+        let body = ed.schema().expect_attr("body_style");
+        let dtr = stats.determining_set(body).expect("AFD for body_style");
+        assert!(
+            dtr.contains(&model),
+            "determining set of body_style should include model, got {dtr:?}"
+        );
+        let best = stats.afds().best(body).unwrap();
+        assert!(
+            (0.75..0.999).contains(&best.confidence),
+            "confidence {}",
+            best.confidence
+        );
+    }
+
+    #[test]
+    fn model_to_make_is_near_exact() {
+        let (ed, stats) = mined();
+        let make = ed.schema().expect_attr("make");
+        let best = stats.afds().best(make).expect("AFD for make");
+        assert!(best.confidence > 0.97, "confidence {}", best.confidence);
+    }
+
+    #[test]
+    fn predictor_fills_missing_body_style() {
+        let (ed, stats) = mined();
+        let body = ed.schema().expect_attr("body_style");
+        let model = ed.schema().expect_attr("model");
+        // A tuple whose model is Z4 with missing body style.
+        let mut values = vec![Value::Null; ed.schema().arity()];
+        values[model.index()] = Value::str("Z4");
+        let t = Tuple::new(TupleId(0), values);
+        let (v, p) = stats.predictor().predict(body, &t).unwrap();
+        assert_eq!(v, Value::str("Convt"));
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn selectivity_tracks_reality() {
+        let (ed, stats) = mined();
+        let model = ed.schema().expect_attr("model");
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Civic")]);
+        let est = stats.selectivity().estimate_result_size(&q);
+        let real = ed.count(&q) as f64;
+        assert!(
+            (est - real).abs() / real < 0.5,
+            "estimate {est} too far from real {real}"
+        );
+    }
+
+    #[test]
+    fn explanation_available_for_afd_backed_attrs() {
+        let (ed, stats) = mined();
+        let body = ed.schema().expect_attr("body_style");
+        let afd = stats.predictor().explanation(body).expect("explanation");
+        assert_eq!(afd.rhs, body);
+    }
+
+    #[test]
+    fn mining_empty_and_tiny_samples_is_safe() {
+        use qpiad_db::Relation;
+        let schema = qpiad_data::cars::cars_schema();
+        // Empty sample: no AFDs, empty predictions, zero estimates.
+        let empty = Relation::empty(schema.clone());
+        let stats = SourceStats::mine(&empty, 1_000, &MiningConfig::default());
+        assert!(stats.afds().is_empty());
+        let t = Tuple::new(TupleId(0), vec![Value::Null; schema.arity()]);
+        let body = schema.expect_attr("body_style");
+        assert!(stats.predictor().predict(body, &t).is_none());
+        assert_eq!(stats.selectivity().estimate(&SelectQuery::all()), 0.0);
+
+        // One-row sample: everything is a (near-)key; no usable AFDs, but
+        // nothing panics and the pipeline stays consistent.
+        let ground = CarsConfig::default().with_rows(1).generate(1);
+        let stats = SourceStats::mine(&ground, 1_000, &MiningConfig::default());
+        let _ = stats.predictor().predict(body, &t);
+    }
+
+    #[test]
+    fn akey_pruning_can_be_disabled() {
+        let ground = CarsConfig::default().with_rows(4_000).generate(22);
+        let sample = uniform_sample(&ground, 0.10, 4);
+        let with = SourceStats::mine(&sample, ground.len(), &MiningConfig::default());
+        let without = SourceStats::mine(
+            &sample,
+            ground.len(),
+            &MiningConfig::default().without_akey_pruning(),
+        );
+        assert!(without.afds().len() >= with.afds().len());
+    }
+}

@@ -1,0 +1,43 @@
+//! Statistics mining for QPIAD (paper §5).
+//!
+//! QPIAD needs three kinds of learned knowledge per autonomous source, all
+//! mined off-line from a small probed sample:
+//!
+//! 1. **Attribute correlations** as Approximate Functional Dependencies —
+//!    [`tane`] implements a TANE-style levelwise search over stripped
+//!    partitions ([`partition`]) using the `g3` error measure of Kivinen &
+//!    Mannila, and [`afd`] implements the paper's AKey-based pruning rule
+//!    (§5.1).
+//! 2. **Value distributions** as AFD-enhanced Naïve Bayes classifiers —
+//!    [`nbc`] implements NBC with m-estimate smoothing, and [`strategy`]
+//!    implements the feature-selection strategies of §5.3 (Best-AFD,
+//!    Hybrid One-AFD, Ensemble, All-Attributes).
+//! 3. **Query selectivity** — [`selectivity`] implements the
+//!    `SmplSel · SmplRatio · PerInc` estimator of §5.4.
+//!
+//! [`persist`] snapshots mined knowledge as JSON (the knowledge-mining
+//! module runs offline; a deployed mediator caches its artifacts), and
+//! [`assoc`] provides the association-rule imputation baseline the paper
+//! compares classifiers against (§6.5), [`tree`] adds an ID3-style decision
+//! tree and [`tan`] a Chow–Liu tree-augmented Naïve Bayes (the restricted
+//! Bayes network the paper benchmarked via WEKA) as further comparators, and [`knowledge`] bundles everything
+//! into the [`knowledge::SourceStats`] artifact the mediator holds per
+//! source.
+
+pub mod afd;
+pub mod assoc;
+pub mod knowledge;
+pub mod nbc;
+pub mod partition;
+pub mod persist;
+pub mod selectivity;
+pub mod strategy;
+pub mod tan;
+pub mod tane;
+pub mod tree;
+
+pub use afd::{AKey, Afd, AfdSet};
+pub use knowledge::{MiningConfig, SourceStats};
+pub use nbc::NaiveBayes;
+pub use selectivity::SelectivityEstimator;
+pub use strategy::{FeatureStrategy, ValuePredictor};

@@ -1,0 +1,360 @@
+//! Naïve Bayes classification with m-estimate smoothing (§5.2).
+//!
+//! Given a tuple with a null on attribute `Am` and the values `x` of a
+//! feature set (typically `dtrSet(Am)` from the best AFD), the classifier
+//! estimates `P(Am = v | x) ∝ P(Am = v) · Π_i P(x_i | Am = v)` with
+//! per-feature m-estimates `P(x|c) = (n_xc + m·p) / (n_c + m)`, `p = 1/|V|`
+//! (Mitchell [23]). Null feature values are skipped at prediction time —
+//! they carry no evidence.
+
+use std::collections::HashMap;
+
+use qpiad_db::{AttrId, PredOp, Relation, Tuple, Value};
+
+/// A trained Naïve Bayes classifier for one target attribute.
+///
+/// ```
+/// use qpiad_db::{AttrType, Relation, Schema, Tuple, TupleId, Value};
+/// use qpiad_learn::nbc::NaiveBayes;
+///
+/// let schema = Schema::of("cars", &[
+///     ("model", AttrType::Categorical),
+///     ("body", AttrType::Categorical),
+/// ]);
+/// let model = schema.expect_attr("model");
+/// let body = schema.expect_attr("body");
+/// let rows = [("Z4", "Convt"), ("Z4", "Convt"), ("A4", "Sedan")];
+/// let tuples = rows.iter().enumerate().map(|(i, (m, b))| {
+///     Tuple::new(TupleId(i as u32), vec![Value::str(*m), Value::str(*b)])
+/// }).collect();
+/// let sample = Relation::new(schema, tuples);
+///
+/// let nbc = NaiveBayes::train(&sample, body, vec![model], 1.0);
+/// let probe = Tuple::new(TupleId(9), vec![Value::str("Z4"), Value::Null]);
+/// let (value, p) = nbc.predict(&probe).unwrap();
+/// assert_eq!(value, Value::str("Convt"));
+/// assert!(p > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    target: AttrId,
+    features: Vec<AttrId>,
+    /// Class values, in a stable order.
+    classes: Vec<Value>,
+    class_index: HashMap<Value, usize>,
+    /// `n_c` per class.
+    class_counts: Vec<f64>,
+    total: f64,
+    /// Per feature: value → per-class counts `n_xc`.
+    cond: Vec<HashMap<Value, Vec<f64>>>,
+    /// Per feature: observed domain size `|V|`.
+    domain_size: Vec<usize>,
+    /// The m-estimate weight.
+    m: f64,
+}
+
+impl NaiveBayes {
+    /// Trains a classifier for `target` using `features`, from all sample
+    /// tuples whose target value is non-null.
+    pub fn train(sample: &Relation, target: AttrId, features: Vec<AttrId>, m: f64) -> Self {
+        assert!(m >= 0.0, "m-estimate weight must be non-negative");
+        assert!(!features.contains(&target), "target cannot be a feature");
+
+        let mut classes: Vec<Value> = Vec::new();
+        let mut class_index: HashMap<Value, usize> = HashMap::new();
+        for t in sample.tuples() {
+            let v = t.value(target);
+            if !v.is_null() && !class_index.contains_key(v) {
+                class_index.insert(v.clone(), classes.len());
+                classes.push(v.clone());
+            }
+        }
+
+        let mut class_counts = vec![0f64; classes.len()];
+        let mut cond: Vec<HashMap<Value, Vec<f64>>> =
+            features.iter().map(|_| HashMap::new()).collect();
+        let mut total = 0f64;
+        for t in sample.tuples() {
+            let target_v = t.value(target);
+            let Some(&c) = class_index.get(target_v) else {
+                continue; // null target: not a training example
+            };
+            total += 1.0;
+            class_counts[c] += 1.0;
+            for (fi, f) in features.iter().enumerate() {
+                let fv = t.value(*f);
+                if fv.is_null() {
+                    continue;
+                }
+                cond[fi]
+                    .entry(fv.clone())
+                    .or_insert_with(|| vec![0f64; classes.len()])[c] += 1.0;
+            }
+        }
+        let domain_size = cond.iter().map(|map| map.len().max(1)).collect();
+        NaiveBayes {
+            target,
+            features,
+            classes,
+            class_index,
+            class_counts,
+            total,
+            cond,
+            domain_size,
+            m,
+        }
+    }
+
+    /// The target attribute.
+    pub fn target(&self) -> AttrId {
+        self.target
+    }
+
+    /// The feature attributes.
+    pub fn features(&self) -> &[AttrId] {
+        &self.features
+    }
+
+    /// The class values (the target's observed domain).
+    pub fn classes(&self) -> &[Value] {
+        &self.classes
+    }
+
+    /// Posterior distribution over the target's classes given a tuple;
+    /// null features are skipped. The result sums to 1 (uniform when the
+    /// classifier saw no training data).
+    pub fn distribution(&self, tuple: &Tuple) -> Vec<(Value, f64)> {
+        let feature_values: Vec<&Value> =
+            self.features.iter().map(|f| tuple.value(*f)).collect();
+        self.distribution_of(&feature_values)
+    }
+
+    /// Posterior distribution from explicit feature values (in the order of
+    /// [`Self::features`]).
+    pub fn distribution_of(&self, feature_values: &[&Value]) -> Vec<(Value, f64)> {
+        assert_eq!(feature_values.len(), self.features.len());
+        let k = self.classes.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        if self.total == 0.0 {
+            let u = 1.0 / k as f64;
+            return self.classes.iter().map(|c| (c.clone(), u)).collect();
+        }
+
+        let mut log_scores = vec![0f64; k];
+        for (c, score) in log_scores.iter_mut().enumerate() {
+            // Smoothed prior.
+            *score = ((self.class_counts[c] + 1.0) / (self.total + k as f64)).ln();
+        }
+        for (fi, fv) in feature_values.iter().enumerate() {
+            if fv.is_null() {
+                continue;
+            }
+            let p_uniform = 1.0 / self.domain_size[fi] as f64;
+            let counts = self.cond[fi].get(*fv);
+            for (c, score) in log_scores.iter_mut().enumerate() {
+                let n_xc = counts.map(|v| v[c]).unwrap_or(0.0);
+                let p = (n_xc + self.m * p_uniform) / (self.class_counts[c] + self.m);
+                // With m = 0 and unseen pairs the likelihood is 0; clamp to
+                // keep log-space finite and let normalization handle it.
+                *score += p.max(1e-300).ln();
+            }
+        }
+        // Normalize via log-sum-exp.
+        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut exp: Vec<f64> = log_scores.iter().map(|s| (s - max).exp()).collect();
+        let sum: f64 = exp.iter().sum();
+        for e in &mut exp {
+            *e /= sum;
+        }
+        self.classes
+            .iter()
+            .cloned()
+            .zip(exp)
+            .collect()
+    }
+
+    /// The most likely class for a tuple, with its probability.
+    pub fn predict(&self, tuple: &Tuple) -> Option<(Value, f64)> {
+        self.distribution(tuple)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Probability that the (missing) target value satisfies the given
+    /// predicate operator: `Σ_{v ⊨ op} P(Am = v | tuple)`.
+    pub fn prob_matching(&self, tuple: &Tuple, op: &PredOp) -> f64 {
+        self.distribution(tuple)
+            .into_iter()
+            .filter(|(v, _)| op.matches(v))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// `P(Am = value | tuple)` (0 for classes never observed).
+    pub fn prob_of(&self, tuple: &Tuple, value: &Value) -> f64 {
+        match self.class_index.get(value) {
+            Some(_) => self
+                .distribution(tuple)
+                .into_iter()
+                .find(|(v, _)| v == value)
+                .map(|(_, p)| p)
+                .unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_db::{AttrType, Schema, TupleId};
+
+    /// model → body fixture: Z4 is usually Convt, A4 usually Sedan.
+    fn sample() -> Relation {
+        let schema = Schema::of(
+            "cars",
+            &[("model", AttrType::Categorical), ("body", AttrType::Categorical)],
+        );
+        let rows = [
+            ("Z4", "Convt"),
+            ("Z4", "Convt"),
+            ("Z4", "Convt"),
+            ("Z4", "Coupe"),
+            ("A4", "Sedan"),
+            ("A4", "Sedan"),
+            ("A4", "Convt"),
+            ("A4", "Sedan"),
+        ];
+        let tuples = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (m, b))| {
+                Tuple::new(TupleId(i as u32), vec![Value::str(m), Value::str(b)])
+            })
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    fn probe(model: &str) -> Tuple {
+        Tuple::new(TupleId(99), vec![Value::str(model), Value::Null])
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let d = nbc.distribution(&probe("Z4"));
+        let sum: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(d.len(), 3); // Convt, Coupe, Sedan
+    }
+
+    #[test]
+    fn matches_hand_computed_bayes() {
+        // Without smoothing (m = 0), P(Convt | Z4) by Bayes:
+        // P(Z4|Convt) = 3/4, P(Convt) prior smoothed... use m=0 and raw
+        // prior verified through ratios instead: posterior odds
+        // Convt:Coupe:Sedan for Z4 = P(Z4|c)·P(c).
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 0.0);
+        let d = nbc.distribution(&probe("Z4"));
+        let get = |name: &str| {
+            d.iter()
+                .find(|(v, _)| v == &Value::str(name))
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        // Raw counts: Convt: n=4, Z4∧Convt=3 → P(Z4|Convt)=3/4.
+        // Coupe: n=1, Z4∧Coupe=1 → 1. Sedan: n=3, Z4∧Sedan=0 → 0.
+        // Smoothed priors (Laplace on classes, total=8, k=3):
+        // Convt (4+1)/11, Coupe (1+1)/11, Sedan (3+1)/11.
+        // Scores: Convt 5/11·3/4 = 15/44, Coupe 2/11·1 = 8/44, Sedan 0.
+        let expect_convt = 15.0 / 23.0;
+        let expect_coupe = 8.0 / 23.0;
+        assert!((get("Convt") - expect_convt).abs() < 1e-9, "{}", get("Convt"));
+        assert!((get("Coupe") - expect_coupe).abs() < 1e-9);
+        assert!(get("Sedan") < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_avoids_zero_probabilities() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let d = nbc.distribution(&probe("Z4"));
+        assert!(d.iter().all(|(_, p)| *p > 0.0));
+    }
+
+    #[test]
+    fn predicts_dominant_class() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        assert_eq!(nbc.predict(&probe("Z4")).unwrap().0, Value::str("Convt"));
+        assert_eq!(nbc.predict(&probe("A4")).unwrap().0, Value::str("Sedan"));
+    }
+
+    #[test]
+    fn null_features_carry_no_evidence() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let no_evidence = Tuple::new(TupleId(0), vec![Value::Null, Value::Null]);
+        let d = nbc.distribution(&no_evidence);
+        // Falls back to the (smoothed) prior: Convt most common.
+        let best = d.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        assert_eq!(best.0, Value::str("Convt"));
+    }
+
+    #[test]
+    fn unseen_feature_value_falls_back_to_prior_shape() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let d = nbc.distribution(&probe("Boxster"));
+        let sum: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|(_, p)| *p > 0.0));
+    }
+
+    #[test]
+    fn prob_matching_sums_over_range() {
+        let schema = Schema::of(
+            "t",
+            &[("x", AttrType::Categorical), ("y", AttrType::Integer)],
+        );
+        let rows = [("a", 1i64), ("a", 2), ("a", 3), ("b", 9)];
+        let tuples = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| Tuple::new(TupleId(i as u32), vec![Value::str(x), Value::int(*y)]))
+            .collect();
+        let r = Relation::new(schema, tuples);
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 0.0);
+        let probe = Tuple::new(TupleId(9), vec![Value::str("a"), Value::Null]);
+        let p_range = nbc.prob_matching(&probe, &PredOp::Between(Value::int(1), Value::int(3)));
+        let p_eq: f64 = [1i64, 2, 3]
+            .iter()
+            .map(|v| nbc.prob_of(&probe, &Value::int(*v)))
+            .sum();
+        assert!((p_range - p_eq).abs() < 1e-9);
+        assert!(p_range > 0.9);
+    }
+
+    #[test]
+    fn prob_of_unknown_class_is_zero() {
+        let r = sample();
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        assert_eq!(nbc.prob_of(&probe("Z4"), &Value::str("Spaceship")), 0.0);
+    }
+
+    #[test]
+    fn empty_training_gives_empty_or_uniform() {
+        let schema = Schema::of(
+            "t",
+            &[("x", AttrType::Categorical), ("y", AttrType::Categorical)],
+        );
+        let r = Relation::empty(schema);
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        assert!(nbc.distribution(&probe("Z4")).is_empty());
+        assert!(nbc.predict(&probe("Z4")).is_none());
+    }
+}

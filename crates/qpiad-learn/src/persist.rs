@@ -1,0 +1,278 @@
+//! Offline persistence of mined knowledge.
+//!
+//! The paper's knowledge-mining module runs *off-line* (Figure 1): a real
+//! mediator probes each source once, mines, and then serves queries from
+//! the cached artifacts. A [`StatsSnapshot`] captures everything needed to
+//! rebuild a [`SourceStats`] — the sample itself, the §5.4 estimates
+//! (`SmplRatio`, `PerInc`) and the full [`MiningConfig`] — as JSON.
+//! Restoring re-runs the (fast, deterministic) mining pipeline, which keeps
+//! the serialized format small and version-tolerant: classifiers and AFDs
+//! are derived state, never stored.
+
+use serde::{Deserialize, Serialize};
+
+use qpiad_db::{AttrType, Relation, Schema, Tuple, TupleId, Value};
+
+use crate::knowledge::{MiningConfig, SourceStats};
+
+/// JSON-safe cell representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+enum Cell {
+    /// Missing value.
+    Null(()),
+    /// Integer value.
+    Int(i64),
+    /// Categorical value.
+    Str(String),
+}
+
+impl From<&Value> for Cell {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Null => Cell::Null(()),
+            Value::Int(i) => Cell::Int(*i),
+            Value::Str(s) => Cell::Str(s.to_string()),
+        }
+    }
+}
+
+impl From<&Cell> for Value {
+    fn from(c: &Cell) -> Self {
+        match c {
+            Cell::Null(()) => Value::Null,
+            Cell::Int(i) => Value::int(*i),
+            Cell::Str(s) => Value::str(s),
+        }
+    }
+}
+
+/// A serializable snapshot of one source's mined knowledge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute `(name, is_integer)` pairs, in schema order.
+    pub attributes: Vec<(String, bool)>,
+    /// Sample tuple ids (aligned with `rows`).
+    ids: Vec<u32>,
+    /// Sample rows.
+    rows: Vec<Vec<Cell>>,
+    /// `SmplRatio(R)`.
+    pub smpl_ratio: f64,
+    /// `PerInc(R)`.
+    pub per_inc: f64,
+    /// The mining configuration the stats were (re)built with.
+    pub config: MiningConfig,
+}
+
+/// A restore failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The JSON did not parse or did not match the snapshot shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed(e) => write!(f, "malformed stats snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl StatsSnapshot {
+    /// Captures a snapshot from mined statistics and the config that
+    /// produced them.
+    pub fn capture(stats: &SourceStats, config: &MiningConfig) -> Self {
+        let sample = stats.selectivity().sample();
+        let schema = sample.schema();
+        StatsSnapshot {
+            relation: schema.name().to_string(),
+            attributes: schema
+                .attributes()
+                .iter()
+                .map(|a| (a.name().to_string(), a.ty() == AttrType::Integer))
+                .collect(),
+            ids: sample.tuples().iter().map(|t| t.id().0).collect(),
+            rows: sample
+                .tuples()
+                .iter()
+                .map(|t| t.values().iter().map(Cell::from).collect())
+                .collect(),
+            smpl_ratio: stats.selectivity().smpl_ratio(),
+            per_inc: stats.selectivity().per_inc(),
+            config: config.clone(),
+        }
+    }
+
+    /// Rebuilds the sample relation stored in the snapshot.
+    pub fn sample(&self) -> Relation {
+        let schema = Schema::new(
+            self.relation.clone(),
+            self.attributes
+                .iter()
+                .map(|(name, is_int)| {
+                    qpiad_db::Attribute::new(
+                        name.clone(),
+                        if *is_int { AttrType::Integer } else { AttrType::Categorical },
+                    )
+                })
+                .collect(),
+        );
+        let tuples = self
+            .ids
+            .iter()
+            .zip(&self.rows)
+            .map(|(id, row)| Tuple::new(TupleId(*id), row.iter().map(Value::from).collect()))
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    /// Re-mines the statistics from the snapshot.
+    pub fn restore(&self) -> SourceStats {
+        SourceStats::mine_probed(&self.sample(), self.smpl_ratio, self.per_inc, &self.config)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parses a snapshot from JSON.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        let snapshot: StatsSnapshot =
+            serde_json::from_str(json).map_err(|e| PersistError::Malformed(e.to_string()))?;
+        for (i, row) in snapshot.rows.iter().enumerate() {
+            if row.len() != snapshot.attributes.len() {
+                return Err(PersistError::Malformed(format!(
+                    "row {i} has {} cells, schema has {} attributes",
+                    row.len(),
+                    snapshot.attributes.len()
+                )));
+            }
+        }
+        if snapshot.ids.len() != snapshot.rows.len() {
+            return Err(PersistError::Malformed(format!(
+                "{} ids for {} rows",
+                snapshot.ids.len(),
+                snapshot.rows.len()
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_data::cars::CarsConfig;
+    use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+    use qpiad_data::sample::uniform_sample;
+    use qpiad_db::AttrId;
+
+    fn mined() -> (Relation, SourceStats, MiningConfig) {
+        let ground = CarsConfig::default().with_rows(4_000).generate(71);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.10, 5);
+        let config = MiningConfig::default();
+        let stats = SourceStats::mine(&sample, ed.len(), &config);
+        (ed, stats, config)
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let (_, stats, config) = mined();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        let json = snapshot.to_json();
+        let parsed = StatsSnapshot::from_json(&json).unwrap();
+        let restored = parsed.restore();
+
+        // The restored stats are functionally identical: same AFDs...
+        assert_eq!(restored.afds().len(), stats.afds().len());
+        for attr in restored.schema().attr_ids() {
+            match (stats.afds().best(attr), restored.afds().best(attr)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.lhs, b.lhs);
+                    assert!((a.confidence - b.confidence).abs() < 1e-12);
+                }
+                (None, None) => {}
+                other => panic!("AFD mismatch for {attr}: {other:?}"),
+            }
+        }
+        // ...same selectivity parameters...
+        assert!((restored.selectivity().smpl_ratio() - stats.selectivity().smpl_ratio()).abs() < 1e-12);
+        assert!((restored.selectivity().per_inc() - stats.selectivity().per_inc()).abs() < 1e-12);
+        // ...and identical predictions.
+        let body = stats.schema().expect_attr("body_style");
+        let sample = stats.selectivity().sample();
+        for t in sample.tuples().iter().take(50) {
+            let a = stats.predictor().distribution(body, t);
+            let b = restored.predictor().distribution(body, t);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0);
+                assert!((x.1 - y.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_round_trips_exactly() {
+        let (_, stats, config) = mined();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        let rebuilt = snapshot.sample();
+        let original = stats.selectivity().sample();
+        assert_eq!(rebuilt.len(), original.len());
+        assert_eq!(rebuilt.tuples(), original.tuples());
+        assert_eq!(rebuilt.schema().name(), original.schema().name());
+        for a in original.schema().attr_ids() {
+            assert_eq!(
+                rebuilt.schema().attr(a).ty(),
+                original.schema().attr(a).ty()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            StatsSnapshot::from_json("{not json"),
+            Err(PersistError::Malformed(_))
+        ));
+        assert!(matches!(
+            StatsSnapshot::from_json("{\"relation\": 3}"),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn row_arity_is_validated() {
+        let (_, stats, config) = mined();
+        let mut snapshot = StatsSnapshot::capture(&stats, &config);
+        snapshot.rows[0].pop();
+        let json = snapshot.to_json();
+        assert!(matches!(
+            StatsSnapshot::from_json(&json),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cell_encoding_distinguishes_types() {
+        let cells = [
+            Cell::from(&Value::Null),
+            Cell::from(&Value::int(42)),
+            Cell::from(&Value::str("42")),
+        ];
+        let json = serde_json::to_string(&cells).unwrap();
+        let back: Vec<Cell> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cells);
+        assert_eq!(Value::from(&back[0]), Value::Null);
+        assert_eq!(Value::from(&back[1]), Value::int(42));
+        assert_eq!(Value::from(&back[2]), Value::str("42"));
+        let _ = AttrId(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,317 @@
+//! AFD-enhanced classifier combination strategies (§5.3).
+//!
+//! One attribute may have several mined AFDs with different determining
+//! sets. The paper evaluates four ways of combining AFDs and classifiers
+//! and adopts **Hybrid One-AFD**:
+//!
+//! * [`FeatureStrategy::BestAfd`] — use the determining set of the
+//!   highest-confidence AFD as the NBC feature set.
+//! * [`FeatureStrategy::HybridOneAfd`] — like Best-AFD, but if the best
+//!   AFD's confidence is below a threshold (paper: 0.5), fall back to an
+//!   all-attributes NBC.
+//! * [`FeatureStrategy::Ensemble`] — one NBC per AFD, their posteriors
+//!   averaged with AFD-confidence weights.
+//! * [`FeatureStrategy::AllAttributes`] — ignore AFDs; use every other
+//!   attribute as a feature.
+
+use std::collections::HashMap;
+
+use qpiad_db::{AttrId, PredOp, Relation, Tuple, Value};
+
+use crate::afd::{Afd, AfdSet};
+use crate::nbc::NaiveBayes;
+
+/// How to choose NBC features for each attribute.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureStrategy {
+    /// Features = determining set of the best AFD (if none, all attributes).
+    BestAfd,
+    /// Best AFD if its confidence ≥ `min_conf`, otherwise all attributes.
+    HybridOneAfd {
+        /// Minimum AFD confidence to trust the AFD's determining set.
+        min_conf: f64,
+    },
+    /// Confidence-weighted ensemble over all mined AFDs for the attribute.
+    Ensemble,
+    /// All other attributes as features (no AFD feature selection).
+    AllAttributes,
+}
+
+impl Default for FeatureStrategy {
+    fn default() -> Self {
+        // The paper's adopted strategy with its tuned threshold (§5.3).
+        FeatureStrategy::HybridOneAfd { min_conf: 0.5 }
+    }
+}
+
+/// A per-attribute predictor assembled according to a strategy.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one value per attribute, never collected in bulk
+enum AttrPredictor {
+    Single {
+        nbc: NaiveBayes,
+        /// The AFD that selected the features (None = all attributes).
+        afd: Option<Afd>,
+    },
+    Ensemble(Vec<(f64, NaiveBayes, Afd)>),
+}
+
+/// Value-distribution predictors for every attribute of a source, built
+/// from its sample and mined AFDs.
+#[derive(Debug, Clone)]
+pub struct ValuePredictor {
+    per_attr: HashMap<AttrId, AttrPredictor>,
+    strategy: FeatureStrategy,
+}
+
+impl ValuePredictor {
+    /// Trains predictors for all attributes of the sample's schema.
+    pub fn train(sample: &Relation, afds: &AfdSet, strategy: FeatureStrategy, m: f64) -> Self {
+        let all_attrs: Vec<AttrId> = sample.schema().attr_ids().collect();
+        let mut per_attr = HashMap::new();
+        for target in all_attrs.iter().copied() {
+            let others = || {
+                all_attrs
+                    .iter()
+                    .copied()
+                    .filter(|a| *a != target)
+                    .collect::<Vec<_>>()
+            };
+            let predictor = match strategy {
+                FeatureStrategy::AllAttributes => AttrPredictor::Single {
+                    nbc: NaiveBayes::train(sample, target, others(), m),
+                    afd: None,
+                },
+                FeatureStrategy::BestAfd => match afds.best(target) {
+                    Some(afd) => AttrPredictor::Single {
+                        nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                        afd: Some(afd.clone()),
+                    },
+                    None => AttrPredictor::Single {
+                        nbc: NaiveBayes::train(sample, target, others(), m),
+                        afd: None,
+                    },
+                },
+                FeatureStrategy::HybridOneAfd { min_conf } => match afds.best(target) {
+                    Some(afd) if afd.confidence >= min_conf => AttrPredictor::Single {
+                        nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                        afd: Some(afd.clone()),
+                    },
+                    _ => AttrPredictor::Single {
+                        nbc: NaiveBayes::train(sample, target, others(), m),
+                        afd: None,
+                    },
+                },
+                FeatureStrategy::Ensemble => {
+                    let members: Vec<(f64, NaiveBayes, Afd)> = afds
+                        .for_attr(target)
+                        .iter()
+                        .map(|afd| {
+                            (
+                                afd.confidence,
+                                NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                                afd.clone(),
+                            )
+                        })
+                        .collect();
+                    if members.is_empty() {
+                        AttrPredictor::Single {
+                            nbc: NaiveBayes::train(sample, target, others(), m),
+                            afd: None,
+                        }
+                    } else {
+                        AttrPredictor::Ensemble(members)
+                    }
+                }
+            };
+            per_attr.insert(target, predictor);
+        }
+        ValuePredictor { per_attr, strategy }
+    }
+
+    /// The strategy the predictor was built with.
+    pub fn strategy(&self) -> FeatureStrategy {
+        self.strategy
+    }
+
+    /// The feature attributes used for `attr` (Single predictors).
+    pub fn features(&self, attr: AttrId) -> Option<&[AttrId]> {
+        match self.per_attr.get(&attr)? {
+            AttrPredictor::Single { nbc, .. } => Some(nbc.features()),
+            AttrPredictor::Ensemble(_) => None,
+        }
+    }
+
+    /// The AFD justifying the predictor for `attr`, if feature selection
+    /// used one. This is what QPIAD shows as the *explanation* of a
+    /// possible answer (§6.1).
+    pub fn explanation(&self, attr: AttrId) -> Option<&Afd> {
+        match self.per_attr.get(&attr)? {
+            AttrPredictor::Single { afd, .. } => afd.as_ref(),
+            AttrPredictor::Ensemble(members) => members.first().map(|(_, _, a)| a),
+        }
+    }
+
+    /// Posterior distribution over `attr`'s values given the tuple's other
+    /// (non-null) values.
+    pub fn distribution(&self, attr: AttrId, tuple: &Tuple) -> Vec<(Value, f64)> {
+        match self.per_attr.get(&attr) {
+            None => Vec::new(),
+            Some(AttrPredictor::Single { nbc, .. }) => nbc.distribution(tuple),
+            Some(AttrPredictor::Ensemble(members)) => {
+                let mut acc: HashMap<Value, f64> = HashMap::new();
+                let total_w: f64 = members.iter().map(|(w, _, _)| w).sum();
+                for (w, nbc, _) in members {
+                    for (v, p) in nbc.distribution(tuple) {
+                        *acc.entry(v).or_default() += w / total_w * p;
+                    }
+                }
+                let mut out: Vec<(Value, f64)> = acc.into_iter().collect();
+                out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                out
+            }
+        }
+    }
+
+    /// Most likely value for the missing `attr` of a tuple.
+    pub fn predict(&self, attr: AttrId, tuple: &Tuple) -> Option<(Value, f64)> {
+        self.distribution(attr, tuple)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Probability that the missing value of `attr` satisfies the predicate
+    /// operator.
+    pub fn prob_matching(&self, attr: AttrId, tuple: &Tuple, op: &PredOp) -> f64 {
+        self.distribution(attr, tuple)
+            .into_iter()
+            .filter(|(v, _)| op.matches(v))
+            .map(|(_, p)| p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpiad_db::{AttrType, Schema, TupleId};
+
+    /// model determines body strongly; color is noise.
+    fn sample() -> Relation {
+        let schema = Schema::of(
+            "cars",
+            &[
+                ("model", AttrType::Categorical),
+                ("color", AttrType::Categorical),
+                ("body", AttrType::Categorical),
+            ],
+        );
+        let rows = [
+            ("Z4", "Red", "Convt"),
+            ("Z4", "Blue", "Convt"),
+            ("Z4", "Red", "Convt"),
+            ("Z4", "Black", "Coupe"),
+            ("A4", "Red", "Sedan"),
+            ("A4", "Blue", "Sedan"),
+            ("A4", "Black", "Sedan"),
+            ("A4", "Red", "Convt"),
+        ];
+        let tuples = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (m, c, b))| {
+                Tuple::new(
+                    TupleId(i as u32),
+                    vec![Value::str(m), Value::str(c), Value::str(b)],
+                )
+            })
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    fn afds(conf: f64) -> AfdSet {
+        AfdSet::new(vec![Afd::new(vec![AttrId(0)], AttrId(2), conf)])
+    }
+
+    fn probe(model: &str, color: &str) -> Tuple {
+        Tuple::new(
+            TupleId(50),
+            vec![Value::str(model), Value::str(color), Value::Null],
+        )
+    }
+
+    #[test]
+    fn best_afd_uses_determining_set() {
+        let r = sample();
+        let p = ValuePredictor::train(&r, &afds(0.9), FeatureStrategy::BestAfd, 1.0);
+        assert_eq!(p.features(AttrId(2)).unwrap(), &[AttrId(0)]);
+        assert!(p.explanation(AttrId(2)).is_some());
+        let best = p.predict(AttrId(2), &probe("Z4", "Red")).unwrap();
+        assert_eq!(best.0, Value::str("Convt"));
+    }
+
+    #[test]
+    fn hybrid_falls_back_on_low_confidence() {
+        let r = sample();
+        let strategy = FeatureStrategy::HybridOneAfd { min_conf: 0.5 };
+        // High-confidence AFD: trusted.
+        let p = ValuePredictor::train(&r, &afds(0.9), strategy, 1.0);
+        assert_eq!(p.features(AttrId(2)).unwrap(), &[AttrId(0)]);
+        // Low-confidence AFD: falls back to all attributes, no explanation.
+        let p = ValuePredictor::train(&r, &afds(0.3), strategy, 1.0);
+        assert_eq!(p.features(AttrId(2)).unwrap(), &[AttrId(0), AttrId(1)]);
+        assert!(p.explanation(AttrId(2)).is_none());
+    }
+
+    #[test]
+    fn all_attributes_ignores_afds() {
+        let r = sample();
+        let p = ValuePredictor::train(&r, &afds(0.99), FeatureStrategy::AllAttributes, 1.0);
+        assert_eq!(p.features(AttrId(2)).unwrap(), &[AttrId(0), AttrId(1)]);
+        assert!(p.explanation(AttrId(2)).is_none());
+    }
+
+    #[test]
+    fn ensemble_averages_members() {
+        let r = sample();
+        let set = AfdSet::new(vec![
+            Afd::new(vec![AttrId(0)], AttrId(2), 0.9),
+            Afd::new(vec![AttrId(1)], AttrId(2), 0.3),
+        ]);
+        let p = ValuePredictor::train(&r, &set, FeatureStrategy::Ensemble, 1.0);
+        let d = p.distribution(AttrId(2), &probe("Z4", "Red"));
+        let sum: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The strong model-based member dominates: Convt on top.
+        assert_eq!(d[0].0, Value::str("Convt"));
+        // Ensemble's explanation is its best member's AFD.
+        assert_eq!(p.explanation(AttrId(2)).unwrap().lhs, vec![AttrId(0)]);
+    }
+
+    #[test]
+    fn ensemble_without_afds_falls_back() {
+        let r = sample();
+        let p = ValuePredictor::train(&r, &AfdSet::default(), FeatureStrategy::Ensemble, 1.0);
+        assert!(p.features(AttrId(2)).is_some());
+        assert!(p.predict(AttrId(2), &probe("Z4", "Red")).is_some());
+    }
+
+    #[test]
+    fn prob_matching_uses_distribution() {
+        let r = sample();
+        let p = ValuePredictor::train(&r, &afds(0.9), FeatureStrategy::default(), 1.0);
+        let pm = p.prob_matching(
+            AttrId(2),
+            &probe("Z4", "Red"),
+            &PredOp::Eq(Value::str("Convt")),
+        );
+        assert!(pm > 0.5);
+        let pm_all: f64 = ["Convt", "Coupe", "Sedan"]
+            .iter()
+            .map(|b| {
+                p.prob_matching(AttrId(2), &probe("Z4", "Red"), &PredOp::Eq(Value::str(*b)))
+            })
+            .sum();
+        assert!((pm_all - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Imprecise queries (the paper's §7 QUIC direction): `Model ≈ Z4` returns
+//! the exact Z4 listings at relevance 1.0, then listings of the models the
+//! data itself says are most Z4-like.
+//!
+//! ```text
+//! cargo run --release --example imprecise_queries
+//! ```
+
+use qpiad::core::relaxation::{answer_imprecise, SimilarityModel};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{Value, WebSource};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+
+fn main() {
+    let ground = CarsConfig::default().with_rows(20_000).generate(51);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+    let sample = uniform_sample(&ed, 0.10, 3);
+    let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+    let source = WebSource::new("cars.com", ed);
+    let schema = stats.schema().clone();
+    let model_attr = schema.expect_attr("model");
+
+    // What does the data itself consider similar to a Z4?
+    let sim = SimilarityModel::from_stats(&stats, model_attr);
+    for seed in ["Z4", "F150", "Civic"] {
+        let neighbors = sim.neighbors(&Value::str(seed), 5);
+        let rendered: Vec<String> = neighbors
+            .iter()
+            .map(|(v, s)| format!("{v} ({s:.2})"))
+            .collect();
+        println!("{seed:<8} ≈ {}", rendered.join(", "));
+    }
+
+    // The relaxed query end to end.
+    let answers = answer_imprecise(&stats, &source, model_attr, &Value::str("Z4"), 4)
+        .expect("query accepted");
+    let exact = answers.iter().filter(|a| a.relevance == 1.0).count();
+    println!(
+        "\nModel ≈ Z4: {} answers ({exact} exact Z4s, {} from similar models)",
+        answers.len(),
+        answers.len() - exact
+    );
+    for a in answers.iter().filter(|a| a.relevance < 1.0).take(5) {
+        println!(
+            "  [relevance {:.2}] {}",
+            a.relevance,
+            a.tuple.display(&schema)
+        );
+    }
+}

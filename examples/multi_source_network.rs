@@ -1,0 +1,74 @@
+//! Mediating one query over a *network* of autonomous sources (the paper's
+//! Figure 1/2 deployment): a full-schema source answers directly with
+//! QPIAD; sources whose local schemas lack the constrained attribute are
+//! reached through correlated-source rewriting.
+//!
+//! ```text
+//! cargo run --release --example multi_source_network
+//! ```
+
+use qpiad::core::mediator::QpiadConfig;
+use qpiad::core::network::MediatorNetwork;
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{Predicate, SelectQuery, WebSource};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+
+fn main() {
+    // cars.com: full global schema, incomplete, with mined statistics.
+    let cars_gd = CarsConfig::default().with_rows(15_000).generate(71);
+    let global = cars_gd.schema().clone();
+    let (cars_ed, _) = corrupt(&cars_gd, &CorruptionConfig::default().with_seed(1));
+    let stats = SourceStats::mine(
+        &uniform_sample(&cars_ed, 0.10, 2),
+        cars_ed.len(),
+        &MiningConfig::default(),
+    );
+    let cars = WebSource::new("cars.com", cars_ed);
+
+    // Two independent sources whose local schemas have no body_style.
+    let make_deficient = |name: &str, seed: u64| {
+        let ground = CarsConfig::default().with_rows(15_000).generate(seed);
+        let keep: Vec<_> = global
+            .attr_ids()
+            .filter(|a| global.attr(*a).name() != "body_style")
+            .collect();
+        WebSource::new(name, ground.project_to(name, &keep))
+    };
+    let yahoo = make_deficient("yahoo_autos", 72);
+    let carsdirect = make_deficient("carsdirect", 73);
+
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .add_supporting(&cars, stats)
+        .add_deficient(&yahoo)
+        .add_deficient(&carsdirect);
+
+    let body = global.expect_attr("body_style");
+    for style in ["Convt", "Truck"] {
+        let query = SelectQuery::new(vec![Predicate::eq(body, style)]);
+        let answer = network.answer(&query).expect("all sources reachable");
+        println!(
+            "\n{} -> {} certain + {} possible answers across {} sources",
+            query.display(&global),
+            answer.certain_count(),
+            answer.possible_count(),
+            answer.per_source.len()
+        );
+        for part in &answer.per_source {
+            match &part.via_correlated {
+                Some(via) => println!(
+                    "  {:<12} {} possible answers (statistics borrowed from {via})",
+                    part.source,
+                    part.possible.len()
+                ),
+                None => println!(
+                    "  {:<12} {} certain, {} possible answers",
+                    part.source,
+                    part.certain.len(),
+                    part.possible.len()
+                ),
+            }
+        }
+    }
+}

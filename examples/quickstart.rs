@@ -1,0 +1,80 @@
+//! Quickstart: mediate over an incomplete autonomous car database.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a simulated incomplete web database, mines AFDs/classifiers/
+//! selectivity from a small sample, and answers "show me the convertibles":
+//! certain answers first, then ranked relevant *possible* answers — tuples
+//! whose body style is missing but whose model makes them likely
+//! convertibles — each with a confidence and an AFD-based explanation.
+
+use qpiad::core::mediator::{explain, Qpiad, QpiadConfig};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{AutonomousSource, Predicate, SelectQuery, WebSource};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+
+fn main() {
+    // 1. A (simulated) autonomous web database: 20k used-car listings, 10%
+    //    of tuples missing one attribute value — the regime the paper
+    //    reports for real car sites (Table 1).
+    let ground = CarsConfig::default().with_rows(20_000).generate(42);
+    let (incomplete, _) = corrupt(&ground, &CorruptionConfig::default());
+    let source = WebSource::new("cars.com", incomplete);
+    println!(
+        "source `{}`: {} tuples, {:.1}% incomplete",
+        source.name(),
+        source.relation().len(),
+        source.relation().incompleteness().incomplete_fraction * 100.0
+    );
+
+    // 2. Offline: mine statistics from a 10% sample.
+    let sample = uniform_sample(source.relation(), 0.10, 7);
+    let stats = SourceStats::mine(&sample, source.relation().len(), &MiningConfig::default());
+    let schema = stats.schema().clone();
+    println!("\nmined AFDs (best per attribute):");
+    for attr in schema.attr_ids() {
+        if let Some(afd) = stats.afds().best(attr) {
+            println!("  {}", afd.display(&schema));
+        }
+    }
+
+    // 3. Online: ask for convertibles.
+    let body = schema.expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    let qpiad = Qpiad::new(stats, QpiadConfig::default().with_k(10).with_alpha(1.0));
+    let answers = qpiad.answer(&source, &query).expect("query accepted");
+
+    println!(
+        "\n{} => {} certain answers, {} ranked possible answers ({} rewritten queries issued)",
+        query.display(&schema),
+        answers.certain.len(),
+        answers.possible.len(),
+        answers.issued.len()
+    );
+    println!("\nrewritten queries, in issue order:");
+    for rq in &answers.issued {
+        println!(
+            "  {}  (precision {:.3}, est. selectivity {:.1})",
+            rq.query.display(&schema),
+            rq.precision,
+            rq.est_selectivity
+        );
+    }
+    println!("\ntop possible answers:");
+    for answer in answers.possible.iter().take(8) {
+        println!(
+            "  {}  [{}]",
+            answer.tuple.display(&schema),
+            explain(answer, &schema)
+        );
+    }
+    let meter = source.meter();
+    println!(
+        "\naccess cost: {} queries, {} tuples transferred",
+        meter.queries, meter.tuples_returned
+    );
+}

@@ -1,0 +1,50 @@
+//! # QPIAD — Query Processing over Incomplete Autonomous Databases
+//!
+//! A full Rust reproduction of Wolf et al.'s QPIAD system. This façade crate
+//! re-exports the workspace sub-crates under one roof:
+//!
+//! * [`db`] — relational substrate: values, schemas, incomplete tuples,
+//!   queries with certain-answer semantics, and autonomous-source access
+//!   layers (web-form restrictions, access meters).
+//! * [`data`] — synthetic dataset generators (Cars, Census, Complaints),
+//!   incompleteness injection with provenance, and random-probe sampling.
+//! * [`learn`] — statistics mining: TANE-style AFD/AKey discovery with g3
+//!   confidence, AFD-enhanced Naïve Bayes classifiers with m-estimate
+//!   smoothing, selectivity estimation, and an association-rule baseline.
+//! * [`core`] — the QPIAD mediator: query rewriting, F-measure ordering of
+//!   rewritten queries, aggregate and join handling, correlated sources, and
+//!   the AllReturned / AllRanked baselines.
+//! * [`eval`] — ground-truth metrics (precision/recall curves, accumulated
+//!   precision, retrieval cost) and one experiment runner per table and
+//!   figure of the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qpiad::data::{cars::CarsConfig, corrupt::{corrupt, CorruptionConfig}};
+//! use qpiad::db::{AutonomousSource, Predicate, SelectQuery, WebSource};
+//! use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+//! use qpiad::core::mediator::{Qpiad, QpiadConfig};
+//!
+//! // 1. A (simulated) incomplete autonomous web database.
+//! let ground = CarsConfig::default().with_rows(2_000).generate(7);
+//! let (incomplete, _prov) = corrupt(&ground, &CorruptionConfig::default());
+//! let source = WebSource::new("cars.com", incomplete);
+//!
+//! // 2. Mine AFDs, classifiers and selectivity from a small probed sample.
+//! let sample = qpiad::data::sample::uniform_sample(source.relation(), 0.10, 7);
+//! let stats = SourceStats::mine(&sample, source.relation().len(), &MiningConfig::default());
+//!
+//! // 3. Ask for convertibles: certain answers plus ranked possible answers.
+//! let body = source.schema().expect_attr("body_style");
+//! let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+//! let qpiad = Qpiad::new(stats, QpiadConfig::default());
+//! let answers = qpiad.answer(&source, &query).unwrap();
+//! assert!(!answers.certain.is_empty());
+//! ```
+
+pub use qpiad_core as core;
+pub use qpiad_data as data;
+pub use qpiad_db as db;
+pub use qpiad_eval as eval;
+pub use qpiad_learn as learn;

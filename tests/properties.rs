@@ -1,0 +1,431 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the QPIAD pipeline.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use qpiad::core::rank::{f_measure, order_rewrites, RankConfig};
+use qpiad::core::rewrite::{generate_rewrites, RewrittenQuery};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{
+    AttrId, AttrType, PredOp, Predicate, Relation, Schema, SelectQuery, Tuple, TupleId, Value,
+};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+use qpiad::learn::nbc::NaiveBayes;
+use qpiad::learn::partition::StrippedPartition;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A small categorical relation: two columns over bounded domains, with
+/// nulls.
+fn tiny_relation() -> impl Strategy<Value = Relation> {
+    let cell = prop_oneof![
+        3 => (0u8..4).prop_map(|v| Value::str(format!("x{v}"))),
+        1 => Just(Value::Null),
+    ];
+    let row = (cell.clone(), cell);
+    proptest::collection::vec(row, 1..60).prop_map(|rows| {
+        let schema = Schema::of(
+            "t",
+            &[("a", AttrType::Categorical), ("b", AttrType::Categorical)],
+        );
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Tuple::new(TupleId(i as u32), vec![a, b]))
+            .collect();
+        Relation::new(schema, tuples)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Partition / g3 laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn g3_error_is_a_fraction(r in tiny_relation()) {
+        let pa = StrippedPartition::from_column(&r, AttrId(0));
+        let pb = StrippedPartition::from_column(&r, AttrId(1));
+        let e = pa.g3_error(&pb.lookup());
+        prop_assert!((0.0..=1.0).contains(&e));
+        let ek = pa.g3_key_error();
+        prop_assert!((0.0..=1.0).contains(&ek));
+    }
+
+    #[test]
+    fn refinement_never_increases_g3(r in tiny_relation()) {
+        // Π_{a,b} refines Π_a, so g3(ab → b) ≤ g3(a → b).
+        let pa = StrippedPartition::from_column(&r, AttrId(0));
+        let pb = StrippedPartition::from_column(&r, AttrId(1));
+        let lkb = pb.lookup();
+        let pab = pa.product(&lkb);
+        prop_assert!(pab.g3_error(&lkb) <= pa.g3_error(&lkb) + 1e-12);
+    }
+
+    #[test]
+    fn product_classes_are_within_operand_classes(r in tiny_relation()) {
+        let pa = StrippedPartition::from_column(&r, AttrId(0));
+        let pb = StrippedPartition::from_column(&r, AttrId(1));
+        let lka = pa.lookup();
+        let lkb = pb.lookup();
+        let pab = pa.product(&lkb);
+        for class in pab.classes() {
+            let a0 = lka[class[0] as usize];
+            let b0 = lkb[class[0] as usize];
+            for row in class {
+                prop_assert_eq!(lka[*row as usize], a0);
+                prop_assert_eq!(lkb[*row as usize], b0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_each_row_at_most_once(r in tiny_relation()) {
+        let pa = StrippedPartition::from_column(&r, AttrId(0));
+        let mut seen = vec![false; r.len()];
+        for class in pa.classes() {
+            prop_assert!(class.len() >= 2);
+            for row in class {
+                prop_assert!(!seen[*row as usize]);
+                seen[*row as usize] = true;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naïve Bayes laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn nbc_distribution_is_a_distribution(r in tiny_relation(), probe in 0u8..5) {
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let t = Tuple::new(TupleId(999), vec![Value::str(format!("x{probe}")), Value::Null]);
+        let d = nbc.distribution(&t);
+        if !d.is_empty() {
+            let sum: f64 = d.iter().map(|(_, p)| p).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sums to {sum}");
+            prop_assert!(d.iter().all(|(_, p)| (0.0..=1.0 + 1e-9).contains(p)));
+        }
+    }
+
+    #[test]
+    fn nbc_prob_matching_eq_sums_to_one(r in tiny_relation()) {
+        let nbc = NaiveBayes::train(&r, AttrId(1), vec![AttrId(0)], 1.0);
+        let t = Tuple::new(TupleId(999), vec![Value::str("x0"), Value::Null]);
+        if !nbc.classes().is_empty() {
+            let total: f64 = nbc
+                .classes()
+                .to_vec()
+                .iter()
+                .map(|c| nbc.prob_matching(&t, &PredOp::Eq(c.clone())))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// F-measure & ordering laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn f_measure_bounded_by_max_component(p in 0.0f64..=1.0, r in 0.0f64..=1.0, alpha in 0.0f64..=4.0) {
+        let f = f_measure(p, r, alpha);
+        prop_assert!(f >= -1e-12);
+        prop_assert!(f <= p.max(r) + 1e-9, "F {f} exceeds max({p},{r})");
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_precision(p in 0.01f64..=1.0, r in 0.01f64..=1.0) {
+        prop_assert!((f_measure(p, r, 0.0) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_returns_at_most_k_in_precision_order(
+        precisions in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=100.0), 0..25),
+        alpha in 0.0f64..=2.0,
+        k in 1usize..10,
+    ) {
+        let rewrites: Vec<RewrittenQuery> = precisions
+            .iter()
+            .enumerate()
+            .map(|(i, (p, s))| RewrittenQuery {
+                query: SelectQuery::new(vec![Predicate::eq(AttrId(0), i as i64)]),
+                target_attr: AttrId(1),
+                precision: *p,
+                est_selectivity: *s,
+                afd: None,
+            })
+            .collect();
+        let n = rewrites.len();
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha, k });
+        prop_assert!(ordered.len() <= k.min(n));
+        for w in ordered.windows(2) {
+            prop_assert!(w[0].precision >= w[1].precision - 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rewriting soundness on the real pipeline (bounded cases)
+// ---------------------------------------------------------------------------
+
+fn cars_stats() -> (Relation, SourceStats) {
+    let ground = CarsConfig::default().with_rows(4_000).generate(99);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+    let sample = uniform_sample(&ed, 0.15, 1);
+    let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+    (ed, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rewrites_never_constrain_their_target(style_idx in 0usize..8) {
+        static STYLES: [&str; 8] = [
+            "Sedan", "Coupe", "Convt", "SUV", "Hatchback", "Truck", "Van", "Wagon",
+        ];
+        let (ed, stats) = cars_stats();
+        let body = ed.schema().expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, STYLES[style_idx])]);
+        let base = ed.select(&q);
+        for rq in generate_rewrites(&q, &base, &stats) {
+            prop_assert!(rq.query.predicate_on(rq.target_attr).is_none());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&rq.precision));
+            prop_assert!(rq.est_selectivity >= 0.0);
+            // Every rewritten query derives from a base-set tuple: some
+            // certain answer satisfies all its Eq predicates on the
+            // determining set.
+            let derivable = base.iter().any(|t| {
+                rq.query.predicates().iter().all(|p| match &p.op {
+                    PredOp::Eq(v) => t.value(p.attr) == v,
+                    _ => true,
+                })
+            });
+            prop_assert!(derivable, "rewrite not grounded in the base set");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mediator invariants over randomized queries
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary single-attribute equality queries over the cars world:
+    /// the answer set partitions cleanly and every piece obeys its
+    /// definition.
+    #[test]
+    fn mediator_invariants_hold_on_random_queries(
+        attr_idx in 0usize..7,
+        value_idx in 0usize..200,
+        k in 1usize..20,
+        alpha in 0.0f64..2.0,
+    ) {
+        use qpiad::core::mediator::{Qpiad, QpiadConfig};
+        use qpiad::db::WebSource;
+        let (ed, stats) = cars_stats();
+        let attr = AttrId(attr_idx);
+        let domain = ed.active_domain(attr);
+        let value = domain[value_idx % domain.len()].clone();
+        let q = SelectQuery::new(vec![Predicate::eq(attr, value)]);
+
+        let source = WebSource::new("cars", ed.clone());
+        let qpiad = Qpiad::new(stats.clone(), QpiadConfig { alpha, k, confidence_threshold: 0.0 });
+        let answers = qpiad.answer(&source, &q).unwrap();
+
+        // Certain answers are exactly the source's certain answers.
+        prop_assert_eq!(&answers.certain, &ed.select(&q));
+        // Possible answers: one null on the constrained attr, no
+        // contradiction, never duplicated, confidence in range.
+        let mut seen = std::collections::HashSet::new();
+        for a in &answers.possible {
+            prop_assert!(a.tuple.value(attr).is_null());
+            prop_assert!(q.possibly_matches(&a.tuple));
+            prop_assert!(seen.insert(a.tuple.id()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&a.confidence));
+            prop_assert!(a.query_index < answers.issued.len());
+        }
+        // Budget respected, precision order preserved.
+        prop_assert!(answers.issued.len() <= k);
+        for w in answers.issued.windows(2) {
+            prop_assert!(w[0].precision >= w[1].precision - 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption provenance round-trip
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn corruption_provenance_is_exact(fraction in 0.01f64..0.5, seed in 0u64..1000) {
+        let ground = CarsConfig::default().with_rows(500).generate(5);
+        let (ed, prov) = corrupt(
+            &ground,
+            &CorruptionConfig { fraction, attrs: None, seed },
+        );
+        // Null count equals provenance size; restoring every value yields GD.
+        let nulls: usize = ed.tuples().iter().map(|t| t.null_attrs().count()).sum();
+        prop_assert_eq!(nulls, prov.len());
+        let mut restored = ed.clone();
+        for (id, attr, truth) in prov.iter() {
+            let idx = restored
+                .tuples()
+                .iter()
+                .position(|t| t.id() == id)
+                .expect("tuple exists");
+            let t = restored.tuples()[idx].with_value(attr, truth.clone());
+            restored.tuples_mut()[idx] = t;
+        }
+        prop_assert_eq!(restored.tuples(), ground.tuples());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query semantics laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn certain_and_possible_are_disjoint(r in tiny_relation(), v in 0u8..4) {
+        let q = SelectQuery::new(vec![Predicate::eq(AttrId(1), Value::str(format!("x{v}")))]);
+        for t in r.tuples() {
+            prop_assert!(!(q.matches(t) && q.possibly_matches(t)));
+        }
+    }
+
+    #[test]
+    fn schema_projection_preserves_ids(r in tiny_relation()) {
+        let p = r.project_to("p", &[AttrId(1)]);
+        prop_assert_eq!(p.len(), r.len());
+        for (a, b) in r.tuples().iter().zip(p.tuples()) {
+            prop_assert_eq!(a.id(), b.id());
+            prop_assert_eq!(a.value(AttrId(1)), b.value(AttrId(0)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index-backed selection equals scan semantics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn selection_engine_equals_scan(r in tiny_relation(), a in 0u8..4, b in 0u8..4) {
+        let engine = qpiad::db::SelectionEngine::new();
+        let queries = [
+            SelectQuery::new(vec![Predicate::eq(AttrId(0), Value::str(format!("x{a}")))]),
+            SelectQuery::new(vec![
+                Predicate::eq(AttrId(0), Value::str(format!("x{a}"))),
+                Predicate::eq(AttrId(1), Value::str(format!("x{b}"))),
+            ]),
+            SelectQuery::new(vec![Predicate::is_null(AttrId(1))]),
+            SelectQuery::all(),
+        ];
+        for q in &queries {
+            prop_assert_eq!(engine.select(&r, q), r.select(q));
+            prop_assert_eq!(engine.count(&r, q), r.count(q));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSV round-trips arbitrary relations
+// ---------------------------------------------------------------------------
+
+fn csv_cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        2 => any::<i64>().prop_map(Value::int),
+        // Hostile strings: commas, quotes, newlines, unicode. The empty
+        // string and the null token cannot round-trip (they ARE the null
+        // encodings), so exclude them.
+        3 => "[a-z0-9,\"\n é]{1,12}"
+            .prop_filter("null encodings", |s| !s.trim().is_empty()
+                && !s.trim().eq_ignore_ascii_case("null")
+                && s.trim() == s
+                && s.parse::<i64>().is_err())
+            .prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_hostile_relations(
+        rows in proptest::collection::vec((csv_cell(), csv_cell()), 1..20)
+    ) {
+        use qpiad::data::io::{relation_from_csv, relation_to_csv, CsvOptions};
+        let schema = Schema::of(
+            "t",
+            &[("alpha", AttrType::Categorical), ("beta", AttrType::Categorical)],
+        );
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Tuple::new(TupleId(i as u32), vec![a, b]))
+            .collect();
+        let original = Relation::new(schema, tuples);
+        let text = relation_to_csv(&original);
+        let back = relation_from_csv(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.len(), original.len());
+        for (x, y) in original.tuples().iter().zip(back.tuples()) {
+            for (a, b) in x.values().iter().zip(y.values()) {
+                // Integers may come back as ints or (if the column was
+                // mixed) as their decimal string — value text must agree.
+                match (a, b) {
+                    (Value::Null, Value::Null) => {}
+                    (a, b) => prop_assert_eq!(a.to_string(), b.to_string()),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value ordering is total and consistent (hand-rolled Ord)
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::int),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_ord_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (on this triple).
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert!(a.cmp(&c) != Ordering::Greater);
+        }
+        // Consistency with Eq.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+}
+
+// Silence the unused warning for Arc (used via Schema construction above).
+#[allow(dead_code)]
+fn _touch(_: Arc<Schema>) {}
