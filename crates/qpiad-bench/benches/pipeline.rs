@@ -1,0 +1,137 @@
+//! Sequential-vs-parallel wall times for the mediation pipeline.
+//!
+//! Runs the three parallelized stages — statistics mining, single-source
+//! `Qpiad::answer`, and multi-source `MediatorNetwork::answer` — at
+//! `bench_scale()` with the worker pool pinned to 1 thread and then to the
+//! machine's hardware parallelism, and writes the timings to
+//! `BENCH_pipeline.json` at the repository root.
+//!
+//! Not a criterion harness: the thread override is process-global, so the
+//! sequential and parallel passes must run in a controlled order.
+
+use std::time::Instant;
+
+use qpiad_bench::bench_scale;
+use qpiad_core::network::MediatorNetwork;
+use qpiad_core::par;
+use qpiad_core::{Qpiad, QpiadConfig};
+use qpiad_db::{Predicate, SelectQuery, WebSource};
+use qpiad_eval::experiments::common::cars_world;
+use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+
+const REPS: usize = 3;
+
+struct Run {
+    name: &'static str,
+    threads: usize,
+    secs_mean: f64,
+    secs_min: f64,
+}
+
+fn time<F: FnMut()>(name: &'static str, threads: usize, mut f: F) -> Run {
+    par::set_thread_override(Some(threads));
+    // Warm-up rep: fault in lazily built indexes so they don't skew rep 1.
+    f();
+    let mut secs = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    par::set_thread_override(None);
+    let secs_mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let secs_min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{name:>8} threads={threads}: mean {secs_mean:.4}s  min {secs_min:.4}s");
+    Run { name, threads, secs_mean, secs_min }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let par_threads = hw.max(2);
+    println!("pipeline bench at bench_scale() — {hw} hardware thread(s)");
+
+    let world = cars_world(&scale);
+    let sample = qpiad_data::sample::uniform_sample(&world.ed, scale.sample_fraction, scale.seed);
+    let source = world.web_source("cars.com");
+    let body = world.ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // Deficient second source for the network stage: same schema family,
+    // different instance, body_style projected away.
+    let yahoo_ground = qpiad_data::cars::CarsConfig::default()
+        .with_rows(scale.cars_rows / 2)
+        .generate(scale.seed.wrapping_add(9));
+    let keep: Vec<_> = world
+        .ed
+        .schema()
+        .attr_ids()
+        .filter(|a| world.ed.schema().attr(*a).name() != "body_style")
+        .collect();
+    let yahoo = WebSource::new("yahoo_autos", yahoo_ground.project_to("yahoo_autos", &keep));
+
+    let mut runs: Vec<Run> = Vec::new();
+    for threads in [1usize, par_threads] {
+        runs.push(time("mine", threads, || {
+            let stats = SourceStats::mine(&sample, world.ed.len(), &MiningConfig::default());
+            assert!(!stats.afds().is_empty());
+        }));
+        runs.push(time("answer", threads, || {
+            let qpiad = Qpiad::new(world.stats.clone(), QpiadConfig::default().with_k(10));
+            let ans = qpiad.answer(&source, &query).expect("web source accepts rewrites");
+            assert!(!ans.possible.is_empty());
+        }));
+        runs.push(time("network", threads, || {
+            let network =
+                MediatorNetwork::new(world.ed.schema().clone(), QpiadConfig::default().with_k(10))
+                    .add_supporting(&source, world.stats.clone())
+                    .add_deficient(&yahoo);
+            let ans = network.answer(&query).expect("network answers");
+            assert!(ans.possible_count() > 0);
+        }));
+    }
+
+    let speedup = |name: &str| -> f64 {
+        let seq = runs.iter().find(|r| r.name == name && r.threads == 1).unwrap();
+        let par = runs.iter().find(|r| r.name == name && r.threads != 1).unwrap();
+        seq.secs_min / par.secs_min
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"pipeline\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {{ \"cars_rows\": {}, \"sample_fraction\": {} }},\n",
+        scale.cars_rows, scale.sample_fraction
+    ));
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str(&format!("  \"parallel_threads\": {par_threads},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"secs_mean\": {:.6}, \"secs_min\": {:.6} }}{}\n",
+            r.name,
+            r.threads,
+            r.secs_mean,
+            r.secs_min,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3} }},\n",
+        speedup("mine"),
+        speedup("answer"),
+        speedup("network")
+    ));
+    json.push_str(&format!(
+        "  \"note\": \"Speedups are min-over-min wall-time ratios (1 thread vs {par_threads}). \
+         On a machine with {hw} hardware thread(s) scoped-thread fan-out cannot exceed 1x; \
+         the per-query prediction cache is the thread-independent win. Re-run \
+         `cargo bench --bench pipeline` on a multi-core host to measure scaling.\"\n"
+    ));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

@@ -30,6 +30,13 @@
 //!   per source (Figures 1–2).
 //! * [`relaxation`] — the §7 extension: imprecise queries answered by
 //!   data-driven value similarity (the QUIC/AIMQ direction).
+//!
+//! The answer path is parallel where work is independent — the network
+//! fans out across sources and the mediator issues rewritten queries
+//! concurrently against budget-free sources, over the [`par`] worker pool
+//! (re-exported from `qpiad-db`, sized by `QPIAD_THREADS`) — while every
+//! merge happens sequentially in rank order, so results are byte-identical
+//! to single-threaded execution.
 
 pub mod aggregate;
 pub mod baselines;
@@ -43,6 +50,7 @@ pub mod relaxation;
 pub mod rewrite;
 
 pub use mediator::{AnswerSet, Qpiad, QpiadConfig, RankedAnswer};
+pub use qpiad_db::par;
 pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers};
 pub use rank::{order_rewrites, RankConfig};
 pub use rewrite::{generate_rewrites, RewrittenQuery};

@@ -2,8 +2,10 @@
 
 use std::collections::HashSet;
 
+use qpiad_db::par;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
+use qpiad_learn::cache::PredictionCache;
 use qpiad_learn::knowledge::SourceStats;
 
 use crate::rank::{order_rewrites, RankConfig};
@@ -106,6 +108,13 @@ impl Qpiad {
     ///
     /// Retrieval stops gracefully when the source's query budget runs out;
     /// other source errors propagate.
+    ///
+    /// Against a budget-free source the rewritten queries are issued
+    /// concurrently over the [`par`] worker pool; the results are then
+    /// merged sequentially in rank order, which makes the answer set
+    /// byte-identical to single-threaded retrieval. Budgeted sources are
+    /// always served sequentially, because which queries fit under the
+    /// budget depends on issue order.
     pub fn answer(
         &self,
         source: &dyn AutonomousSource,
@@ -114,68 +123,108 @@ impl Qpiad {
         // Step 1: base result set (certain answers).
         let certain = source.query(query)?;
 
-        // Step 2a–2c: generate, select and order rewritten queries.
+        // Step 2a–2c: generate, select and order rewritten queries. A
+        // rewritten query can constrain attributes the source's web form
+        // does not expose (the determining set came from global
+        // statistics); such queries are skipped, not fatal.
         let rewrites = generate_rewrites(query, &certain, &self.stats);
-        let ordered = order_rewrites(
+        let candidates: Vec<RewrittenQuery> = order_rewrites(
             rewrites,
             &RankConfig { alpha: self.config.alpha, k: self.config.k },
-        );
+        )
+        .into_iter()
+        .filter(|rq| rq.query.predicates().iter().all(|p| source.supports(p.attr)))
+        .collect();
 
         // Step 2d–2e: retrieve the extended result set, post-filter, rank.
-        let mut seen: HashSet<TupleId> = certain.iter().map(Tuple::id).collect();
-        let constrained = query.constrained_attrs();
-        let mut possible: Vec<RankedAnswer> = Vec::new();
-        let mut deferred: Vec<Tuple> = Vec::new();
-        let mut issued: Vec<RewrittenQuery> = Vec::new();
+        // The classifier memo lives for exactly this query (§5.3 cost: one
+        // classification per distinct determining-set combination).
+        let cache = PredictionCache::new();
+        let mut merge = AnswerMerge {
+            seen: certain.iter().map(Tuple::id).collect(),
+            constrained: query.constrained_attrs(),
+            possible: Vec::new(),
+            deferred: Vec::new(),
+            issued: Vec::new(),
+        };
 
-        for rq in ordered {
-            // A rewritten query can constrain attributes the source's web
-            // form does not expose (the determining set came from global
-            // statistics); such queries are skipped, not fatal.
-            if rq.query.predicates().iter().any(|p| !source.supports(p.attr)) {
-                continue;
+        let concurrent = !source.has_query_budget() && candidates.len() > 1 && par::num_threads() > 1;
+        if concurrent {
+            // Fan the independent retrievals out, then merge in rank order.
+            let results: Vec<Result<Vec<Tuple>, SourceError>> =
+                par::parallel_map(&candidates, |rq| source.query(&rq.query));
+            for (rq, result) in candidates.into_iter().zip(results) {
+                match result {
+                    Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
+                    Err(SourceError::QueryLimitExceeded { .. }) => break,
+                    Err(e) => return Err(e),
+                }
             }
-            let result = match source.query(&rq.query) {
-                Ok(tuples) => tuples,
-                Err(SourceError::QueryLimitExceeded { .. }) => break,
-                Err(e) => return Err(e),
-            };
-            let query_index = issued.len();
-            for t in result {
-                if !seen.insert(t.id()) {
-                    continue; // already retrieved by a higher-ranked query
+        } else {
+            for rq in candidates {
+                match source.query(&rq.query) {
+                    Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
+                    Err(SourceError::QueryLimitExceeded { .. }) => break,
+                    Err(e) => return Err(e),
                 }
-                if query.matches(&t) {
-                    // A certain answer the base query already covers; the
-                    // source returned it again because the rewritten query
-                    // subsumes it. Post-filtering drops it (§4.2 step 2e).
-                    continue;
-                }
-                if !query.possibly_matches(&t) {
-                    // Non-null constrained value contradicting the query.
-                    continue;
-                }
-                if t.null_count_among(&constrained) > 1 {
-                    deferred.push(t);
-                    continue;
-                }
-                let confidence = self.tuple_confidence(query, &t);
-                possible.push(RankedAnswer {
-                    tuple: t,
-                    confidence,
-                    query_precision: rq.precision,
-                    query_index,
-                    explanation: rq.afd.clone(),
-                });
             }
-            issued.push(rq);
         }
 
+        let mut possible = merge.possible;
         if self.config.confidence_threshold > 0.0 {
             possible.retain(|a| a.confidence >= self.config.confidence_threshold);
         }
 
-        Ok(AnswerSet { certain, possible, deferred, issued })
+        Ok(AnswerSet {
+            certain,
+            possible,
+            deferred: merge.deferred,
+            issued: merge.issued,
+        })
+    }
+
+    /// Folds one rewritten query's result into the answer under
+    /// construction: dedup against earlier (higher-ranked) retrievals,
+    /// post-filter, defer multi-null tuples, assess confidence (§4.2 steps
+    /// 2d–2e). Always called in rank order, whether retrieval ran
+    /// sequentially or concurrently.
+    fn merge_retrieval(
+        &self,
+        query: &SelectQuery,
+        rq: RewrittenQuery,
+        tuples: Vec<Tuple>,
+        merge: &mut AnswerMerge,
+        cache: &PredictionCache,
+    ) {
+        let query_index = merge.issued.len();
+        for t in tuples {
+            if !merge.seen.insert(t.id()) {
+                continue; // already retrieved by a higher-ranked query
+            }
+            if query.matches(&t) {
+                // A certain answer the base query already covers; the
+                // source returned it again because the rewritten query
+                // subsumes it. Post-filtering drops it (§4.2 step 2e).
+                continue;
+            }
+            if !query.possibly_matches(&t) {
+                // Non-null constrained value contradicting the query.
+                continue;
+            }
+            if t.null_count_among(&merge.constrained) > 1 {
+                merge.deferred.push(t);
+                continue;
+            }
+            let confidence = self.tuple_confidence_cached(cache, query, &t);
+            merge.possible.push(RankedAnswer {
+                tuple: t,
+                confidence,
+                query_precision: rq.precision,
+                query_index,
+                explanation: rq.afd.clone(),
+            });
+        }
+        merge.issued.push(rq);
     }
 
     /// The assessed relevance of a possible answer: the product, over every
@@ -193,6 +242,34 @@ impl Qpiad {
         }
         confidence
     }
+
+    /// [`Self::tuple_confidence`] through a per-query memo: tuples sharing
+    /// a determining-set combination are classified once.
+    fn tuple_confidence_cached(
+        &self,
+        cache: &PredictionCache,
+        query: &SelectQuery,
+        tuple: &Tuple,
+    ) -> f64 {
+        let mut confidence = 1.0;
+        for p in query.predicates() {
+            if tuple.value(p.attr).is_null() {
+                confidence *=
+                    cache.prob_matching(self.stats.predictor(), p.attr, tuple, &p.op);
+            }
+        }
+        confidence
+    }
+}
+
+/// Working state of an answer merge, fed one rewritten query at a time in
+/// rank order.
+struct AnswerMerge {
+    seen: HashSet<TupleId>,
+    constrained: Vec<qpiad_db::AttrId>,
+    possible: Vec<RankedAnswer>,
+    deferred: Vec<Tuple>,
+    issued: Vec<RewrittenQuery>,
 }
 
 /// Convenience: flattens an answer set into the user-visible order —

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use qpiad_db::par;
 use qpiad_db::{AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, Tuple};
 use qpiad_learn::knowledge::SourceStats;
 
@@ -142,81 +143,102 @@ impl<'a> MediatorNetwork<'a> {
         best.map(|(_, m)| m)
     }
 
+    /// Serves one member, directly or through a correlated source.
+    fn answer_member(
+        &self,
+        member: &Member<'a>,
+        query: &SelectQuery,
+    ) -> Result<SourceAnswers, SourceError> {
+        let supports_all = query
+            .constrained_attrs()
+            .iter()
+            .all(|a| member.binding.supports(*a) && member.source.supports(
+                member.binding.local_attr(*a).expect("supported attr maps"),
+            ));
+        let answers = if supports_all {
+            if let Some(stats) = &member.stats {
+                // Direct QPIAD. Statistics and query share the global
+                // schema; supporting members map attributes 1:1.
+                let local = member.binding.translate_query(query)?;
+                let qpiad = Qpiad::new(stats.clone(), self.config);
+                let set = qpiad.answer(member.source, &local)?;
+                SourceAnswers {
+                    source: member.source.name().to_string(),
+                    certain: set.certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                    possible: set
+                        .possible
+                        .into_iter()
+                        .map(|mut a| {
+                            a.tuple = member.binding.lift_tuple(&a.tuple);
+                            a
+                        })
+                        .collect(),
+                    via_correlated: None,
+                }
+            } else {
+                // Supports the attributes but has no statistics: certain
+                // answers only.
+                let local = member.binding.translate_query(query)?;
+                let certain = member.source.query(&local)?;
+                SourceAnswers {
+                    source: member.source.name().to_string(),
+                    certain: certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                    possible: Vec::new(),
+                    via_correlated: None,
+                }
+            }
+        } else {
+            // Deficient for this query: try a correlated source.
+            match self.correlated_for(member, query) {
+                Some(correlated) => {
+                    let stats = correlated.stats.as_ref().expect("correlated has stats");
+                    let possible = answer_from_correlated(
+                        correlated.source,
+                        stats,
+                        member.source,
+                        &member.binding,
+                        query,
+                        &RankConfig { alpha: self.config.alpha, k: self.config.k },
+                    )?;
+                    SourceAnswers {
+                        source: member.source.name().to_string(),
+                        certain: Vec::new(),
+                        possible,
+                        via_correlated: Some(correlated.source.name().to_string()),
+                    }
+                }
+                None => SourceAnswers {
+                    source: member.source.name().to_string(),
+                    certain: Vec::new(),
+                    possible: Vec::new(),
+                    via_correlated: None,
+                },
+            }
+        };
+        Ok(answers)
+    }
+
     /// Answers a global-schema query against every registered source.
     ///
     /// Sources that can neither bind the query nor be reached through a
     /// correlated source contribute an empty answer set (exactly what a
     /// conventional mediator would return for them).
+    ///
+    /// Sources are interrogated concurrently on the [`par`] worker pool
+    /// (each is independent; meters and lazy indexes sit behind locks) and
+    /// contributions are assembled in registration order, identical to
+    /// sequential mediation. On failure the first error in registration
+    /// order is returned.
     pub fn answer(&self, query: &SelectQuery) -> Result<NetworkAnswer, SourceError> {
-        let mut out = NetworkAnswer::default();
-        for member in &self.members {
-            let supports_all = query
-                .constrained_attrs()
-                .iter()
-                .all(|a| member.binding.supports(*a) && member.source.supports(
-                    member.binding.local_attr(*a).expect("supported attr maps"),
-                ));
-            let answers = if supports_all {
-                if let Some(stats) = &member.stats {
-                    // Direct QPIAD. Statistics and query share the global
-                    // schema; supporting members map attributes 1:1.
-                    let local = member.binding.translate_query(query)?;
-                    let qpiad = Qpiad::new(stats.clone(), self.config);
-                    let set = qpiad.answer(member.source, &local)?;
-                    SourceAnswers {
-                        source: member.source.name().to_string(),
-                        certain: set.certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
-                        possible: set
-                            .possible
-                            .into_iter()
-                            .map(|mut a| {
-                                a.tuple = member.binding.lift_tuple(&a.tuple);
-                                a
-                            })
-                            .collect(),
-                        via_correlated: None,
-                    }
-                } else {
-                    // Supports the attributes but has no statistics: certain
-                    // answers only.
-                    let local = member.binding.translate_query(query)?;
-                    let certain = member.source.query(&local)?;
-                    SourceAnswers {
-                        source: member.source.name().to_string(),
-                        certain: certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
-                        possible: Vec::new(),
-                        via_correlated: None,
-                    }
-                }
+        let results: Vec<Result<SourceAnswers, SourceError>> =
+            if self.members.len() > 1 && par::num_threads() > 1 {
+                par::parallel_map(&self.members, |m| self.answer_member(m, query))
             } else {
-                // Deficient for this query: try a correlated source.
-                match self.correlated_for(member, query) {
-                    Some(correlated) => {
-                        let stats = correlated.stats.as_ref().expect("correlated has stats");
-                        let possible = answer_from_correlated(
-                            correlated.source,
-                            stats,
-                            member.source,
-                            &member.binding,
-                            query,
-                            &RankConfig { alpha: self.config.alpha, k: self.config.k },
-                        )?;
-                        SourceAnswers {
-                            source: member.source.name().to_string(),
-                            certain: Vec::new(),
-                            possible,
-                            via_correlated: Some(correlated.source.name().to_string()),
-                        }
-                    }
-                    None => SourceAnswers {
-                        source: member.source.name().to_string(),
-                        certain: Vec::new(),
-                        possible: Vec::new(),
-                        via_correlated: None,
-                    },
-                }
+                self.members.iter().map(|m| self.answer_member(m, query)).collect()
             };
-            out.per_source.push(answers);
+        let mut out = NetworkAnswer::default();
+        for r in results {
+            out.per_source.push(r?);
         }
         Ok(out)
     }

@@ -84,14 +84,30 @@ pub fn generate_rewrites(
             .clone();
         let afd = stats.afds().best(target).cloned();
 
+        // Hoisted out of the per-combination loop: the predicates every
+        // rewrite for this target keeps, and the evidence template for
+        // precision scoring — per combination only the determining-set
+        // slots change (values are interned, so these clones are refcount
+        // bumps, not string copies).
+        let kept_preds: Vec<Predicate> = query
+            .predicates()
+            .iter()
+            .filter(|p| p.attr != target && !dtr.contains(&p.attr))
+            .cloned()
+            .collect();
+        let mut evidence = vec![Value::Null; stats.schema().arity()];
+        for p in query.predicates() {
+            if p.attr == target {
+                continue;
+            }
+            if let qpiad_db::PredOp::Eq(v) = &p.op {
+                evidence[p.attr.index()] = v.clone();
+            }
+        }
+
         for combo in Relation::distinct_projections(base_set, &dtr) {
             // Build the rewritten predicate list.
-            let mut preds: Vec<Predicate> = query
-                .predicates()
-                .iter()
-                .filter(|p| p.attr != target && !dtr.contains(&p.attr))
-                .cloned()
-                .collect();
+            let mut preds = kept_preds.clone();
             for (ax, vx) in dtr.iter().zip(combo.iter()) {
                 preds.push(Predicate::eq(*ax, vx.clone()));
             }
@@ -100,7 +116,7 @@ pub fn generate_rewrites(
                 continue;
             }
 
-            let precision = combo_precision(stats, query, target, &dtr, &combo, &target_pred);
+            let precision = combo_precision(stats, target, &dtr, &combo, &evidence, &target_pred);
             let est_selectivity = stats.selectivity().estimate_smoothed(&rewritten);
 
             match seen.get(&rewritten) {
@@ -132,27 +148,22 @@ pub fn generate_rewrites(
 /// *missing* target value satisfies the original predicate, given the
 /// determining-set combination (plus any other equality constraints of the
 /// original query, which every retrieved tuple also satisfies).
+///
+/// `evidence` is the caller-prepared template holding the original query's
+/// equality constraints (nulls elsewhere); only the determining-set slots
+/// are filled in per combination.
 fn combo_precision(
     stats: &SourceStats,
-    query: &SelectQuery,
     target: AttrId,
     dtr: &[AttrId],
     combo: &[Value],
+    evidence: &[Value],
     target_pred: &Predicate,
 ) -> f64 {
     // Assemble a pseudo-tuple carrying all evidence a retrieved tuple is
     // known to have: the determining-set values and the original equality
     // constraints on other attributes.
-    let arity = stats.schema().arity();
-    let mut values = vec![Value::Null; arity];
-    for p in query.predicates() {
-        if p.attr == target {
-            continue;
-        }
-        if let qpiad_db::PredOp::Eq(v) = &p.op {
-            values[p.attr.index()] = v.clone();
-        }
-    }
+    let mut values = evidence.to_vec();
     for (ax, vx) in dtr.iter().zip(combo.iter()) {
         values[ax.index()] = vx.clone();
     }

@@ -165,7 +165,7 @@ mod tests {
     use std::collections::HashMap;
 
     fn small() -> Relation {
-        ComplaintsConfig { rows: 5_000 }.generate(5)
+        ComplaintsConfig { rows: 5_000 }.generate(7)
     }
 
     #[test]

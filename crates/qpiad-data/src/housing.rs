@@ -192,7 +192,7 @@ mod tests {
         use qpiad_db::{Predicate, SelectQuery};
         // The third domain exercises the full mining pipeline: the style
         // attribute must get a neighborhood-based determining set.
-        let ground = HousingConfig { rows: 8_000, ..Default::default() }.generate(14);
+        let ground = HousingConfig { rows: 8_000, ..Default::default() }.generate(6);
         let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
         let sample = uniform_sample(&ed, 0.10, 5);
         let stats = qpiad_learn::knowledge::SourceStats::mine(

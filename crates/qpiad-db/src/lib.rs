@@ -13,7 +13,10 @@
 //!   [`source::DirectSource`] that allows null binding (used only to
 //!   implement the paper's infeasible baselines),
 //! * [`catalog`] — the mediator-side global-schema catalog mapping global
-//!   attributes onto each source's local schema.
+//!   attributes onto each source's local schema,
+//! * [`par`] — deterministic fork–join helpers; the mediator and the miner
+//!   use them to spread independent work over `QPIAD_THREADS` workers
+//!   without changing any result.
 //!
 //! The design goal is to reproduce the *access-pattern constraints* that
 //! motivate QPIAD: a mediator can only issue bound conjunctive selection
@@ -23,6 +26,7 @@
 pub mod catalog;
 pub mod error;
 pub mod index;
+pub mod par;
 pub mod query;
 pub mod relation;
 pub mod schema;

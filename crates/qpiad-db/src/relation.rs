@@ -102,17 +102,24 @@ impl Relation {
 
     /// Distinct value combinations of `attrs` among the given tuples,
     /// skipping combinations that contain a null (a null determining-set
-    /// value cannot be used to build a rewritten query).
+    /// value cannot be used to build a rewritten query). Combinations are
+    /// returned in first-appearance order.
     pub fn distinct_projections(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Vec<Value>> {
-        let mut seen: BTreeSet<Vec<Value>> = BTreeSet::new();
+        // Dedup on borrowed projections: cloning values (and their interned
+        // strings' refcounts) only for the few first appearances, not for
+        // every tuple of a large base set.
+        let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
         let mut out = Vec::new();
+        let mut combo: Vec<&Value> = Vec::with_capacity(attrs.len());
         for t in tuples {
-            let combo = t.project(attrs);
-            if combo.iter().any(Value::is_null) {
+            combo.clear();
+            combo.extend(attrs.iter().map(|a| t.value(*a)));
+            if combo.iter().any(|v| v.is_null()) {
                 continue;
             }
-            if seen.insert(combo.clone()) {
-                out.push(combo);
+            if !seen.contains(&combo) {
+                seen.insert(combo.clone());
+                out.push(combo.iter().map(|v| (*v).clone()).collect());
             }
         }
         out

@@ -40,7 +40,11 @@ pub struct SourceMeter {
 }
 
 /// The query interface every autonomous source exposes to the mediator.
-pub trait AutonomousSource {
+///
+/// Sources must be [`Sync`]: the mediator fans rewritten queries and
+/// multi-source retrieval out over scoped threads, so concurrent `query`
+/// calls must be linearizable (meters and lazy indexes sit behind locks).
+pub trait AutonomousSource: Sync {
     /// Source name (for diagnostics and catalog lookups).
     fn name(&self) -> &str;
 
@@ -59,6 +63,14 @@ pub trait AutonomousSource {
     /// Answers a conjunctive selection query with its certain answers
     /// (Definition 2), or rejects it.
     fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError>;
+
+    /// `true` iff the source caps queries per session. A budgeted source
+    /// must be queried strictly sequentially: which queries fit under the
+    /// budget depends on issue order, so concurrent issuance would change
+    /// observable behavior. Budget-free sources accept any interleaving.
+    fn has_query_budget(&self) -> bool {
+        false
+    }
 
     /// A snapshot of cumulative access costs.
     fn meter(&self) -> SourceMeter;
@@ -191,6 +203,10 @@ impl AutonomousSource for WebSource {
 
     fn allows_null_binding(&self) -> bool {
         false
+    }
+
+    fn has_query_budget(&self) -> bool {
+        self.inner.query_limit.is_some()
     }
 
     fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {

@@ -147,6 +147,7 @@ mod tests {
         Scale {
             cars_rows: 12_000,
             complaints_rows: 16_000,
+            seed: 1,
             ..Scale::quick()
         }
     }

@@ -23,9 +23,18 @@
 //! Bayes network the paper benchmarked via WEKA) as further comparators, and [`knowledge`] bundles everything
 //! into the [`knowledge::SourceStats`] artifact the mediator holds per
 //! source.
+//!
+//! Mining and classification are parallel where the work is independent:
+//! [`tane`] evaluates each level's candidate partitions and [`strategy`]
+//! trains per-attribute classifiers across the [`par`] worker pool
+//! (re-exported from `qpiad-db`), with byte-identical output at any thread
+//! count. [`cache`] adds the per-query memo of classifier posteriors the
+//! mediator uses so each determining-set combination is classified once
+//! per query instead of once per retrieved tuple.
 
 pub mod afd;
 pub mod assoc;
+pub mod cache;
 pub mod knowledge;
 pub mod nbc;
 pub mod partition;
@@ -37,7 +46,9 @@ pub mod tane;
 pub mod tree;
 
 pub use afd::{AKey, Afd, AfdSet};
+pub use cache::PredictionCache;
 pub use knowledge::{MiningConfig, SourceStats};
+pub use qpiad_db::par;
 pub use nbc::NaiveBayes;
 pub use selectivity::SelectivityEstimator;
 pub use strategy::{FeatureStrategy, ValuePredictor};

@@ -64,68 +64,84 @@ pub struct ValuePredictor {
     strategy: FeatureStrategy,
 }
 
-impl ValuePredictor {
-    /// Trains predictors for all attributes of the sample's schema.
-    pub fn train(sample: &Relation, afds: &AfdSet, strategy: FeatureStrategy, m: f64) -> Self {
-        let all_attrs: Vec<AttrId> = sample.schema().attr_ids().collect();
-        let mut per_attr = HashMap::new();
-        for target in all_attrs.iter().copied() {
-            let others = || {
-                all_attrs
-                    .iter()
-                    .copied()
-                    .filter(|a| *a != target)
-                    .collect::<Vec<_>>()
-            };
-            let predictor = match strategy {
-                FeatureStrategy::AllAttributes => AttrPredictor::Single {
+/// Trains the predictor for one target attribute — independent work the
+/// parallel trainer fans out per attribute.
+fn train_one(
+    sample: &Relation,
+    afds: &AfdSet,
+    strategy: FeatureStrategy,
+    m: f64,
+    target: AttrId,
+    all_attrs: &[AttrId],
+) -> AttrPredictor {
+    let others = || {
+        all_attrs
+            .iter()
+            .copied()
+            .filter(|a| *a != target)
+            .collect::<Vec<_>>()
+    };
+    match strategy {
+        FeatureStrategy::AllAttributes => AttrPredictor::Single {
+            nbc: NaiveBayes::train(sample, target, others(), m),
+            afd: None,
+        },
+        FeatureStrategy::BestAfd => match afds.best(target) {
+            Some(afd) => AttrPredictor::Single {
+                nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                afd: Some(afd.clone()),
+            },
+            None => AttrPredictor::Single {
+                nbc: NaiveBayes::train(sample, target, others(), m),
+                afd: None,
+            },
+        },
+        FeatureStrategy::HybridOneAfd { min_conf } => match afds.best(target) {
+            Some(afd) if afd.confidence >= min_conf => AttrPredictor::Single {
+                nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                afd: Some(afd.clone()),
+            },
+            _ => AttrPredictor::Single {
+                nbc: NaiveBayes::train(sample, target, others(), m),
+                afd: None,
+            },
+        },
+        FeatureStrategy::Ensemble => {
+            let members: Vec<(f64, NaiveBayes, Afd)> = afds
+                .for_attr(target)
+                .iter()
+                .map(|afd| {
+                    (
+                        afd.confidence,
+                        NaiveBayes::train(sample, target, afd.lhs.clone(), m),
+                        afd.clone(),
+                    )
+                })
+                .collect();
+            if members.is_empty() {
+                AttrPredictor::Single {
                     nbc: NaiveBayes::train(sample, target, others(), m),
                     afd: None,
-                },
-                FeatureStrategy::BestAfd => match afds.best(target) {
-                    Some(afd) => AttrPredictor::Single {
-                        nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
-                        afd: Some(afd.clone()),
-                    },
-                    None => AttrPredictor::Single {
-                        nbc: NaiveBayes::train(sample, target, others(), m),
-                        afd: None,
-                    },
-                },
-                FeatureStrategy::HybridOneAfd { min_conf } => match afds.best(target) {
-                    Some(afd) if afd.confidence >= min_conf => AttrPredictor::Single {
-                        nbc: NaiveBayes::train(sample, target, afd.lhs.clone(), m),
-                        afd: Some(afd.clone()),
-                    },
-                    _ => AttrPredictor::Single {
-                        nbc: NaiveBayes::train(sample, target, others(), m),
-                        afd: None,
-                    },
-                },
-                FeatureStrategy::Ensemble => {
-                    let members: Vec<(f64, NaiveBayes, Afd)> = afds
-                        .for_attr(target)
-                        .iter()
-                        .map(|afd| {
-                            (
-                                afd.confidence,
-                                NaiveBayes::train(sample, target, afd.lhs.clone(), m),
-                                afd.clone(),
-                            )
-                        })
-                        .collect();
-                    if members.is_empty() {
-                        AttrPredictor::Single {
-                            nbc: NaiveBayes::train(sample, target, others(), m),
-                            afd: None,
-                        }
-                    } else {
-                        AttrPredictor::Ensemble(members)
-                    }
                 }
-            };
-            per_attr.insert(target, predictor);
+            } else {
+                AttrPredictor::Ensemble(members)
+            }
         }
+    }
+}
+
+impl ValuePredictor {
+    /// Trains predictors for all attributes of the sample's schema. Each
+    /// attribute's classifier is independent, so training fans out over the
+    /// [`crate::par`] worker pool; results are keyed by attribute, making
+    /// the output identical at any thread count.
+    pub fn train(sample: &Relation, afds: &AfdSet, strategy: FeatureStrategy, m: f64) -> Self {
+        let all_attrs: Vec<AttrId> = sample.schema().attr_ids().collect();
+        let trained = crate::par::parallel_map(&all_attrs, |target| {
+            train_one(sample, afds, strategy, m, *target, &all_attrs)
+        });
+        let per_attr: HashMap<AttrId, AttrPredictor> =
+            all_attrs.into_iter().zip(trained).collect();
         ValuePredictor { per_attr, strategy }
     }
 

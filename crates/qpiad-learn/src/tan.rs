@@ -376,7 +376,7 @@ mod tests {
         use qpiad_data::sample::uniform_sample;
         let ground = CarsConfig::default().with_rows(6_000).generate(23);
         let (ed, prov) = corrupt(&ground, &CorruptionConfig::default());
-        let sample = uniform_sample(&ed, 0.10, 9);
+        let sample = uniform_sample(&ed, 0.10, 1);
         let body = ed.schema().expect_attr("body_style");
         let features: Vec<AttrId> =
             ed.schema().attr_ids().filter(|a| *a != body).collect();

@@ -15,9 +15,16 @@
 //! * **Superkey pruning** — a set whose partition is all singletons is a
 //!   key; its supersets determine everything trivially and are never useful
 //!   for prediction, so they are not expanded.
+//!
+//! Within a level every candidate's partition product and `g3` errors are
+//! independent, so they are evaluated across the [`qpiad_db::par`] worker
+//! pool. Candidate enumeration and all pruning/minimality decisions stay in
+//! sequential passes over the index-ordered results, which makes the output
+//! byte-identical at any thread count.
 
 use std::collections::HashMap;
 
+use qpiad_db::par;
 use qpiad_db::{AttrId, Relation};
 
 use crate::afd::{AKey, Afd};
@@ -83,6 +90,10 @@ impl TaneResult {
 }
 
 /// Runs the levelwise search over a (sampled) relation.
+/// One candidate set's parallel evaluation: its product partition, AKey
+/// confidence, and (unless near-key-suppressed) each rhs's g3 confidence.
+type CandidateEval = (StrippedPartition, f64, Vec<(AttrId, f64)>);
+
 pub fn discover(relation: &Relation, config: &TaneConfig) -> TaneResult {
     let attrs: Vec<AttrId> = relation.schema().attr_ids().collect();
     let n = relation.len();
@@ -91,15 +102,22 @@ pub fn discover(relation: &Relation, config: &TaneConfig) -> TaneResult {
         return result;
     }
 
-    // Single-attribute partitions and lookups, reused throughout.
-    let singles: Vec<StrippedPartition> = attrs
-        .iter()
-        .map(|a| StrippedPartition::from_column(relation, *a))
-        .collect();
-    let lookups: Vec<Vec<u32>> = singles.iter().map(StrippedPartition::lookup).collect();
+    // Single-attribute partitions and lookups, reused throughout. Each
+    // column's partition is independent work.
+    let singles: Vec<StrippedPartition> =
+        par::parallel_map(&attrs, |a| StrippedPartition::from_column(relation, *a));
+    let lookups: Vec<Vec<u32>> = par::parallel_map(&singles, StrippedPartition::lookup);
 
     // conf[(lhs, rhs)] for the minimality check.
     let mut conf_map: HashMap<(Vec<AttrId>, AttrId), f64> = HashMap::new();
+
+    // Level-1 g3 errors: one unit of work per (lhs attribute, rhs attribute)
+    // pair, evaluated in parallel, consumed in attribute order below.
+    let single_confs: Vec<Vec<f64>> = par::parallel_map_indexed(attrs.len(), |i| {
+        (0..attrs.len())
+            .map(|j| if i == j { 0.0 } else { 1.0 - singles[i].g3_error(&lookups[j]) })
+            .collect()
+    });
 
     // Current level: (sorted attr set, partition). Level 1 seeds it.
     let mut level: Vec<(Vec<AttrId>, StrippedPartition)> = Vec::new();
@@ -117,7 +135,7 @@ pub fn discover(relation: &Relation, config: &TaneConfig) -> TaneResult {
             if i == j {
                 continue;
             }
-            let conf = 1.0 - singles[i].g3_error(&lookups[j]);
+            let conf = single_confs[i][j];
             conf_map.insert((set.clone(), *rhs), conf);
             if conf >= config.min_conf {
                 result.afds.push(Afd::new(set.clone(), *rhs, conf));
@@ -129,9 +147,11 @@ pub fn discover(relation: &Relation, config: &TaneConfig) -> TaneResult {
     }
 
     for _ in 2..=config.max_lhs {
-        let mut next: Vec<(Vec<AttrId>, StrippedPartition)> = Vec::new();
+        // Enumerate the level's candidates sequentially (the dedup depends
+        // on enumeration order) before any evaluation.
+        let mut candidates: Vec<(usize, usize, Vec<AttrId>)> = Vec::new();
         let mut seen: HashMap<Vec<AttrId>, ()> = HashMap::new();
-        for (set, partition) in &level {
+        for (parent, (set, _)) in level.iter().enumerate() {
             let last = *set.last().expect("non-empty set");
             for (k, extend) in attrs.iter().enumerate() {
                 // Extend with attributes after the last one to enumerate
@@ -144,39 +164,62 @@ pub fn discover(relation: &Relation, config: &TaneConfig) -> TaneResult {
                 if seen.insert(new_set.clone(), ()).is_some() {
                     continue;
                 }
-                let p = partition.product(&lookups[k]);
+                candidates.push((parent, k, new_set));
+            }
+        }
+
+        // Independent per candidate: the partition product, its AKey
+        // confidence, and (unless near-key-suppressed) every rhs's g3
+        // confidence.
+        let evaluated: Vec<CandidateEval> =
+            par::parallel_map(&candidates, |(parent, k, new_set)| {
+                let p = level[*parent].1.product(&lookups[*k]);
                 let key_conf = 1.0 - p.g3_key_error();
-                result.akey_conf.insert(new_set.clone(), key_conf);
-                if key_conf >= config.akey_min_conf {
-                    result.akeys.push(AKey::new(new_set.clone(), key_conf));
+                let rhs_confs = if key_conf >= config.near_key_conf {
+                    Vec::new() // pruned below; skip the rhs scans
+                } else {
+                    attrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, rhs)| !new_set.contains(rhs))
+                        .map(|(j, rhs)| (*rhs, 1.0 - p.g3_error(&lookups[j])))
+                        .collect()
+                };
+                (p, key_conf, rhs_confs)
+            });
+
+        // Emit in enumeration order. Minimality only consults immediate
+        // subsets, which are one level down and thus already in conf_map.
+        let mut next: Vec<(Vec<AttrId>, StrippedPartition)> = Vec::new();
+        for ((_, _, new_set), (p, key_conf, rhs_confs)) in
+            candidates.into_iter().zip(evaluated)
+        {
+            result.akey_conf.insert(new_set.clone(), key_conf);
+            if key_conf >= config.akey_min_conf {
+                result.akeys.push(AKey::new(new_set.clone(), key_conf));
+            }
+            if key_conf >= config.near_key_conf {
+                continue; // near-key set: neither emit nor expand
+            }
+            for (rhs, conf) in rhs_confs {
+                conf_map.insert((new_set.clone(), rhs), conf);
+                if conf < config.min_conf {
+                    continue;
                 }
-                if key_conf >= config.near_key_conf {
-                    continue; // near-key set: neither emit nor expand
+                // Minimality: every immediate subset must be beaten by at
+                // least epsilon.
+                let minimal = immediate_subsets(&new_set).all(|sub| {
+                    conf_map
+                        .get(&(sub, rhs))
+                        .map(|c| conf - c >= config.minimality_epsilon)
+                        .unwrap_or(true)
+                });
+                if minimal {
+                    result.afds.push(Afd::new(new_set.clone(), rhs, conf));
                 }
-                for (j, rhs) in attrs.iter().enumerate() {
-                    if new_set.contains(rhs) {
-                        continue;
-                    }
-                    let conf = 1.0 - p.g3_error(&lookups[j]);
-                    conf_map.insert((new_set.clone(), *rhs), conf);
-                    if conf < config.min_conf {
-                        continue;
-                    }
-                    // Minimality: every immediate subset must be beaten by
-                    // at least epsilon.
-                    let minimal = immediate_subsets(&new_set).all(|sub| {
-                        conf_map
-                            .get(&(sub, *rhs))
-                            .map(|c| conf - c >= config.minimality_epsilon)
-                            .unwrap_or(true)
-                    });
-                    if minimal {
-                        result.afds.push(Afd::new(new_set.clone(), *rhs, conf));
-                    }
-                }
-                if !p.classes().is_empty() {
-                    next.push((new_set, p));
-                }
+            }
+            if !p.classes().is_empty() {
+                next.push((new_set, p));
             }
         }
         level = next;

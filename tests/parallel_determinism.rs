@@ -1,0 +1,192 @@
+//! The parallel answer path must be invisible: any thread count produces
+//! byte-identical answer sequences and identical mined statistics.
+//!
+//! Each test runs the same computation with the worker pool pinned to 1
+//! thread and to 8 threads and compares full result signatures (tuple ids in
+//! order, confidence bit patterns, rewritten-query order, AFD sets). The
+//! thread override is process-global, so the tests serialize on a mutex and
+//! always restore the default before releasing it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use qpiad::core::network::MediatorNetwork;
+use qpiad::core::{par, AnswerSet, Qpiad, QpiadConfig};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{Predicate, Relation, SelectQuery, WebSource};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+use qpiad::learn::tane::{discover, TaneConfig};
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the override lock and resets the pool size when dropped.
+struct PinnedPool<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+impl PinnedPool<'_> {
+    fn acquire() -> Self {
+        PinnedPool(OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Drop for PinnedPool<'_> {
+    fn drop(&mut self) {
+        par::set_thread_override(None);
+    }
+}
+
+fn mined(ed: &Relation, seed: u64) -> SourceStats {
+    let sample = uniform_sample(ed, 0.10, seed);
+    SourceStats::mine(&sample, ed.len(), &MiningConfig::default())
+}
+
+fn cars_fixture() -> (Relation, SourceStats) {
+    let ground = CarsConfig::default().with_rows(6_000).generate(61);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default().with_seed(1));
+    let stats = mined(&ed, 2);
+    (ed, stats)
+}
+
+/// Everything rank-order-sensitive about an answer set, with float bits
+/// compared exactly.
+fn answer_signature(a: &AnswerSet) -> Vec<String> {
+    let mut sig: Vec<String> = Vec::new();
+    for t in &a.certain {
+        sig.push(format!("certain {:?}", t.id()));
+    }
+    for r in &a.possible {
+        sig.push(format!(
+            "possible {:?} conf={:016x} prec={:016x} q={}",
+            r.tuple.id(),
+            r.confidence.to_bits(),
+            r.query_precision.to_bits(),
+            r.query_index
+        ));
+    }
+    for t in &a.deferred {
+        sig.push(format!("deferred {:?}", t.id()));
+    }
+    for rq in &a.issued {
+        sig.push(format!("issued {:?}", rq.query));
+    }
+    sig
+}
+
+#[test]
+fn mediator_answers_identically_at_any_thread_count() {
+    let _pin = PinnedPool::acquire();
+    let (ed, stats) = cars_fixture();
+    let body = ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let source = WebSource::new("cars.com", ed.clone());
+        let qpiad = Qpiad::new(stats.clone(), QpiadConfig::default().with_k(10));
+        let answer = qpiad.answer(&source, &query).expect("source accepts rewrites");
+        assert!(!answer.possible.is_empty(), "fixture must exercise rewriting");
+        signatures.push(answer_signature(&answer));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn network_answers_identically_at_any_thread_count() {
+    let _pin = PinnedPool::acquire();
+    let (ed, stats) = cars_fixture();
+    let global = ed.schema().clone();
+    let keep: Vec<_> = global
+        .attr_ids()
+        .filter(|a| global.attr(*a).name() != "body_style")
+        .collect();
+    let yahoo_local = CarsConfig::default()
+        .with_rows(6_000)
+        .generate(62)
+        .project_to("yahoo_autos", &keep);
+
+    let body = global.expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let cars = WebSource::new("cars.com", ed.clone());
+        let yahoo = WebSource::new("yahoo_autos", yahoo_local.clone());
+        let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting(&cars, stats.clone())
+            .add_deficient(&yahoo);
+        let answer = network.answer(&query).expect("network answers");
+        assert_eq!(answer.per_source.len(), 2);
+        assert!(answer.possible_count() > 0);
+        let sig: Vec<String> = answer
+            .per_source
+            .iter()
+            .flat_map(|part| {
+                std::iter::once(format!(
+                    "source {} via={:?}",
+                    part.source, part.via_correlated
+                ))
+                .chain(part.certain.iter().map(|t| format!("certain {:?}", t.id())))
+                .chain(part.possible.iter().map(|r| {
+                    format!(
+                        "possible {:?} conf={:016x} prec={:016x}",
+                        r.tuple.id(),
+                        r.confidence.to_bits(),
+                        r.query_precision.to_bits()
+                    )
+                }))
+            })
+            .collect();
+        signatures.push(sig);
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn tane_discovers_identical_afds_at_any_thread_count() {
+    let _pin = PinnedPool::acquire();
+    let ground = CarsConfig::default().with_rows(4_000).generate(61);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default().with_seed(1));
+    let sample = uniform_sample(&ed, 0.20, 2);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let result = discover(&sample, &TaneConfig::default());
+        assert!(!result.afds.is_empty());
+        // akey_conf is a HashMap: project it to sorted order before
+        // comparing, its Debug iteration order is not meaningful.
+        let mut akey_conf: Vec<(Vec<qpiad::db::AttrId>, u64)> = result
+            .akey_conf
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_bits()))
+            .collect();
+        akey_conf.sort();
+        signatures.push(format!("{:?} {:?} {:?}", result.afds, result.akeys, akey_conf));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn mining_is_identical_at_any_thread_count() {
+    let _pin = PinnedPool::acquire();
+    let ground = CarsConfig::default().with_rows(4_000).generate(61);
+    let (ed, _) = corrupt(&ground, &CorruptionConfig::default().with_seed(1));
+    let sample = uniform_sample(&ed, 0.20, 2);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        // AfdSet is keyed by a HashMap internally: read it out per attribute
+        // in schema order so the signature is iteration-order independent.
+        let per_attr: Vec<String> = sample
+            .schema()
+            .attr_ids()
+            .map(|a| format!("{a:?}: {:?}", stats.afds().for_attr(a)))
+            .collect();
+        signatures.push(format!("{per_attr:?} {:?}", stats.akeys()));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}

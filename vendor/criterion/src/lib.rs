@@ -1,0 +1,192 @@
+//! Offline stub of `criterion`.
+//!
+//! The crates registry is unreachable in the build environment, so the
+//! workspace pins this path crate via `[patch.crates-io]`. It keeps the
+//! group / bench-function / `Bencher::iter` API shape but replaces
+//! criterion's statistical machinery with plain wall-clock sampling: each
+//! benchmark runs a fixed number of timed iterations and prints
+//! min / mean / max per-iteration times.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass (populates caches, lazy statics).
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// An identity function that hides the value from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let n = bencher.samples.len() as f64;
+    let mean = bencher.samples.iter().sum::<f64>() / n;
+    let min = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = bencher.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<40} min {} | mean {} | max {} ({} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        bencher.samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s ")
+    }
+}
+
+/// Bundles benchmark functions into one runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_shape_works() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::new("w", 7), &5usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &5usize, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,592 @@
+//! Offline stub of `proptest`.
+//!
+//! The crates registry is unreachable in the build environment, so the
+//! workspace pins this path crate via `[patch.crates-io]`. It keeps the
+//! `proptest!` / `Strategy` surface this workspace's property tests use,
+//! with two simplifications relative to upstream:
+//!
+//! - **no shrinking** — a failing case reports its inputs via the normal
+//!   panic message but is not minimized;
+//! - **deterministic seeding** — each `(test name, case index)` pair maps to
+//!   a fixed RNG stream, so failures always reproduce.
+
+/// Runner configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Subset of upstream `ProptestConfig`: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64 generator; cheap, and plenty for test-data generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG fixed by `(test path, case index)` so every run replays
+        /// the same inputs.
+        pub fn deterministic(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h ^ ((case as u64) << 32 | 0x9E37_79B9) }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased uniform integer in `[0, span)`; `span == 0` means the
+        /// full 64-bit range.
+        pub fn below(&mut self, span: u64) -> u64 {
+            if span == 0 {
+                return self.next_u64();
+            }
+            let threshold = span.wrapping_neg() % span;
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (span as u128);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform f64 in `[0, 1)` with 53 mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`, retrying with fresh
+        /// draws. `reason` appears in the panic if rejection never ends.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, pred }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive values: {}", self.reason);
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among strategies yielding the same type (built by
+    /// `prop_oneof!`). Options are reference-counted closures so the union
+    /// stays `Clone` even over unsized strategy types.
+    pub struct WeightedUnion<T> {
+        options: Vec<(u32, Rc<dyn Fn(&mut TestRng) -> T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for WeightedUnion<T> {
+        fn clone(&self) -> Self {
+            WeightedUnion { options: self.options.clone(), total: self.total }
+        }
+    }
+
+    impl<T> WeightedUnion<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(options: Vec<(u32, Rc<dyn Fn(&mut TestRng) -> T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            WeightedUnion { options, total }
+        }
+    }
+
+    impl<T> Strategy for WeightedUnion<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.below(self.total);
+            for (w, f) in &self.options {
+                if roll < *w as u64 {
+                    return f(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("roll below total weight always selects an option")
+        }
+    }
+
+    /// Helper used by `prop_oneof!` to erase each option's strategy type.
+    pub fn weighted_case<S>(
+        weight: u32,
+        strategy: S,
+    ) -> (u32, Rc<dyn Fn(&mut TestRng) -> S::Value>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Rc::new(move |rng| strategy.generate(rng)))
+    }
+
+    // --- numeric range strategies ------------------------------------------
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Hitting the exact upper endpoint has measure zero anyway;
+            // sample the half-open interval and occasionally pin the ends
+            // so boundary behavior still gets exercised.
+            let (lo, hi) = (*self.start(), *self.end());
+            match rng.below(64) {
+                0 => lo,
+                1 => hi,
+                _ => lo + rng.unit_f64() * (hi - lo),
+            }
+        }
+    }
+
+    // --- tuples of strategies ----------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+)),* $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!(
+        (0 A),
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E),
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    );
+
+    // --- `any::<T>()` -------------------------------------------------------
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draws a uniformly random value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`]; see [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T` (`any::<i64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    // --- string char-class strategies ---------------------------------------
+
+    /// `&str` patterns of the shape `[chars]{m,n}` (or `{n}`) act as string
+    /// strategies, e.g. `"[a-z0-9é]{1,12}"`. This covers the character-class
+    /// subset of upstream proptest's full regex support.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_char_class_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]{lo,hi}` / `[class]{n}` into (alphabet, lo, hi).
+    fn parse_char_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn bad(pattern: &str) -> ! {
+            panic!("proptest stub supports only `[chars]{{m,n}}` string patterns, got {pattern:?}")
+        }
+        let mut chars = pattern.chars().peekable();
+        if chars.next() != Some('[') {
+            bad(pattern);
+        }
+        let mut alphabet = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(c) => c, // \\ \" \] \- and friends: the char itself
+                    None => bad(pattern),
+                },
+                Some(c) => c,
+                None => bad(pattern),
+            };
+            // `a-z` range (a trailing `-` is a literal).
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if let Some(&end) = ahead.peek().filter(|&&e| e != ']') {
+                    chars = ahead;
+                    chars.next();
+                    assert!(c <= end, "descending range in {pattern:?}");
+                    alphabet.extend((c as u32..=end as u32).filter_map(char::from_u32));
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        if chars.next() != Some('{') {
+            bad(pattern);
+        }
+        let bounds: String = chars.by_ref().take_while(|&c| c != '}').collect();
+        let (lo, hi) = match bounds.split_once(',') {
+            Some((l, h)) => (l.trim().parse().unwrap_or_else(|_| bad(pattern)), h.trim().parse().unwrap_or_else(|_| bad(pattern))),
+            None => {
+                let n = bounds.trim().parse().unwrap_or_else(|_| bad(pattern));
+                (n, n)
+            }
+        };
+        if chars.next().is_some() || alphabet.is_empty() || lo > hi {
+            bad(pattern);
+        }
+        (alphabet, lo, hi)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Vec`s with length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ( $($strat,)+ );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ( $($arg,)+ ) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $($crate::strategy::weighted_case($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $($crate::strategy::weighted_case(1u32, $strat)),+
+        ])
+    };
+}
+
+/// Property assertion; without shrinking this is plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; without shrinking this is `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; without shrinking this is `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("t", 0);
+        for _ in 0..1000 {
+            let a = Strategy::generate(&(0u8..4), &mut rng);
+            assert!(a < 4);
+            let b = Strategy::generate(&(1usize..10), &mut rng);
+            assert!((1..10).contains(&b));
+            let c = Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn char_class_patterns_generate_within_spec() {
+        let mut rng = TestRng::deterministic("t", 1);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z0-9,\"\n é]{1,12}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n), "bad length {n}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || [',', '"', '\n', ' ', 'é'].contains(&c)));
+            let t = Strategy::generate(&"[a-z]{0,6}", &mut rng);
+            assert!(t.chars().count() <= 6);
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_weight_exclusion() {
+        let s = prop_oneof![
+            3 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut rng = TestRng::deterministic("t", 2);
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[Strategy::generate(&s, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 2 * counts[2], "weights ignored: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let strat = crate::collection::vec(0i64..100, 1..20);
+        let a = Strategy::generate(&strat, &mut TestRng::deterministic("x", 7));
+        let b = Strategy::generate(&strat, &mut TestRng::deterministic("x", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u8..10, v in crate::collection::vec(any::<i64>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

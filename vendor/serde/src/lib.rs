@@ -1,0 +1,368 @@
+//! Offline stub of `serde`.
+//!
+//! The crates registry is unreachable in the build environment, so the
+//! workspace pins this path crate via `[patch.crates-io]`. Instead of
+//! upstream serde's visitor-based data model, this stub serializes through
+//! an explicit JSON tree ([`JsonValue`]); `serde_json` (also stubbed)
+//! renders and parses that tree. The `derive` feature re-exports
+//! `Serialize` / `Deserialize` derive macros covering the struct and enum
+//! shapes this workspace uses (named-field structs, unit / newtype /
+//! struct-variant enums, and `#[serde(untagged)]` enums).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON tree — the stub's serialization data model.
+///
+/// Object keys keep insertion order so serialized structs list fields in
+/// declaration order, like upstream serde_json.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; integers round-trip up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects.
+    pub fn get_field(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays.
+    pub fn get_index(&self, idx: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+static NULL_VALUE: JsonValue = JsonValue::Null;
+
+impl std::ops::Index<&str> for JsonValue {
+    type Output = JsonValue;
+
+    /// Object member access; missing keys and non-objects index to `Null`,
+    /// matching serde_json.
+    fn index(&self, key: &str) -> &JsonValue {
+        self.get_field(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for JsonValue {
+    type Output = JsonValue;
+
+    /// Array element access; out-of-bounds and non-arrays index to `Null`,
+    /// matching serde_json.
+    fn index(&self, idx: usize) -> &JsonValue {
+        self.get_index(idx).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl PartialEq<str> for JsonValue {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, JsonValue::String(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for JsonValue {
+    fn eq(&self, other: &&str) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<f64> for JsonValue {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, JsonValue::Number(n) if n == other)
+    }
+}
+
+impl PartialEq<i64> for JsonValue {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, JsonValue::Number(n) if *n == *other as f64)
+    }
+}
+
+impl PartialEq<bool> for JsonValue {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, JsonValue::Bool(b) if b == other)
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Types that can render themselves into the JSON tree.
+pub trait Serialize {
+    /// Converts `self` to a JSON tree.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Types that can rebuild themselves from the JSON tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a JSON tree.
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    other => Err(DeError::msg(format!(
+                        "expected number, found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, found {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(()),
+            other => Err(DeError::msg(format!("expected null, found {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(DeError::msg(format!("expected array, found {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Array(items) => Ok(($(
+                        $t::from_json_value(items.get($n).ok_or_else(|| {
+                            DeError::msg(format!("tuple is missing element {}", $n))
+                        })?)?,
+                    )+)),
+                    other => Err(DeError::msg(format!(
+                        "expected array (tuple), found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl<K: ToString + std::str::FromStr + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn from_json_value(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_json_value(&42i64.to_json_value()).unwrap(), 42);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_json_value(&true.to_json_value()).unwrap(), true);
+        assert_eq!(
+            String::from_json_value(&String::from("hi").to_json_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(<()>::from_json_value(&().to_json_value()).unwrap(), ());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(String::from("a"), 1u32), (String::from("b"), 2u32)];
+        let back: Vec<(String, u32)> = Vec::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(back, v);
+        let o: Option<i64> = None;
+        assert_eq!(o.to_json_value(), JsonValue::Null);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(i64::from_json_value(&JsonValue::String("x".into())).is_err());
+        assert!(String::from_json_value(&JsonValue::Number(1.0)).is_err());
+        assert!(Vec::<i64>::from_json_value(&JsonValue::Null).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stub of `serde_derive` built directly on the `proc_macro` API
+//! (neither `syn` nor `quote` is available offline).
+//!
+//! Supports the item shapes this workspace derives on:
+//! - structs with named fields,
+//! - enums with unit, newtype, and struct variants (externally tagged,
+//!   like upstream serde's default representation),
+//! - `#[serde(untagged)]` enums (serialized as the bare variant payload;
+//!   deserialized by trying variants in declaration order).
+//!
+//! Generated code targets the stub `serde` crate's JSON-tree data model
+//! (`serde::Serialize::to_json_value` / `serde::Deserialize::from_json_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// --- simplified AST --------------------------------------------------------
+
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    /// Single unnamed payload; the stored string is its type.
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    body: Body,
+}
+
+// --- parsing ---------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    let untagged = skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+    let keyword = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let body_group = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive stub: expected braced body for `{name}`, got {other:?}"),
+    };
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream())),
+        "enum" => Body::Enum(parse_variants(body_group.stream())),
+        kw => panic!("serde_derive stub: cannot derive on `{kw}` items"),
+    };
+    Item { name, untagged, body }
+}
+
+/// Skips leading attributes, returning whether `#[serde(untagged)]` was seen.
+fn skip_attributes(toks: &mut Tokens) -> bool {
+    let mut untagged = false;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            let text = g.stream().to_string();
+            if text.starts_with("serde") && text.contains("untagged") {
+                untagged = true;
+            }
+        }
+    }
+    untagged
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        // pub(crate), pub(super), ...
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        take_type(&mut toks); // field types are not needed for codegen
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Collects type tokens up to a top-level `,` (commas inside `<...>` or any
+/// delimited group belong to the type).
+fn take_type(toks: &mut Tokens) -> String {
+    let mut depth = 0usize;
+    let mut ty = String::new();
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                toks.next();
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        let tt = toks.next().unwrap();
+        if !ty.is_empty() {
+            ty.push(' ');
+        }
+        ty.push_str(&tt.to_string());
+    }
+    assert!(!ty.is_empty(), "serde_derive stub: empty field type");
+    ty
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                let mut payload: Tokens = inner.into_iter().peekable();
+                let ty = take_type(&mut payload);
+                assert!(
+                    payload.peek().is_none(),
+                    "serde_derive stub: tuple variant `{name}` has more than one field"
+                );
+                VariantKind::Newtype(ty)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                VariantKind::Struct(parse_named_fields(inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant is unsupported; consume the separating comma.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive stub: explicit discriminants are not supported");
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+fn expand_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{n}\"), serde::Serialize::to_json_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("serde::JsonValue::Object(vec![{}])", pairs.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v, item.untagged))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_json_value(&self) -> serde::JsonValue {{\n\
+         \t\t{body}\n\
+         \t}}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant, untagged: bool) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            let value = if untagged {
+                "serde::JsonValue::Null".to_string()
+            } else {
+                format!("serde::JsonValue::String(String::from(\"{vn}\"))")
+            };
+            format!("{enum_name}::{vn} => {value},")
+        }
+        VariantKind::Newtype(_) => {
+            let inner = "serde::Serialize::to_json_value(__v)";
+            let value = if untagged {
+                inner.to_string()
+            } else {
+                format!(
+                    "serde::JsonValue::Object(vec![(String::from(\"{vn}\"), {inner})])"
+                )
+            };
+            format!("{enum_name}::{vn}(__v) => {value},")
+        }
+        VariantKind::Struct(fields) => {
+            let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{n}\"), serde::Serialize::to_json_value({n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            let obj = format!("serde::JsonValue::Object(vec![{}])", pairs.join(", "));
+            let value = if untagged {
+                obj
+            } else {
+                format!("serde::JsonValue::Object(vec![(String::from(\"{vn}\"), {obj})])")
+            };
+            format!("{enum_name}::{vn} {{ {} }} => {value},", bindings.join(", "))
+        }
+    }
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => deserialize_struct_body(name, fields, "__v"),
+        Body::Enum(variants) if item.untagged => deserialize_untagged_body(name, variants),
+        Body::Enum(variants) => deserialize_tagged_body(name, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_json_value(__v: &serde::JsonValue) -> Result<Self, serde::DeError> {{\n\
+         \t\t{body}\n\
+         \t}}\n\
+         }}"
+    )
+}
+
+/// `Ok(Name { f: ...get_field("f")..., ... })` reading from `source`.
+fn deserialize_struct_body(name: &str, fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: serde::Deserialize::from_json_value({source}.get_field(\"{n}\")\
+                 .ok_or_else(|| serde::DeError::msg(\"missing field `{n}` in {name}\"))?)?",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("Ok({name} {{ {} }})", inits.join(", "))
+}
+
+fn deserialize_tagged_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+            }
+            VariantKind::Newtype(ty) => {
+                payload_arms.push(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(<{ty} as serde::Deserialize>::from_json_value(__inner)?)),"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{n}: serde::Deserialize::from_json_value(__inner.get_field(\"{n}\")\
+                             .ok_or_else(|| serde::DeError::msg(\"missing field `{n}` in {name}::{vn}\"))?)?",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         \tserde::JsonValue::String(__tag) => match __tag.as_str() {{\n\
+         \t\t{unit}\n\
+         \t\t__other => Err(serde::DeError::msg(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t}},\n\
+         \tserde::JsonValue::Object(__fields) if __fields.len() == 1 => {{\n\
+         \t\tlet (__tag, __inner) = &__fields[0];\n\
+         \t\tmatch __tag.as_str() {{\n\
+         \t\t\t{payload}\n\
+         \t\t\t__other => Err(serde::DeError::msg(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t\t}}\n\
+         \t}}\n\
+         \t__other => Err(serde::DeError::msg(format!(\"cannot deserialize {name} from {{}}\", __other.type_name()))),\n\
+         }}",
+        unit = unit_arms.join("\n\t\t"),
+        payload = payload_arms.join("\n\t\t\t"),
+    )
+}
+
+/// Untagged: attempt each variant in declaration order; first success wins.
+fn deserialize_untagged_body(name: &str, variants: &[Variant]) -> String {
+    let mut attempts = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                attempts.push(format!(
+                    "if matches!(__v, serde::JsonValue::Null) {{ return Ok({name}::{vn}); }}"
+                ));
+            }
+            VariantKind::Newtype(ty) => {
+                attempts.push(format!(
+                    "if let Ok(__x) = <{ty} as serde::Deserialize>::from_json_value(__v) \
+                     {{ return Ok({name}::{vn}(__x)); }}"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let body = deserialize_struct_body(&format!("{name}::{vn}"), fields, "__v");
+                attempts.push(format!(
+                    "{{ let __try = (|| -> Result<Self, serde::DeError> {{ {body} }})(); \
+                     if __try.is_ok() {{ return __try; }} }}"
+                ));
+            }
+        }
+    }
+    format!(
+        "{}\nErr(serde::DeError::msg(format!(\"no {name} variant matched a {{}}\", __v.type_name())))",
+        attempts.join("\n")
+    )
+}
