@@ -15,7 +15,9 @@ use qpiad_bench::bench_scale;
 use qpiad_core::network::MediatorNetwork;
 use qpiad_core::par;
 use qpiad_core::{Qpiad, QpiadConfig};
-use qpiad_db::{Predicate, SelectQuery, WebSource};
+use qpiad_db::{
+    AutonomousSource, FaultInjector, FaultPlan, Predicate, RetryPolicy, SelectQuery, WebSource,
+};
 use qpiad_eval::experiments::common::cars_world;
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
 
@@ -70,6 +72,20 @@ fn main() {
         .collect();
     let yahoo = WebSource::new("yahoo_autos", yahoo_ground.project_to("yahoo_autos", &keep));
 
+    // Fault-tolerance stage: the same network with the deficient source
+    // flaking on every first attempt (recovered by one retry) plus a
+    // permanently-down third member — measures the cost of the retry
+    // boundary and per-member isolation on top of the healthy path.
+    let flaky_yahoo = FaultInjector::new(
+        WebSource::new("yahoo_autos", yahoo_ground.project_to("yahoo_autos", &keep)),
+        FaultPlan::healthy().with_fail_first_attempts(1),
+    );
+    let all_attrs: Vec<_> = world.ed.schema().attr_ids().collect();
+    let down = FaultInjector::new(
+        WebSource::new("down", yahoo_ground.project_to("down", &all_attrs)),
+        FaultPlan::healthy().with_permanent_outage(),
+    );
+
     let mut runs: Vec<Run> = Vec::new();
     for threads in [1usize, par_threads] {
         runs.push(time("mine", threads, || {
@@ -88,6 +104,22 @@ fn main() {
                     .add_deficient(&yahoo);
             let ans = network.answer(&query).expect("network answers");
             assert!(ans.possible_count() > 0);
+        }));
+        runs.push(time("faulted", threads, || {
+            flaky_yahoo.reset_meter();
+            down.reset_meter();
+            let network = MediatorNetwork::new(
+                world.ed.schema().clone(),
+                QpiadConfig::default()
+                    .with_k(10)
+                    .with_retry(RetryPolicy::default().with_max_attempts(2)),
+            )
+            .add_supporting(&source, world.stats.clone())
+            .add_deficient(&flaky_yahoo)
+            .add_deficient(&down);
+            let ans = network.answer(&query).expect("mediation never aborts");
+            assert!(ans.possible_count() > 0);
+            assert_eq!(ans.failed_sources().len(), 1);
         }));
     }
 
@@ -118,10 +150,11 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3} }},\n",
+        "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3}, \"faulted\": {:.3} }},\n",
         speedup("mine"),
         speedup("answer"),
-        speedup("network")
+        speedup("network"),
+        speedup("faulted")
     ));
     json.push_str(&format!(
         "  \"note\": \"Speedups are min-over-min wall-time ratios (1 thread vs {par_threads}). \

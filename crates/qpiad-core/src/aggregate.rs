@@ -104,11 +104,12 @@ pub fn answer_aggregate(
             Err(e) => return Err(e),
         };
         // §4.4: accept the whole query iff the argmax completion satisfies
-        // the original predicate on the target attribute.
-        let target_pred = query
-            .select
-            .predicate_on(rq.target_attr)
-            .expect("target attribute is constrained");
+        // the original predicate on the target attribute. A rewrite whose
+        // target is somehow unconstrained cannot be gated — skip it rather
+        // than panic mid-aggregation.
+        let Some(target_pred) = query.select.predicate_on(rq.target_attr) else {
+            continue;
+        };
         for t in result {
             if !seen.insert(t.id()) {
                 continue;

@@ -14,11 +14,12 @@
 
 use std::collections::HashSet;
 
+use qpiad_db::fault::{query_with_retry, RetryPolicy};
 use qpiad_db::{AutonomousSource, SelectQuery, SourceBinding, SourceError, TupleId};
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::mediator::RankedAnswer;
-use crate::rank::{order_rewrites, RankConfig};
+use crate::mediator::{Degradation, RankedAnswer};
+use crate::rank::{f_scores, order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
 
 /// Checks Definition 4: can `correlated_stats` (learned from a source that
@@ -38,6 +39,17 @@ pub fn is_correlated_source_usable(
     })
 }
 
+/// The result of a correlated-source retrieval: ranked possible answers
+/// plus an account of what the plan lost to target-source failures.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelatedAnswers {
+    /// Ranked possible answers, lifted to the global schema.
+    pub possible: Vec<RankedAnswer>,
+    /// Rewritten queries dropped after exhausting retries against the
+    /// target source (empty when the run was healthy).
+    pub degraded: Degradation,
+}
+
 /// Answers a query on a global-schema attribute from a source whose local
 /// schema does not support it.
 ///
@@ -48,7 +60,10 @@ pub fn is_correlated_source_usable(
 ///   local attribute mapping.
 ///
 /// Returns ranked possible answers **lifted to the global schema** (the
-/// unsupported attributes are null).
+/// unsupported attributes are null). Queries are issued through the retry
+/// boundary; a rewritten query the target still fails after retries is
+/// skipped and recorded in [`CorrelatedAnswers::degraded`] — only a failure
+/// of the base retrieval from the correlated source is an error.
 pub fn answer_from_correlated(
     correlated_source: &dyn AutonomousSource,
     correlated_stats: &SourceStats,
@@ -56,27 +71,34 @@ pub fn answer_from_correlated(
     binding: &SourceBinding,
     query: &SelectQuery,
     config: &RankConfig,
-) -> Result<Vec<RankedAnswer>, SourceError> {
+    retry: &RetryPolicy,
+) -> Result<CorrelatedAnswers, SourceError> {
     // Step 1 (modified): base set from the correlated source.
-    let base = correlated_source.query(query)?;
+    let base = query_with_retry(correlated_source, query, retry)?;
 
     // Step 2: rewrites from the correlated source's statistics.
     let rewrites = generate_rewrites(query, &base, correlated_stats);
     let ordered = order_rewrites(rewrites, config);
+    let scores = f_scores(&ordered, config.alpha);
 
     let mut seen: HashSet<TupleId> = HashSet::new();
-    let mut out: Vec<RankedAnswer> = Vec::new();
-    for (query_index, rq) in ordered.into_iter().enumerate() {
+    let mut out = CorrelatedAnswers::default();
+    for (query_index, (rq, score)) in ordered.into_iter().zip(scores).enumerate() {
         // The rewritten query must be expressible on the target's local
         // schema.
         let local = match binding.translate_query(&rq.query) {
             Ok(q) => q,
             Err(_) => continue,
         };
-        let result = match target_source.query(&local) {
+        let result = match query_with_retry(target_source, &local, retry) {
             Ok(ts) => ts,
+            // Budget exhausted mid-plan: degrade to what is fetched.
             Err(SourceError::QueryLimitExceeded { .. }) => break,
-            Err(e) => return Err(e),
+            // A failed rewrite is skipped, not fatal.
+            Err(e) => {
+                out.degraded.record(score, e);
+                continue;
+            }
         };
         for local_tuple in result {
             if !seen.insert(local_tuple.id()) {
@@ -89,7 +111,7 @@ pub fn answer_from_correlated(
             if !query.possibly_matches(&tuple) {
                 continue;
             }
-            out.push(RankedAnswer {
+            out.possible.push(RankedAnswer {
                 tuple,
                 confidence: rq.precision,
                 query_precision: rq.precision,
@@ -97,6 +119,9 @@ pub fn answer_from_correlated(
                 explanation: rq.afd.clone(),
             });
         }
+    }
+    if out.degraded.is_degraded() {
+        target_source.note_degraded();
     }
     Ok(out)
 }
@@ -168,8 +193,11 @@ mod tests {
             &binding,
             &q,
             &RankConfig { alpha: 0.0, k: 10 },
+            &RetryPolicy::default(),
         )
         .unwrap();
+        assert!(!answers.degraded.is_degraded());
+        let answers = answers.possible;
         assert!(!answers.is_empty());
         // Every answer is a possible answer: null body_style after lifting.
         for a in &answers {
@@ -218,9 +246,10 @@ mod tests {
             &binding,
             &q,
             &RankConfig { alpha: 0.0, k: 10 },
+            &RetryPolicy::default(),
         )
         .unwrap();
-        for w in answers.windows(2) {
+        for w in answers.possible.windows(2) {
             assert!(w[0].query_precision >= w[1].query_precision - 1e-12);
         }
     }

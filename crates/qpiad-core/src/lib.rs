@@ -37,6 +37,12 @@
 //! (re-exported from `qpiad-db`, sized by `QPIAD_THREADS`) — while every
 //! merge happens sequentially in rank order, so results are byte-identical
 //! to single-threaded execution.
+//!
+//! Mediation is **fault-tolerant**: queries are issued through the retry
+//! boundary in [`qpiad_db::fault`], a rewritten query that still fails is
+//! dropped and accounted in [`Degradation`], and a network member that
+//! fails outright contributes a recorded [`SourceOutcome::Failed`] instead
+//! of aborting the whole mediation.
 
 pub mod aggregate;
 pub mod baselines;
@@ -49,8 +55,9 @@ pub mod rank;
 pub mod relaxation;
 pub mod rewrite;
 
-pub use mediator::{AnswerSet, Qpiad, QpiadConfig, RankedAnswer};
+pub use correlated::CorrelatedAnswers;
+pub use mediator::{AnswerSet, Degradation, Qpiad, QpiadConfig, RankedAnswer};
 pub use qpiad_db::par;
-pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers};
+pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers, SourceOutcome};
 pub use rank::{order_rewrites, RankConfig};
 pub use rewrite::{generate_rewrites, RewrittenQuery};

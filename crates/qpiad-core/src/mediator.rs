@@ -2,13 +2,14 @@
 
 use std::collections::HashSet;
 
+use qpiad_db::fault::{query_with_retry, RetryPolicy};
 use qpiad_db::par;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::cache::PredictionCache;
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::rank::{order_rewrites, RankConfig};
+use crate::rank::{f_scores, order_rewrites, RankConfig};
 use crate::rewrite::{generate_rewrites, RewrittenQuery};
 
 /// Mediator configuration.
@@ -21,11 +22,20 @@ pub struct QpiadConfig {
     /// Possible answers below this confidence are suppressed (Figure 9's
     /// user-side filter); 0 disables filtering.
     pub confidence_threshold: f64,
+    /// How transient source failures are retried at the query-issue
+    /// boundary (autonomous sources are flaky; §4.1's access constraints
+    /// mean the mediator cannot do better than retry and degrade).
+    pub retry: RetryPolicy,
 }
 
 impl Default for QpiadConfig {
     fn default() -> Self {
-        QpiadConfig { alpha: 0.0, k: 10, confidence_threshold: 0.0 }
+        QpiadConfig {
+            alpha: 0.0,
+            k: 10,
+            confidence_threshold: 0.0,
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -47,6 +57,12 @@ impl QpiadConfig {
         self.confidence_threshold = t;
         self
     }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// A possible answer with its relevance assessment.
@@ -66,6 +82,35 @@ pub struct RankedAnswer {
     pub explanation: Option<Afd>,
 }
 
+/// What a retrieval pass lost to source failures: rewritten queries that
+/// still failed after retries are *skipped*, not fatal, and their planned
+/// contribution is accounted for here so a degraded answer quantifies what
+/// it is missing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Degradation {
+    /// Rewritten queries dropped after exhausting retries.
+    pub dropped_rewrites: usize,
+    /// The F-measure mass of the dropped queries, scored like
+    /// [`crate::rank::order_rewrites`] against the issued plan's cumulative
+    /// throughput.
+    pub dropped_fmeasure: f64,
+    /// The last error that caused a drop (diagnostics).
+    pub last_error: Option<SourceError>,
+}
+
+impl Degradation {
+    /// `true` iff any planned retrieval was lost.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped_rewrites > 0
+    }
+
+    pub(crate) fn record(&mut self, fmeasure: f64, error: SourceError) {
+        self.dropped_rewrites += 1;
+        self.dropped_fmeasure += fmeasure;
+        self.last_error = Some(error);
+    }
+}
+
 /// The mediator's reply to a selection query.
 #[derive(Debug, Clone, Default)]
 pub struct AnswerSet {
@@ -78,6 +123,9 @@ pub struct AnswerSet {
     pub deferred: Vec<Tuple>,
     /// The rewritten queries that were issued, in issue order.
     pub issued: Vec<RewrittenQuery>,
+    /// What the retrieval pass lost to source failures (empty when every
+    /// planned query was answered).
+    pub degraded: Degradation,
 }
 
 /// The QPIAD mediator for one source.
@@ -106,8 +154,14 @@ impl Qpiad {
     /// Answers a selection query: certain answers plus ranked relevant
     /// possible answers (§4.2 steps 1–2).
     ///
-    /// Retrieval stops gracefully when the source's query budget runs out;
-    /// other source errors propagate.
+    /// Every query is issued through the retry boundary
+    /// ([`qpiad_db::fault::query_with_retry`], configured by
+    /// [`QpiadConfig::retry`]). Retrieval degrades rather than aborts:
+    /// retrieval stops gracefully when the source's query budget runs out,
+    /// and a rewritten query that still fails after retries is *skipped* —
+    /// its planned contribution is recorded in [`AnswerSet::degraded`] so
+    /// the caller knows what the answer is missing. Only a failure of the
+    /// *base* query (no certain answers at all) propagates as an error.
     ///
     /// Against a budget-free source the rewritten queries are issued
     /// concurrently over the [`par`] worker pool; the results are then
@@ -121,7 +175,7 @@ impl Qpiad {
         query: &SelectQuery,
     ) -> Result<AnswerSet, SourceError> {
         // Step 1: base result set (certain answers).
-        let certain = source.query(query)?;
+        let certain = query_with_retry(source, query, &self.config.retry)?;
 
         // Step 2a–2c: generate, select and order rewritten queries. A
         // rewritten query can constrain attributes the source's web form
@@ -148,26 +202,40 @@ impl Qpiad {
             issued: Vec::new(),
         };
 
+        // Per-candidate F-measure mass, so dropped queries can report how
+        // much of the plan they carried.
+        let scores = f_scores(&candidates, self.config.alpha);
+        let mut degraded = Degradation::default();
+
         let concurrent = !source.has_query_budget() && candidates.len() > 1 && par::num_threads() > 1;
         if concurrent {
-            // Fan the independent retrievals out, then merge in rank order.
+            // Fan the independent retrievals out (each worker retries its
+            // own query), then merge in rank order.
             let results: Vec<Result<Vec<Tuple>, SourceError>> =
-                par::parallel_map(&candidates, |rq| source.query(&rq.query));
-            for (rq, result) in candidates.into_iter().zip(results) {
+                par::parallel_map(&candidates, |rq| {
+                    query_with_retry(source, &rq.query, &self.config.retry)
+                });
+            for ((rq, result), score) in candidates.into_iter().zip(results).zip(scores) {
                 match result {
                     Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
+                    // Budget exhausted mid-plan: degrade to what is fetched.
                     Err(SourceError::QueryLimitExceeded { .. }) => break,
-                    Err(e) => return Err(e),
+                    // A rewrite that failed after retries is skipped, not
+                    // fatal: record what the plan lost and move on.
+                    Err(e) => degraded.record(score, e),
                 }
             }
         } else {
-            for rq in candidates {
-                match source.query(&rq.query) {
+            for (rq, score) in candidates.into_iter().zip(scores) {
+                match query_with_retry(source, &rq.query, &self.config.retry) {
                     Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
                     Err(SourceError::QueryLimitExceeded { .. }) => break,
-                    Err(e) => return Err(e),
+                    Err(e) => degraded.record(score, e),
                 }
             }
+        }
+        if degraded.is_degraded() {
+            source.note_degraded();
         }
 
         let mut possible = merge.possible;
@@ -180,6 +248,7 @@ impl Qpiad {
             possible,
             deferred: merge.deferred,
             issued: merge.issued,
+            degraded,
         })
     }
 

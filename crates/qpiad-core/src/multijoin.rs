@@ -190,7 +190,9 @@ pub fn answer_chain_join(
         let left_select = &query.selects[hop];
         let mut next: Vec<ChainRow> = Vec::new();
         for row in rows {
-            let left_tuple = row.tuples.last().expect("non-empty row");
+            // Rows are seeded with one tuple and only ever grow; an empty
+            // row would be a construction bug — drop it, don't panic.
+            let Some(left_tuple) = row.tuples.last() else { continue };
             let Some((key, prob, stored)) = join_key(left_side, left_select, *left_attr, left_tuple)
             else {
                 continue;

@@ -11,15 +11,22 @@
 //!   **correlated source** per Definition 4 — the supporting source whose
 //!   AFD for the missing attribute has the highest confidence and whose
 //!   determining set the deficient source can bind.
+//!
+//! Mediation is **fault-isolated per member**: sources are autonomous and
+//! flaky, so a member that fails (after retries) contributes a recorded
+//! [`SourceOutcome::Failed`] instead of poisoning every other source's
+//! answers, and a member whose rewrite plan partially failed is marked
+//! [`SourceOutcome::Degraded`] with the dropped F-measure mass.
 
 use std::sync::Arc;
 
 use qpiad_db::par;
-use qpiad_db::{AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, Tuple};
+use qpiad_db::{AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, Tuple};
+use qpiad_learn::afd::AfdSet;
 use qpiad_learn::knowledge::SourceStats;
 
 use crate::correlated::{answer_from_correlated, is_correlated_source_usable};
-use crate::mediator::{Qpiad, QpiadConfig, RankedAnswer};
+use crate::mediator::{Degradation, Qpiad, QpiadConfig, RankedAnswer};
 use crate::rank::RankConfig;
 
 /// One registered source.
@@ -29,6 +36,45 @@ struct Member<'a> {
     /// Statistics mined from this source's sample, if the source supports
     /// the full global schema (statistics live in global-attribute space).
     stats: Option<SourceStats>,
+}
+
+/// How one member's contribution to a network answer went.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SourceOutcome {
+    /// Full contribution: every planned query was answered.
+    #[default]
+    Healthy,
+    /// Partial contribution: some rewritten queries were dropped after
+    /// exhausting retries; the degradation records what was lost.
+    Degraded(Degradation),
+    /// No contribution: the member's base retrieval failed after retries.
+    /// The other members' answers are unaffected.
+    Failed(SourceError),
+}
+
+impl SourceOutcome {
+    /// `true` iff the member contributed everything it was asked for.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, SourceOutcome::Healthy)
+    }
+
+    /// `true` iff the member contributed nothing because it failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SourceOutcome::Failed(_))
+    }
+
+    /// `true` iff the member's contribution is partial.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SourceOutcome::Degraded(_))
+    }
+
+    fn from_degradation(d: Degradation) -> Self {
+        if d.is_degraded() {
+            SourceOutcome::Degraded(d)
+        } else {
+            SourceOutcome::Healthy
+        }
+    }
 }
 
 /// Answers contributed by one source.
@@ -43,6 +89,20 @@ pub struct SourceAnswers {
     /// Name of the correlated source whose statistics drove retrieval, if
     /// this source could not bind the query directly.
     pub via_correlated: Option<String>,
+    /// How this member's retrieval went (healthy, degraded, or failed).
+    pub outcome: SourceOutcome,
+}
+
+impl SourceAnswers {
+    fn failed(source: &dyn AutonomousSource, error: SourceError) -> Self {
+        SourceAnswers {
+            source: source.name().to_string(),
+            certain: Vec::new(),
+            possible: Vec::new(),
+            via_correlated: None,
+            outcome: SourceOutcome::Failed(error),
+        }
+    }
 }
 
 /// The combined mediation result.
@@ -61,6 +121,27 @@ impl NetworkAnswer {
     /// Total possible answers across sources.
     pub fn possible_count(&self) -> usize {
         self.per_source.iter().map(|s| s.possible.len()).sum()
+    }
+
+    /// `true` iff every member contributed its full answer set.
+    pub fn fully_healthy(&self) -> bool {
+        self.per_source.iter().all(|s| s.outcome.is_healthy())
+    }
+
+    /// The members that failed outright, with their errors.
+    pub fn failed_sources(&self) -> Vec<(&str, &SourceError)> {
+        self.per_source
+            .iter()
+            .filter_map(|s| match &s.outcome {
+                SourceOutcome::Failed(e) => Some((s.source.as_str(), e)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of members whose contribution was degraded (partial).
+    pub fn degraded_count(&self) -> usize {
+        self.per_source.iter().filter(|s| s.outcome.is_degraded()).count()
     }
 }
 
@@ -120,7 +201,9 @@ impl<'a> MediatorNetwork<'a> {
     /// member (Definition 4): among members with statistics whose best AFD
     /// for each constrained attribute has a determining set the deficient
     /// member supports, the one with the highest (minimum-over-attributes)
-    /// AFD confidence.
+    /// AFD confidence. A candidate missing an AFD for *any* constrained
+    /// attribute is disqualified — ignoring the gap would inflate its
+    /// minimum-confidence score.
     fn correlated_for(&self, target: &Member<'a>, query: &SelectQuery) -> Option<&Member<'a>> {
         let mut best: Option<(f64, &Member<'a>)> = None;
         for m in &self.members {
@@ -131,12 +214,10 @@ impl<'a> MediatorNetwork<'a> {
             if !is_correlated_source_usable(stats, &target.binding, query) {
                 continue;
             }
-            let conf = query
-                .constrained_attrs()
-                .iter()
-                .filter_map(|a| stats.afds().best(*a).map(|afd| afd.confidence))
-                .fold(f64::INFINITY, f64::min);
-            if conf.is_finite() && best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
+            let Some(conf) = min_afd_confidence(stats.afds(), &query.constrained_attrs()) else {
+                continue;
+            };
+            if best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
                 best = Some((conf, m));
             }
         }
@@ -149,12 +230,15 @@ impl<'a> MediatorNetwork<'a> {
         member: &Member<'a>,
         query: &SelectQuery,
     ) -> Result<SourceAnswers, SourceError> {
-        let supports_all = query
-            .constrained_attrs()
-            .iter()
-            .all(|a| member.binding.supports(*a) && member.source.supports(
-                member.binding.local_attr(*a).expect("supported attr maps"),
-            ));
+        // A member "supports" the query only if the binding carries every
+        // constrained attribute AND the source's web form can actually bind
+        // it (local schemas may store attributes they expose no field for).
+        let supports_all = query.constrained_attrs().iter().all(|a| {
+            member
+                .binding
+                .local_attr(*a)
+                .is_some_and(|local| member.source.supports(local))
+        });
         let answers = if supports_all {
             if let Some(stats) = &member.stats {
                 // Direct QPIAD. Statistics and query share the global
@@ -174,37 +258,52 @@ impl<'a> MediatorNetwork<'a> {
                         })
                         .collect(),
                     via_correlated: None,
+                    outcome: SourceOutcome::from_degradation(set.degraded),
                 }
             } else {
                 // Supports the attributes but has no statistics: certain
                 // answers only.
                 let local = member.binding.translate_query(query)?;
-                let certain = member.source.query(&local)?;
+                let certain =
+                    qpiad_db::fault::query_with_retry(member.source, &local, &self.config.retry)?;
                 SourceAnswers {
                     source: member.source.name().to_string(),
                     certain: certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
                     possible: Vec::new(),
                     via_correlated: None,
+                    outcome: SourceOutcome::Healthy,
                 }
             }
         } else {
             // Deficient for this query: try a correlated source.
             match self.correlated_for(member, query) {
                 Some(correlated) => {
-                    let stats = correlated.stats.as_ref().expect("correlated has stats");
-                    let possible = answer_from_correlated(
+                    // `correlated_for` only returns members with statistics;
+                    // if that invariant ever breaks it must surface as a
+                    // recorded failure for this member, not a panic.
+                    let stats = correlated.stats.as_ref().ok_or_else(|| {
+                        SourceError::Internal {
+                            message: format!(
+                                "correlated member `{}` has no statistics",
+                                correlated.source.name()
+                            ),
+                        }
+                    })?;
+                    let result = answer_from_correlated(
                         correlated.source,
                         stats,
                         member.source,
                         &member.binding,
                         query,
                         &RankConfig { alpha: self.config.alpha, k: self.config.k },
+                        &self.config.retry,
                     )?;
                     SourceAnswers {
                         source: member.source.name().to_string(),
                         certain: Vec::new(),
-                        possible,
+                        possible: result.possible,
                         via_correlated: Some(correlated.source.name().to_string()),
+                        outcome: SourceOutcome::from_degradation(result.degraded),
                     }
                 }
                 None => SourceAnswers {
@@ -212,6 +311,7 @@ impl<'a> MediatorNetwork<'a> {
                     certain: Vec::new(),
                     possible: Vec::new(),
                     via_correlated: None,
+                    outcome: SourceOutcome::Healthy,
                 },
             }
         };
@@ -227,8 +327,14 @@ impl<'a> MediatorNetwork<'a> {
     /// Sources are interrogated concurrently on the [`par`] worker pool
     /// (each is independent; meters and lazy indexes sit behind locks) and
     /// contributions are assembled in registration order, identical to
-    /// sequential mediation. On failure the first error in registration
-    /// order is returned.
+    /// sequential mediation.
+    ///
+    /// **Failures are isolated per member**: a member whose retrieval fails
+    /// (after the configured retries) contributes an empty answer set with
+    /// [`SourceOutcome::Failed`] recorded, instead of aborting the whole
+    /// mediation — the best partial answer the network can certify is
+    /// always returned. The `Result` return type is kept for API stability;
+    /// the current implementation always returns `Ok`.
     pub fn answer(&self, query: &SelectQuery) -> Result<NetworkAnswer, SourceError> {
         let results: Vec<Result<SourceAnswers, SourceError>> =
             if self.members.len() > 1 && par::num_threads() > 1 {
@@ -237,11 +343,27 @@ impl<'a> MediatorNetwork<'a> {
                 self.members.iter().map(|m| self.answer_member(m, query)).collect()
             };
         let mut out = NetworkAnswer::default();
-        for r in results {
-            out.per_source.push(r?);
+        for (member, r) in self.members.iter().zip(results) {
+            out.per_source.push(r.unwrap_or_else(|e| {
+                member.source.note_degraded();
+                SourceAnswers::failed(member.source, e)
+            }));
         }
         Ok(out)
     }
+}
+
+/// The Definition-4 score component: the minimum best-AFD confidence over
+/// the given attributes, or `None` when any attribute has no AFD at all —
+/// a candidate correlated source that cannot explain every constrained
+/// attribute must be disqualified, not scored on the attributes it happens
+/// to cover.
+fn min_afd_confidence(afds: &AfdSet, attrs: &[AttrId]) -> Option<f64> {
+    let mut conf = f64::INFINITY;
+    for a in attrs {
+        conf = conf.min(afds.best(*a)?.confidence);
+    }
+    conf.is_finite().then_some(conf)
 }
 
 #[cfg(test)]
@@ -370,6 +492,43 @@ mod tests {
         let answer = network.answer(&q).unwrap();
         assert_eq!(answer.certain_count(), 0);
         assert_eq!(answer.possible_count(), 0);
+    }
+
+    #[test]
+    fn missing_afd_disqualifies_a_correlated_candidate() {
+        // Regression for the Definition-4 scoring bug: a candidate with an
+        // AFD for only one of two constrained attributes used to be scored
+        // on that one attribute alone (the gap was silently filtered out),
+        // inflating its minimum-confidence score. A missing AFD must
+        // disqualify the candidate outright.
+        use qpiad_learn::afd::Afd;
+        let a0 = AttrId(0);
+        let a1 = AttrId(1);
+        let a2 = AttrId(2);
+        let afds = AfdSet::new(vec![Afd::new(vec![a0], a1, 0.9)]);
+        // Fully covered: the single attribute's best AFD scores it.
+        assert_eq!(min_afd_confidence(&afds, &[a1]), Some(0.9));
+        // a2 has no AFD: the candidate is disqualified, not scored 0.9.
+        assert_eq!(min_afd_confidence(&afds, &[a1, a2]), None);
+        // No constrained attributes: nothing to certify, disqualified.
+        assert_eq!(min_afd_confidence(&afds, &[]), None);
+        // Minimum over attributes, not average or maximum.
+        let afds = AfdSet::new(vec![Afd::new(vec![a0], a1, 0.9), Afd::new(vec![a0], a2, 0.4)]);
+        assert_eq!(min_afd_confidence(&afds, &[a1, a2]), Some(0.4));
+    }
+
+    #[test]
+    fn healthy_network_reports_healthy_outcomes() {
+        let f = fixture();
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting(&f.cars, f.cars_stats.clone())
+            .add_deficient(&f.yahoo);
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answer = network.answer(&q).unwrap();
+        assert!(answer.fully_healthy());
+        assert!(answer.failed_sources().is_empty());
+        assert_eq!(answer.degraded_count(), 0);
     }
 
     #[test]

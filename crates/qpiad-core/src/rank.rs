@@ -88,6 +88,29 @@ pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec
     selected
 }
 
+/// The F-measure score of each query in `rewrites` against that list's own
+/// cumulative throughput — the same scoring rule [`order_rewrites`] ranks
+/// by, recomputed over an already-selected plan. The fault-tolerant
+/// retrieval loops use this to report the F-measure mass of rewritten
+/// queries they had to drop, so a degraded answer quantifies what it lost.
+pub fn f_scores(rewrites: &[RewrittenQuery], alpha: f64) -> Vec<f64> {
+    let total_throughput: f64 = rewrites
+        .iter()
+        .map(|r| r.precision * r.est_selectivity)
+        .sum();
+    rewrites
+        .iter()
+        .map(|r| {
+            if total_throughput > 0.0 {
+                let recall = r.precision * r.est_selectivity / total_throughput;
+                f_measure(r.precision, recall, alpha)
+            } else {
+                r.precision
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +183,18 @@ mod tests {
     fn k_zero_selects_nothing() {
         let rewrites = vec![rq(1, 0.9, 1.0)];
         assert!(order_rewrites(rewrites, &RankConfig { alpha: 0.0, k: 0 }).is_empty());
+    }
+
+    #[test]
+    fn f_scores_match_the_ordering_rule() {
+        let rewrites = vec![rq(1, 0.9, 10.0), rq(2, 0.5, 100.0)];
+        let scores = f_scores(&rewrites, 0.0);
+        // α = 0 degenerates to precision (recall > 0 for both).
+        assert!((scores[0] - 0.9).abs() < 1e-12);
+        assert!((scores[1] - 0.5).abs() < 1e-12);
+        // Zero throughput falls back to precision, like order_rewrites.
+        let degenerate = vec![rq(1, 0.7, 0.0)];
+        assert_eq!(f_scores(&degenerate, 1.0), vec![0.7]);
     }
 
     #[test]

@@ -77,11 +77,13 @@ pub fn generate_rewrites(
             continue;
         };
         let dtr: Vec<AttrId> = dtr.to_vec();
-        // The original predicate on the target (certain to exist).
-        let target_pred = query
-            .predicate_on(target)
-            .expect("constrained attribute has a predicate")
-            .clone();
+        // The original predicate on the target. `constrained_attrs` is
+        // derived from the predicate list, so this is always present; if
+        // that coupling ever breaks, skipping the attribute degrades the
+        // rewrite plan instead of panicking mid-mediation.
+        let Some(target_pred) = query.predicate_on(target).cloned() else {
+            continue;
+        };
         let afd = stats.afds().best(target).cloned();
 
         // Hoisted out of the per-combination loop: the predicates every

@@ -1,10 +1,25 @@
-//! Errors raised by autonomous sources.
+//! Errors raised by (or on behalf of) autonomous sources.
+//!
+//! The variants fall into three families the mediation layer treats
+//! differently:
+//!
+//! * **rejections** — the query is inexpressible on this source
+//!   ([`SourceError::NullBindingUnsupported`],
+//!   [`SourceError::UnsupportedAttribute`]) or the session budget is spent
+//!   ([`SourceError::QueryLimitExceeded`]); re-issuing the same query cannot
+//!   help;
+//! * **failures** — the source failed to serve a valid query
+//!   ([`SourceError::Unavailable`], [`SourceError::Timeout`]); transient
+//!   ones ([`SourceError::is_transient`]) are worth retrying;
+//! * **internal** — a mediator-side invariant broke while serving the
+//!   source ([`SourceError::Internal`]); surfaced as a recorded outcome
+//!   instead of a panic so one bad member cannot poison a whole answer.
 
 use std::fmt;
 
 use crate::schema::AttrId;
 
-/// Why a source rejected a query.
+/// Why a source rejected or failed to serve a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SourceError {
     /// The query binds a null (`attr IS NULL`) and the source's web-form
@@ -25,6 +40,46 @@ pub enum SourceError {
         /// The configured limit.
         limit: usize,
     },
+    /// The source could not be reached (network fault, overload, outage).
+    Unavailable {
+        /// `true` for transient conditions worth retrying; `false` for a
+        /// hard outage for the rest of the session.
+        retryable: bool,
+    },
+    /// The source did not answer within the deadline. Always transient.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited_ms: u64,
+    },
+    /// A mediator-side invariant broke while serving this source (e.g. a
+    /// member selected as a correlated source carries no statistics).
+    Internal {
+        /// What broke, for diagnostics.
+        message: String,
+    },
+}
+
+impl SourceError {
+    /// `true` for errors a retry can plausibly fix: retryable unavailability
+    /// and timeouts. Rejections and hard outages are not transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Unavailable { retryable: true } | SourceError::Timeout { .. }
+        )
+    }
+
+    /// `true` for errors that mean the source (or the mediation layer)
+    /// *failed* to serve a valid query, as opposed to rejecting an
+    /// inexpressible or over-budget one.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Unavailable { .. }
+                | SourceError::Timeout { .. }
+                | SourceError::Internal { .. }
+        )
+    }
 }
 
 impl fmt::Display for SourceError {
@@ -38,6 +93,18 @@ impl fmt::Display for SourceError {
             }
             SourceError::QueryLimitExceeded { limit } => {
                 write!(f, "source query limit of {limit} queries exceeded")
+            }
+            SourceError::Unavailable { retryable: true } => {
+                write!(f, "source temporarily unavailable")
+            }
+            SourceError::Unavailable { retryable: false } => {
+                write!(f, "source unavailable (not retryable)")
+            }
+            SourceError::Timeout { waited_ms } => {
+                write!(f, "source timed out after {waited_ms} ms")
+            }
+            SourceError::Internal { message } => {
+                write!(f, "internal mediation error: {message}")
             }
         }
     }
@@ -57,5 +124,27 @@ mod tests {
         assert!(e.to_string().contains("does not support queries"));
         let e = SourceError::QueryLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("10"));
+        let e = SourceError::Unavailable { retryable: true };
+        assert!(e.to_string().contains("temporarily"));
+        let e = SourceError::Timeout { waited_ms: 250 };
+        assert!(e.to_string().contains("250"));
+        let e = SourceError::Internal { message: "stats missing".into() };
+        assert!(e.to_string().contains("stats missing"));
+    }
+
+    #[test]
+    fn transient_and_failure_classification() {
+        assert!(SourceError::Unavailable { retryable: true }.is_transient());
+        assert!(SourceError::Timeout { waited_ms: 1 }.is_transient());
+        assert!(!SourceError::Unavailable { retryable: false }.is_transient());
+        assert!(!SourceError::QueryLimitExceeded { limit: 1 }.is_transient());
+        assert!(!SourceError::Internal { message: String::new() }.is_transient());
+
+        assert!(SourceError::Unavailable { retryable: false }.is_failure());
+        assert!(SourceError::Timeout { waited_ms: 1 }.is_failure());
+        assert!(SourceError::Internal { message: String::new() }.is_failure());
+        assert!(!SourceError::NullBindingUnsupported { attr: AttrId(0) }.is_failure());
+        assert!(!SourceError::UnsupportedAttribute { attr: AttrId(0) }.is_failure());
+        assert!(!SourceError::QueryLimitExceeded { limit: 1 }.is_failure());
     }
 }

@@ -14,6 +14,10 @@
 //!   implement the paper's infeasible baselines),
 //! * [`catalog`] — the mediator-side global-schema catalog mapping global
 //!   attributes onto each source's local schema,
+//! * [`fault`] — the failure model: transient-error injection
+//!   ([`fault::FaultInjector`], deterministic and seeded, for tests and
+//!   benches) and the retry boundary ([`fault::RetryPolicy`],
+//!   [`fault::query_with_retry`]) the mediator issues queries through,
 //! * [`par`] — deterministic fork–join helpers; the mediator and the miner
 //!   use them to spread independent work over `QPIAD_THREADS` workers
 //!   without changing any result.
@@ -25,6 +29,7 @@
 
 pub mod catalog;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod par;
 pub mod query;
@@ -36,6 +41,7 @@ pub mod value;
 
 pub use catalog::{GlobalCatalog, SourceBinding};
 pub use error::SourceError;
+pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy};
 pub use index::{AttrIndex, SelectionEngine};
 pub use query::{AggFunc, AggregateQuery, JoinQuery, PredOp, Predicate, SelectQuery};
 pub use relation::Relation;

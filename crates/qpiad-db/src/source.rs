@@ -28,6 +28,13 @@ use crate::schema::{AttrId, Schema};
 use crate::tuple::Tuple;
 
 /// Cumulative access costs incurred against a source.
+///
+/// Beyond raw query/tuple counts, the meter tracks the fault-tolerance
+/// counters the mediation layer reports through it: failed query attempts,
+/// mediator-side retries, and mediation passes that degraded to a partial
+/// (or empty) contribution from this source. These keep the Figure-8-style
+/// efficiency experiments honest when sources are flaky: a degraded run is
+/// visibly distinct from a cheap healthy one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SourceMeter {
     /// Number of queries answered.
@@ -37,6 +44,16 @@ pub struct SourceMeter {
     /// Number of queries rejected (null binding, unsupported attribute,
     /// budget exhaustion).
     pub rejected: usize,
+    /// Failed query attempts observed at the query-issue boundary
+    /// (unavailability, timeouts, internal errors) — see
+    /// [`SourceError::is_failure`](crate::error::SourceError::is_failure).
+    pub failures: usize,
+    /// Mediator-side retries issued against this source.
+    pub retries: usize,
+    /// Mediation passes whose contribution from this source was degraded:
+    /// rewritten queries dropped after retries, or the member recorded as
+    /// failed outright.
+    pub degraded: usize,
 }
 
 /// The query interface every autonomous source exposes to the mediator.
@@ -51,11 +68,15 @@ pub trait AutonomousSource: Sync {
     /// The source's local schema.
     fn schema(&self) -> &Arc<Schema>;
 
-    /// `true` iff the local schema supports binding the given attribute in
-    /// a query.
-    fn supports(&self, attr: AttrId) -> bool {
-        attr.index() < self.schema().arity()
-    }
+    /// `true` iff the source accepts queries binding the given attribute.
+    ///
+    /// This must reflect *queryability*, not mere schema membership: a web
+    /// form may store an attribute yet expose no field for it. There is
+    /// deliberately no default implementation — a bounds check against the
+    /// schema arity routed queries at sources with no field for the
+    /// attribute; every implementor must consult its queryable set (or
+    /// delegate to a wrapped source).
+    fn supports(&self, attr: AttrId) -> bool;
 
     /// Whether `attr IS NULL` predicates are accepted.
     fn allows_null_binding(&self) -> bool;
@@ -77,6 +98,21 @@ pub trait AutonomousSource: Sync {
 
     /// Resets the access meter (between experiments).
     fn reset_meter(&self);
+
+    /// Records `n` mediator-side retries attributed to this source. Called
+    /// by the retry boundary ([`crate::fault::query_with_retry`]); sources
+    /// that do not meter may leave the default no-op.
+    fn note_retries(&self, n: usize) {
+        let _ = n;
+    }
+
+    /// Records one failed query attempt (unavailability, timeout, internal
+    /// error) observed at the query-issue boundary.
+    fn note_failure(&self) {}
+
+    /// Records one mediation pass that degraded this source's contribution
+    /// (dropped rewrites or a failed member).
+    fn note_degraded(&self) {}
 }
 
 fn validate(
@@ -135,6 +171,10 @@ impl SourceInner {
         meter.queries += 1;
         meter.tuples_returned += result.len();
         Ok(result)
+    }
+
+    fn note(&self, apply: impl FnOnce(&mut SourceMeter)) {
+        apply(&mut self.meter.lock());
     }
 }
 
@@ -220,6 +260,18 @@ impl AutonomousSource for WebSource {
     fn reset_meter(&self) {
         *self.inner.meter.lock() = SourceMeter::default();
     }
+
+    fn note_retries(&self, n: usize) {
+        self.inner.note(|m| m.retries += n);
+    }
+
+    fn note_failure(&self) {
+        self.inner.note(|m| m.failures += 1);
+    }
+
+    fn note_degraded(&self) {
+        self.inner.note(|m| m.degraded += 1);
+    }
 }
 
 /// A source with unrestricted access patterns, including null binding.
@@ -263,6 +315,10 @@ impl AutonomousSource for DirectSource {
         self.inner.relation.schema()
     }
 
+    fn supports(&self, attr: AttrId) -> bool {
+        attr.index() < self.inner.queryable.len() && self.inner.queryable[attr.index()]
+    }
+
     fn allows_null_binding(&self) -> bool {
         true
     }
@@ -277,6 +333,18 @@ impl AutonomousSource for DirectSource {
 
     fn reset_meter(&self) {
         *self.inner.meter.lock() = SourceMeter::default();
+    }
+
+    fn note_retries(&self, n: usize) {
+        self.inner.note(|m| m.retries += n);
+    }
+
+    fn note_failure(&self) {
+        self.inner.note(|m| m.failures += 1);
+    }
+
+    fn note_degraded(&self) {
+        self.inner.note(|m| m.degraded += 1);
     }
 }
 

@@ -9,6 +9,7 @@
 
 use qpiad_core::correlated::answer_from_correlated;
 use qpiad_core::rank::RankConfig;
+use qpiad_db::RetryPolicy;
 use qpiad_data::cars::CarsConfig;
 use qpiad_db::{AutonomousSource, Predicate, Relation, SelectQuery, SourceBinding, Value, WebSource};
 
@@ -77,8 +78,10 @@ pub fn run(scale: &Scale) -> Report {
                 &target.binding,
                 &query,
                 &RankConfig { alpha: 0.0, k: 10 },
+                &RetryPolicy::default(),
             )
             .expect("rewritten queries are expressible on the target");
+            let answers = answers.possible;
             if answers.is_empty() {
                 continue;
             }

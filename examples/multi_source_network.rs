@@ -3,16 +3,23 @@
 //! QPIAD; sources whose local schemas lack the constrained attribute are
 //! reached through correlated-source rewriting.
 //!
+//! The network is fault-tolerant: two of the sources below are wrapped in
+//! [`FaultInjector`]s — one flakes transiently (and recovers under the
+//! retry policy), one is permanently down. Mediation still returns every
+//! healthy contribution and records the outage as a per-source outcome.
+//!
 //! ```text
 //! cargo run --release --example multi_source_network
 //! ```
 
 use qpiad::core::mediator::QpiadConfig;
-use qpiad::core::network::MediatorNetwork;
+use qpiad::core::network::{MediatorNetwork, SourceOutcome};
 use qpiad::data::cars::CarsConfig;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
 use qpiad::data::sample::uniform_sample;
-use qpiad::db::{Predicate, SelectQuery, WebSource};
+use qpiad::db::{
+    AutonomousSource, FaultInjector, FaultPlan, Predicate, RetryPolicy, SelectQuery, WebSource,
+};
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 
 fn main() {
@@ -36,18 +43,40 @@ fn main() {
             .collect();
         WebSource::new(name, ground.project_to(name, &keep))
     };
-    let yahoo = make_deficient("yahoo_autos", 72);
-    let carsdirect = make_deficient("carsdirect", 73);
+    // yahoo_autos is flaky: the first two attempts of every distinct query
+    // fail with a retryable outage, so a 3-attempt retry policy still gets
+    // its full contribution.
+    let yahoo = FaultInjector::new(
+        make_deficient("yahoo_autos", 72),
+        FaultPlan::healthy().with_fail_first_attempts(2),
+    );
+    // carsdirect is down for the whole session.
+    let carsdirect = FaultInjector::new(
+        make_deficient("carsdirect", 73),
+        FaultPlan::healthy().with_permanent_outage(),
+    );
 
-    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+    let config = QpiadConfig::default()
+        .with_k(8)
+        .with_retry(RetryPolicy::default().with_max_attempts(3));
+    let network = MediatorNetwork::new(global.clone(), config)
         .add_supporting(&cars, stats)
         .add_deficient(&yahoo)
         .add_deficient(&carsdirect);
 
     let body = global.expect_attr("body_style");
-    for style in ["Convt", "Truck"] {
-        let query = SelectQuery::new(vec![Predicate::eq(body, style)]);
-        let answer = network.answer(&query).expect("all sources reachable");
+    let model = global.expect_attr("model");
+    // body_style queries reach the deficient sources via correlated
+    // rewriting (the downed member degrades: its rewrites are dropped); the
+    // model query binds on every source directly, so the downed member
+    // fails outright — and is isolated.
+    let queries = [
+        SelectQuery::new(vec![Predicate::eq(body, "Convt")]),
+        SelectQuery::new(vec![Predicate::eq(body, "Truck")]),
+        SelectQuery::new(vec![Predicate::eq(model, "Civic")]),
+    ];
+    for query in queries {
+        let answer = network.answer(&query).expect("mediation never aborts");
         println!(
             "\n{} -> {} certain + {} possible answers across {} sources",
             query.display(&global),
@@ -56,19 +85,37 @@ fn main() {
             answer.per_source.len()
         );
         for part in &answer.per_source {
+            let outcome = match &part.outcome {
+                SourceOutcome::Healthy => "healthy".to_string(),
+                SourceOutcome::Degraded(d) => format!(
+                    "degraded: dropped {} rewrites ({:.3} F-measure mass)",
+                    d.dropped_rewrites, d.dropped_fmeasure
+                ),
+                SourceOutcome::Failed(e) => format!("FAILED: {e}"),
+            };
             match &part.via_correlated {
                 Some(via) => println!(
-                    "  {:<12} {} possible answers (statistics borrowed from {via})",
+                    "  {:<12} {} possible answers (statistics borrowed from {via}) [{outcome}]",
                     part.source,
                     part.possible.len()
                 ),
                 None => println!(
-                    "  {:<12} {} certain, {} possible answers",
+                    "  {:<12} {} certain, {} possible answers [{outcome}]",
                     part.source,
                     part.certain.len(),
                     part.possible.len()
                 ),
             }
         }
+        for (name, err) in answer.failed_sources() {
+            println!("  (outage isolated: `{name}` contributed nothing — {err})");
+        }
     }
+    println!(
+        "\nmeters: yahoo_autos {} retries / {} failures; carsdirect {} failures, degraded {}",
+        yahoo.meter().retries,
+        yahoo.meter().failures,
+        carsdirect.meter().failures,
+        carsdirect.meter().degraded,
+    );
 }

@@ -19,7 +19,7 @@ use qpiad::data::catalog::CarCatalog;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
 use qpiad::data::sample::probe_sample;
 use qpiad::db::{
-    AutonomousSource, Predicate, SelectQuery, SourceBinding, Value, WebSource,
+    AutonomousSource, Predicate, RetryPolicy, SelectQuery, SourceBinding, Value, WebSource,
 };
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 use qpiad::learn::persist::StatsSnapshot;
@@ -122,8 +122,10 @@ fn main() {
         &binding,
         &query,
         &RankConfig { alpha: 0.0, k: 8 },
+        &RetryPolicy::default(),
     )
     .expect("rewrites expressible on yahoo");
+    let answers = answers.possible;
     println!(
         "\ncorrelated retrieval from `{}` (no body_style column): {} possible answers",
         yahoo.name(),

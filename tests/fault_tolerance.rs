@@ -1,0 +1,349 @@
+//! Fault-tolerant mediation: flaky autonomous sources must not poison the
+//! network answer.
+//!
+//! Each scenario wraps sources in [`FaultInjector`]s with seeded,
+//! content-keyed fault plans and checks three properties:
+//!
+//! 1. **Convergence** — transient failures that resolve within the retry
+//!    budget leave the answer byte-identical to a healthy run.
+//! 2. **Isolation** — a permanently-down member contributes a recorded
+//!    [`SourceOutcome::Failed`] while every other member's contribution is
+//!    byte-identical to the healthy run (the pre-fault-tolerance mediator
+//!    aborted the whole `answer` call here).
+//! 3. **Determinism** — fault decisions are keyed on query content, not
+//!    call order, so every scenario replays identically at 1 and 8 worker
+//!    threads (the same discipline `QPIAD_THREADS` enforces elsewhere).
+//!
+//! The thread override is process-global; tests serialize on a mutex and
+//! restore the default on drop, mirroring `parallel_determinism.rs`.
+
+use std::sync::{Mutex, MutexGuard};
+
+use qpiad::core::network::{MediatorNetwork, NetworkAnswer, SourceOutcome};
+use qpiad::core::{par, QpiadConfig};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{
+    AutonomousSource, FaultInjector, FaultPlan, Predicate, Relation, RetryPolicy, SelectQuery,
+    SourceError, WebSource,
+};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the override lock and resets the pool size when dropped.
+struct PinnedPool<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+impl PinnedPool<'_> {
+    fn acquire() -> Self {
+        PinnedPool(OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Drop for PinnedPool<'_> {
+    fn drop(&mut self) {
+        par::set_thread_override(None);
+    }
+}
+
+struct Fixture {
+    /// cars.com-like: full schema, incomplete, mined statistics.
+    cars_ed: Relation,
+    cars_stats: SourceStats,
+    /// yahoo_autos-like: local schema without body_style.
+    yahoo_local: Relation,
+    /// auctions-like: full schema, no statistics (certain answers only).
+    auctions_ed: Relation,
+}
+
+fn fixture() -> Fixture {
+    let cars_gd = CarsConfig::default().with_rows(5_000).generate(91);
+    let global = cars_gd.schema().clone();
+    let (cars_ed, _) = corrupt(&cars_gd, &CorruptionConfig::default().with_seed(1));
+    let cars_stats = SourceStats::mine(
+        &uniform_sample(&cars_ed, 0.10, 2),
+        cars_ed.len(),
+        &MiningConfig::default(),
+    );
+
+    let keep: Vec<_> = global
+        .attr_ids()
+        .filter(|a| global.attr(*a).name() != "body_style")
+        .collect();
+    let yahoo_local = CarsConfig::default()
+        .with_rows(5_000)
+        .generate(92)
+        .project_to("yahoo_autos", &keep);
+
+    let auctions_gd = CarsConfig::default().with_rows(5_000).generate(93);
+    let (auctions_ed, _) = corrupt(&auctions_gd, &CorruptionConfig::default().with_seed(3));
+    let auctions_ed = auctions_ed.project_to("auctions", &global.attr_ids().collect::<Vec<_>>());
+
+    Fixture { cars_ed, cars_stats, yahoo_local, auctions_ed }
+}
+
+/// Everything order- and rank-sensitive about a network answer, with float
+/// bits compared exactly, one signature per member. Outcomes (including
+/// degradation accounting) are part of the signature.
+fn per_part(answer: &NetworkAnswer) -> Vec<Vec<String>> {
+    answer
+        .per_source
+        .iter()
+        .map(|part| {
+            std::iter::once(format!(
+                "source {} via={:?} outcome={:?}",
+                part.source, part.via_correlated, part.outcome
+            ))
+            .chain(part.certain.iter().map(|t| format!("certain {:?}", t.id())))
+            .chain(part.possible.iter().map(|r| {
+                format!(
+                    "possible {:?} conf={:016x} prec={:016x} q={}",
+                    r.tuple.id(),
+                    r.confidence.to_bits(),
+                    r.query_precision.to_bits(),
+                    r.query_index
+                )
+            }))
+            .collect()
+        })
+        .collect()
+}
+
+fn signature(answer: &NetworkAnswer) -> Vec<String> {
+    per_part(answer).into_iter().flatten().collect()
+}
+
+/// Answers `query` over (cars + yahoo + auctions), with each source first
+/// passed through `wrap` (identity plans make a healthy network).
+fn run_network(
+    f: &Fixture,
+    query: &SelectQuery,
+    retry: RetryPolicy,
+    plans: [FaultPlan; 3],
+) -> (NetworkAnswer, [qpiad::db::SourceMeter; 3]) {
+    let global = f.cars_ed.schema().clone();
+    let cars = FaultInjector::new(WebSource::new("cars.com", f.cars_ed.clone()), plans[0]);
+    let yahoo = FaultInjector::new(WebSource::new("yahoo_autos", f.yahoo_local.clone()), plans[1]);
+    let auctions = FaultInjector::new(WebSource::new("auctions", f.auctions_ed.clone()), plans[2]);
+    let network = MediatorNetwork::new(
+        global,
+        QpiadConfig::default().with_k(8).with_retry(retry),
+    )
+    .add_supporting(&cars, f.cars_stats.clone())
+    .add_deficient(&yahoo)
+    .add_deficient(&auctions);
+    let answer = network.answer(query).expect("mediation never aborts");
+    (answer, [cars.meter(), yahoo.meter(), auctions.meter()])
+}
+
+#[test]
+fn transient_failures_with_retries_converge_to_the_healthy_answer() {
+    let _pin = PinnedPool::acquire();
+    let f = fixture();
+    let body = f.cars_ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // Every distinct query fails its first two attempts on every source; a
+    // three-attempt policy absorbs all of it.
+    let flaky = FaultPlan::healthy().with_fail_first_attempts(2);
+    let retry = RetryPolicy::default().with_max_attempts(3);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let (healthy, healthy_meters) =
+            run_network(&f, &query, RetryPolicy::none(), [FaultPlan::healthy(); 3]);
+        assert!(healthy.fully_healthy());
+        assert_eq!(healthy_meters[0].retries, 0);
+
+        let (faulted, meters) = run_network(&f, &query, retry, [flaky; 3]);
+        assert!(
+            faulted.fully_healthy(),
+            "retries must absorb the transient outages: {:?}",
+            faulted.failed_sources()
+        );
+        assert_eq!(signature(&healthy), signature(&faulted));
+        // Every member was retried and every failed attempt was metered.
+        for m in &meters {
+            assert!(m.retries > 0, "retries went unmetered: {m:?}");
+            assert_eq!(m.failures, m.retries, "each absorbed failure costs one retry");
+            assert_eq!(m.degraded, 0);
+        }
+        signatures.push(signature(&faulted));
+    }
+    assert_eq!(signatures[0], signatures[1], "fault decisions must be content-keyed");
+}
+
+#[test]
+fn permanent_outage_is_isolated_to_the_failed_member() {
+    let _pin = PinnedPool::acquire();
+    let f = fixture();
+    // Query on an attribute every source supports: each member answers
+    // directly, so the downed member's base retrieval fails outright. This
+    // is the scenario the pre-fault-tolerance mediator turned into an `Err`
+    // for the *whole* network.
+    let model = f.cars_ed.schema().expect_attr("model");
+    let query = SelectQuery::new(vec![Predicate::eq(model, "Civic")]);
+
+    let down = FaultPlan::healthy().with_permanent_outage();
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let (healthy, _) =
+            run_network(&f, &query, RetryPolicy::none(), [FaultPlan::healthy(); 3]);
+        assert!(healthy.fully_healthy());
+        assert!(healthy.certain_count() > 0);
+
+        let (faulted, meters) = run_network(
+            &f,
+            &query,
+            RetryPolicy::default().with_max_attempts(3),
+            [FaultPlan::healthy(), FaultPlan::healthy(), down],
+        );
+
+        // The network still answers, with the outage recorded...
+        let failed = faulted.failed_sources();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, "auctions");
+        assert!(matches!(failed[0].1, SourceError::Unavailable { retryable: false }));
+        assert!(faulted.per_source[2].outcome.is_failed());
+        assert!(faulted.per_source[2].certain.is_empty());
+
+        // ...and the healthy members' contributions are byte-identical to
+        // the healthy run's.
+        assert_eq!(per_part(&healthy)[..2], per_part(&faulted)[..2]);
+        for part in &faulted.per_source[..2] {
+            assert!(part.outcome.is_healthy());
+        }
+        assert_eq!(
+            faulted.certain_count(),
+            healthy.certain_count() - healthy.per_source[2].certain.len()
+        );
+
+        // A non-retryable outage is metered as one failure, zero retries.
+        assert_eq!(meters[2].failures, 1);
+        assert_eq!(meters[2].retries, 0);
+        assert_eq!(meters[2].degraded, 1);
+        signatures.push(signature(&faulted));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn failed_rewrites_degrade_the_member_and_keep_its_certain_answers() {
+    let _pin = PinnedPool::acquire();
+    let f = fixture();
+    let schema = f.cars_ed.schema().clone();
+    let body = schema.expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // Knock out every rewritten query that constrains the determining-set
+    // attribute while the base query (on body_style) still succeeds.
+    let dtr = f
+        .cars_stats
+        .determining_set(body)
+        .expect("body_style has an AFD")
+        .to_vec();
+    let target = dtr[0];
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let (healthy, _) =
+            run_network(&f, &query, RetryPolicy::none(), [FaultPlan::healthy(); 3]);
+        let (faulted, meters) = run_network(
+            &f,
+            &query,
+            RetryPolicy::default().with_max_attempts(2),
+            [FaultPlan::healthy().with_fail_on_attr(target), FaultPlan::healthy(), FaultPlan::healthy()],
+        );
+
+        // cars.com is degraded, not failed: its certain answers are intact
+        // and the dropped F-measure mass is accounted.
+        assert!(!healthy.per_source[0].possible.is_empty());
+        let part = &faulted.per_source[0];
+        let SourceOutcome::Degraded(d) = &part.outcome else {
+            panic!("expected a degraded outcome, got {:?}", part.outcome);
+        };
+        assert!(d.dropped_rewrites > 0);
+        assert!(d.dropped_fmeasure > 0.0);
+        assert!(matches!(d.last_error, Some(SourceError::Unavailable { retryable: true })));
+        assert_eq!(
+            part.certain.iter().map(|t| t.id()).collect::<Vec<_>>(),
+            healthy.per_source[0].certain.iter().map(|t| t.id()).collect::<Vec<_>>(),
+        );
+        assert!(part.possible.len() < healthy.per_source[0].possible.len());
+        assert_eq!(faulted.degraded_count(), 1);
+        assert!(!faulted.fully_healthy());
+        assert!(faulted.failed_sources().is_empty());
+
+        // The degradation and the exhausted retries are metered.
+        assert_eq!(meters[0].degraded, 1);
+        assert!(meters[0].failures > 0);
+        assert!(meters[0].retries > 0, "retryable faults must be retried before dropping");
+
+        // The other members are untouched.
+        assert_eq!(per_part(&healthy)[1..], per_part(&faulted)[1..]);
+        signatures.push(signature(&faulted));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn retry_exhaustion_fails_the_member_rather_than_the_network() {
+    let _pin = PinnedPool::acquire();
+    let f = fixture();
+    let model = f.cars_ed.schema().expect_attr("model");
+    let query = SelectQuery::new(vec![Predicate::eq(model, "Civic")]);
+
+    // Five consecutive outages against a two-attempt policy: the member
+    // fails; the same plan under a six-attempt policy converges.
+    let flaky = FaultPlan::healthy().with_fail_first_attempts(5);
+
+    let (exhausted, _) = run_network(
+        &f,
+        &query,
+        RetryPolicy::default().with_max_attempts(2),
+        [FaultPlan::healthy(), FaultPlan::healthy(), flaky],
+    );
+    assert!(exhausted.per_source[2].outcome.is_failed());
+    assert!(exhausted.per_source[0].outcome.is_healthy());
+
+    let (recovered, meters) = run_network(
+        &f,
+        &query,
+        RetryPolicy::default().with_max_attempts(6),
+        [FaultPlan::healthy(), FaultPlan::healthy(), flaky],
+    );
+    assert!(recovered.fully_healthy());
+    assert_eq!(meters[2].retries, 5);
+    assert!(!recovered.per_source[2].certain.is_empty());
+}
+
+#[test]
+fn hashed_fault_decisions_replay_identically_across_thread_counts() {
+    let _pin = PinnedPool::acquire();
+    let f = fixture();
+    let body = f.cars_ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "SUV")]);
+
+    // Random-rate faults: whatever mixture of recoveries, degradations and
+    // failures the seed produces must replay identically at any thread
+    // count, because decisions hash (seed, query content, attempt) rather
+    // than call order. cars.com stays healthy so the one query two members
+    // legitimately share (the correlated base retrieval) cannot split its
+    // injected-failure budget across callers in interleaving-dependent ways.
+    let noisy = FaultPlan::healthy().with_seed(0xfau64).with_transient_rate(0.35);
+    let retry = RetryPolicy::default().with_max_attempts(3).with_jitter_seed(7);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let (answer, meters) =
+            run_network(&f, &query, retry, [FaultPlan::healthy(), noisy, noisy]);
+        signatures.push((signature(&answer), meters.map(|m| (m.retries, m.failures, m.degraded))));
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}

@@ -79,8 +79,11 @@ fn correlated_source_pipeline_end_to_end() {
         &binding,
         &q,
         &RankConfig { alpha: 0.0, k: 10 },
+        &qpiad::db::RetryPolicy::default(),
     )
     .unwrap();
+    assert!(!answers.degraded.is_degraded());
+    let answers = answers.possible;
     assert!(!answers.is_empty());
     // Precision against the hidden truth is far above the truck base rate.
     let hits = answers

@@ -243,7 +243,10 @@ proptest! {
         let q = SelectQuery::new(vec![Predicate::eq(attr, value)]);
 
         let source = WebSource::new("cars", ed.clone());
-        let qpiad = Qpiad::new(stats.clone(), QpiadConfig { alpha, k, confidence_threshold: 0.0 });
+        let qpiad = Qpiad::new(
+            stats.clone(),
+            QpiadConfig::default().with_alpha(alpha).with_k(k).with_confidence_threshold(0.0),
+        );
         let answers = qpiad.answer(&source, &q).unwrap();
 
         // Certain answers are exactly the source's certain answers.
