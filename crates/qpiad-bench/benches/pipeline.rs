@@ -1,7 +1,8 @@
 //! Sequential-vs-parallel wall times for the mediation pipeline.
 //!
-//! Runs the three parallelized stages — statistics mining, single-source
-//! `Qpiad::answer`, and multi-source `MediatorNetwork::answer` — at
+//! Runs the parallelized stages — statistics mining, single-source
+//! `Qpiad::answer`, multi-source `MediatorNetwork::answer`, the
+//! fault-injected network, and the breaker-guarded faulted network — at
 //! `bench_scale()` with the worker pool pinned to 1 thread and then to the
 //! machine's hardware parallelism, and writes the timings to
 //! `BENCH_pipeline.json` at the repository root.
@@ -15,8 +16,11 @@ use qpiad_bench::bench_scale;
 use qpiad_core::network::MediatorNetwork;
 use qpiad_core::par;
 use qpiad_core::{Qpiad, QpiadConfig};
+use std::sync::Arc;
+
 use qpiad_db::{
-    AutonomousSource, FaultInjector, FaultPlan, Predicate, RetryPolicy, SelectQuery, WebSource,
+    AutonomousSource, BreakerConfig, FaultInjector, FaultPlan, HealthRegistry, Predicate,
+    RetryPolicy, SelectQuery, WebSource,
 };
 use qpiad_eval::experiments::common::cars_world;
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
@@ -121,6 +125,32 @@ fn main() {
             assert!(ans.possible_count() > 0);
             assert_eq!(ans.failed_sources().len(), 1);
         }));
+        runs.push(time("breakered", threads, || {
+            // Same faulted network with a health registry: pass 1 trips the
+            // downed member's breaker, pass 2 skips it up front — measures
+            // the availability layer's overhead plus the amortized cost of
+            // an outage.
+            flaky_yahoo.reset_meter();
+            down.reset_meter();
+            let registry = Arc::new(HealthRegistry::new(
+                BreakerConfig::default().with_failure_threshold(1),
+            ));
+            let network = MediatorNetwork::new(
+                world.ed.schema().clone(),
+                QpiadConfig::default()
+                    .with_k(10)
+                    .with_retry(RetryPolicy::default().with_max_attempts(2)),
+            )
+            .with_health(registry)
+            .add_supporting(&source, world.stats.clone())
+            .add_deficient(&flaky_yahoo)
+            .add_deficient(&down);
+            for _ in 0..2 {
+                let ans = network.answer(&query).expect("mediation never aborts");
+                assert!(ans.possible_count() > 0);
+            }
+            assert_eq!(down.meter().breaker_skips, 1, "pass 2 must skip the downed member");
+        }));
     }
 
     let speedup = |name: &str| -> f64 {
@@ -150,11 +180,13 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3}, \"faulted\": {:.3} }},\n",
+        "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3}, \
+         \"faulted\": {:.3}, \"breakered\": {:.3} }},\n",
         speedup("mine"),
         speedup("answer"),
         speedup("network"),
-        speedup("faulted")
+        speedup("faulted"),
+        speedup("breakered")
     ));
     json.push_str(&format!(
         "  \"note\": \"Speedups are min-over-min wall-time ratios (1 thread vs {par_threads}). \

@@ -14,11 +14,12 @@
 
 use std::collections::HashSet;
 
-use qpiad_db::fault::{query_with_retry, RetryPolicy};
+use qpiad_db::fault::{query_fingerprint, RetryPolicy};
+use qpiad_db::validate::query_validated;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceBinding, SourceError, TupleId};
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::mediator::{Degradation, RankedAnswer};
+use crate::mediator::{Degradation, QueryContext, RankedAnswer};
 use crate::rank::{f_scores, order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
 
@@ -64,6 +65,14 @@ pub struct CorrelatedAnswers {
 /// boundary; a rewritten query the target still fails after retries is
 /// skipped and recorded in [`CorrelatedAnswers::degraded`] — only a failure
 /// of the base retrieval from the correlated source is an error.
+///
+/// The context's breaker probe belongs to the *target* source and is
+/// consulted per candidate, interleaved with retrieval: this loop is
+/// inherently sequential (the dedup set orders it), so a probe tripped by
+/// the first `failure_threshold` failed rewrites skips every remaining
+/// candidate — a permanently down target costs at most `failure_threshold`
+/// probe attempts across the whole plan, at any thread count.
+#[allow(clippy::too_many_arguments)]
 pub fn answer_from_correlated(
     correlated_source: &dyn AutonomousSource,
     correlated_stats: &SourceStats,
@@ -72,9 +81,18 @@ pub fn answer_from_correlated(
     query: &SelectQuery,
     config: &RankConfig,
     retry: &RetryPolicy,
+    ctx: &mut QueryContext,
 ) -> Result<CorrelatedAnswers, SourceError> {
-    // Step 1 (modified): base set from the correlated source.
-    let base = query_with_retry(correlated_source, query, retry)?;
+    // Step 1 (modified): base set from the correlated source. Only the
+    // budget gates it — the probe tracks the target's health, and the
+    // correlated member's own breaker already vetted it this pass.
+    let Some(base_policy) = ctx.budget.admit(retry, query_fingerprint(query)) else {
+        return Err(SourceError::BudgetExhausted);
+    };
+    let base = query_validated(correlated_source, query, &base_policy)?;
+    let mut out = CorrelatedAnswers::default();
+    out.degraded.quarantined += base.quarantined_count();
+    let base = base.kept;
 
     // Step 2: rewrites from the correlated source's statistics.
     let rewrites = generate_rewrites(query, &base, correlated_stats);
@@ -82,7 +100,6 @@ pub fn answer_from_correlated(
     let scores = f_scores(&ordered, config.alpha);
 
     let mut seen: HashSet<TupleId> = HashSet::new();
-    let mut out = CorrelatedAnswers::default();
     for (query_index, (rq, score)) in ordered.into_iter().zip(scores).enumerate() {
         // The rewritten query must be expressible on the target's local
         // schema.
@@ -90,15 +107,36 @@ pub fn answer_from_correlated(
             Ok(q) => q,
             Err(_) => continue,
         };
-        let result = match query_with_retry(target_source, &local, retry) {
-            Ok(ts) => ts,
+        // Interleaved admission: breaker first, then the budget.
+        if !ctx.probe.admits() {
+            out.degraded.record_breaker_skip(score);
+            continue;
+        }
+        let Some(policy) = ctx.budget.admit(retry, query_fingerprint(&local)) else {
+            out.degraded.record_budget_skip(score);
+            continue;
+        };
+        ctx.probe.note_issued();
+        let report = match query_validated(target_source, &local, &policy) {
+            Ok(r) => r,
             // Budget exhausted mid-plan: degrade to what is fetched.
             Err(SourceError::QueryLimitExceeded { .. }) => break,
             // A failed rewrite is skipped, not fatal.
             Err(e) => {
+                if e.is_failure() {
+                    ctx.probe.record_failure();
+                }
                 out.degraded.record(score, e);
                 continue;
             }
+        };
+        let result = if report.is_clean() {
+            ctx.probe.record_success();
+            report.kept
+        } else {
+            out.degraded.quarantined += report.quarantined_count();
+            ctx.probe.record_failure();
+            report.kept
         };
         for local_tuple in result {
             if !seen.insert(local_tuple.id()) {
@@ -194,6 +232,7 @@ mod tests {
             &q,
             &RankConfig { alpha: 0.0, k: 10 },
             &RetryPolicy::default(),
+            &mut QueryContext::unbounded(),
         )
         .unwrap();
         assert!(!answers.degraded.is_degraded());
@@ -247,6 +286,7 @@ mod tests {
             &q,
             &RankConfig { alpha: 0.0, k: 10 },
             &RetryPolicy::default(),
+            &mut QueryContext::unbounded(),
         )
         .unwrap();
         for w in answers.possible.windows(2) {

@@ -56,7 +56,7 @@ pub mod relaxation;
 pub mod rewrite;
 
 pub use correlated::CorrelatedAnswers;
-pub use mediator::{AnswerSet, Degradation, Qpiad, QpiadConfig, RankedAnswer};
+pub use mediator::{AnswerSet, Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
 pub use qpiad_db::par;
 pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers, SourceOutcome};
 pub use rank::{order_rewrites, RankConfig};

@@ -2,8 +2,10 @@
 
 use std::collections::HashSet;
 
-use qpiad_db::fault::{query_with_retry, RetryPolicy};
+use qpiad_db::fault::{query_fingerprint, RetryPolicy};
+use qpiad_db::health::{BreakerProbe, QueryBudget};
 use qpiad_db::par;
+use qpiad_db::validate::query_validated;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::cache::PredictionCache;
@@ -85,29 +87,101 @@ pub struct RankedAnswer {
 /// What a retrieval pass lost to source failures: rewritten queries that
 /// still failed after retries are *skipped*, not fatal, and their planned
 /// contribution is accounted for here so a degraded answer quantifies what
-/// it is missing.
+/// it is missing. The availability layer adds its own loss accounting:
+/// rewrites skipped by an open circuit breaker or an exhausted
+/// [`QueryBudget`] also charge their F-measure mass here, quarantined
+/// response tuples are counted, and answers served from stale (snapshot)
+/// statistics are flagged.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Degradation {
     /// Rewritten queries dropped after exhausting retries.
     pub dropped_rewrites: usize,
-    /// The F-measure mass of the dropped queries, scored like
-    /// [`crate::rank::order_rewrites`] against the issued plan's cumulative
-    /// throughput.
+    /// The F-measure mass of all lost queries (dropped, breaker-skipped,
+    /// or budget-skipped), scored like [`crate::rank::order_rewrites`]
+    /// against the issued plan's cumulative throughput.
     pub dropped_fmeasure: f64,
+    /// Rewritten queries skipped up front because the source's circuit
+    /// breaker did not admit them.
+    pub breaker_skips: usize,
+    /// Rewritten queries skipped because the caller's [`QueryBudget`]
+    /// could not fund even a single attempt.
+    pub budget_skips: usize,
+    /// Returned tuples quarantined by response validation.
+    pub quarantined: usize,
+    /// `true` iff this answer was produced from snapshot statistics
+    /// because the source could not be mined live (its breaker was open or
+    /// mining failed).
+    pub stale_knowledge: bool,
     /// The last error that caused a drop (diagnostics).
     pub last_error: Option<SourceError>,
 }
 
 impl Degradation {
-    /// `true` iff any planned retrieval was lost.
+    /// `true` iff any planned retrieval was lost, any response tuple was
+    /// quarantined, or the answer rests on stale knowledge.
     pub fn is_degraded(&self) -> bool {
         self.dropped_rewrites > 0
+            || self.breaker_skips > 0
+            || self.budget_skips > 0
+            || self.quarantined > 0
+            || self.stale_knowledge
     }
 
     pub(crate) fn record(&mut self, fmeasure: f64, error: SourceError) {
         self.dropped_rewrites += 1;
         self.dropped_fmeasure += fmeasure;
         self.last_error = Some(error);
+    }
+
+    pub(crate) fn record_breaker_skip(&mut self, fmeasure: f64) {
+        self.breaker_skips += 1;
+        self.dropped_fmeasure += fmeasure;
+        self.last_error = Some(SourceError::CircuitOpen);
+    }
+
+    pub(crate) fn record_budget_skip(&mut self, fmeasure: f64) {
+        self.budget_skips += 1;
+        self.dropped_fmeasure += fmeasure;
+        self.last_error = Some(SourceError::BudgetExhausted);
+    }
+}
+
+/// Per-pass availability state threaded through one mediation pass against
+/// one source: the caller's [`QueryBudget`] and the source's local
+/// [`BreakerProbe`] (built from a sequentially taken snapshot; see
+/// [`qpiad_db::health`] for the determinism protocol). The default context
+/// is fully transparent — unlimited budget, disabled probe — so
+/// [`Qpiad::answer`] behaves exactly as before the availability layer.
+#[derive(Debug)]
+pub struct QueryContext {
+    /// Remaining deadline/attempt budget for this pass.
+    pub budget: QueryBudget,
+    /// The source's pass-local circuit-breaker probe.
+    pub probe: BreakerProbe,
+}
+
+impl QueryContext {
+    /// Unlimited budget, no breaker: mediation exactly as unmanaged.
+    pub fn unbounded() -> Self {
+        QueryContext { budget: QueryBudget::unlimited(), probe: BreakerProbe::disabled() }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the breaker probe.
+    pub fn with_probe(mut self, probe: BreakerProbe) -> Self {
+        self.probe = probe;
+        self
+    }
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        QueryContext::unbounded()
     }
 }
 
@@ -174,8 +248,54 @@ impl Qpiad {
         source: &dyn AutonomousSource,
         query: &SelectQuery,
     ) -> Result<AnswerSet, SourceError> {
-        // Step 1: base result set (certain answers).
-        let certain = query_with_retry(source, query, &self.config.retry)?;
+        self.answer_in(source, query, &mut QueryContext::unbounded())
+    }
+
+    /// [`Self::answer`] under an explicit availability context: the
+    /// caller's [`QueryBudget`] funds (and clamps) every query's retry
+    /// schedule, and the source's [`BreakerProbe`] gates admission.
+    ///
+    /// Admission happens at *plan time*, in rank order, before any fan-out:
+    /// each candidate deducts its worst-case cost from the budget and
+    /// consumes a probe slot, so the admitted plan — and therefore the
+    /// answer — is identical whether retrieval then runs sequentially or
+    /// concurrently. Candidates the budget cannot fund, or the breaker
+    /// does not admit, charge their F-measure mass to
+    /// [`AnswerSet::degraded`] instead. Every response is validated
+    /// against the source schema and the issued query; quarantined tuples
+    /// are dropped, counted, and fed to the probe as failures.
+    pub fn answer_in(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        ctx: &mut QueryContext,
+    ) -> Result<AnswerSet, SourceError> {
+        // Step 1: base result set (certain answers), under admission.
+        if !ctx.probe.admits() {
+            return Err(SourceError::CircuitOpen);
+        }
+        let Some(base_policy) = ctx.budget.admit(&self.config.retry, query_fingerprint(query))
+        else {
+            return Err(SourceError::BudgetExhausted);
+        };
+        ctx.probe.note_issued();
+        let mut degraded = Degradation::default();
+        let base = match query_validated(source, query, &base_policy) {
+            Ok(report) => report,
+            Err(e) => {
+                if e.is_failure() {
+                    ctx.probe.record_failure();
+                }
+                return Err(e);
+            }
+        };
+        if base.is_clean() {
+            ctx.probe.record_success();
+        } else {
+            degraded.quarantined += base.quarantined_count();
+            ctx.probe.record_failure();
+        }
+        let certain = base.kept;
 
         // Step 2a–2c: generate, select and order rewritten queries. A
         // rewritten query can constrain attributes the source's web form
@@ -205,32 +325,66 @@ impl Qpiad {
         // Per-candidate F-measure mass, so dropped queries can report how
         // much of the plan they carried.
         let scores = f_scores(&candidates, self.config.alpha);
-        let mut degraded = Degradation::default();
 
-        let concurrent = !source.has_query_budget() && candidates.len() > 1 && par::num_threads() > 1;
+        // Plan-time admission, in rank order: breaker first (a skipped
+        // query must not charge the budget), then the budget, which clamps
+        // the retry policy so the whole admitted plan fits the deadline.
+        let mut plan: Vec<(RewrittenQuery, RetryPolicy)> = Vec::with_capacity(candidates.len());
+        let mut plan_scores: Vec<f64> = Vec::with_capacity(candidates.len());
+        for (rq, score) in candidates.into_iter().zip(scores) {
+            if !ctx.probe.admits() {
+                degraded.record_breaker_skip(score);
+                continue;
+            }
+            match ctx.budget.admit(&self.config.retry, query_fingerprint(&rq.query)) {
+                Some(policy) => {
+                    ctx.probe.note_issued();
+                    plan.push((rq, policy));
+                    plan_scores.push(score);
+                }
+                None => degraded.record_budget_skip(score),
+            }
+        }
+
+        let concurrent = !source.has_query_budget() && plan.len() > 1 && par::num_threads() > 1;
         if concurrent {
-            // Fan the independent retrievals out (each worker retries its
-            // own query), then merge in rank order.
-            let results: Vec<Result<Vec<Tuple>, SourceError>> =
-                par::parallel_map(&candidates, |rq| {
-                    query_with_retry(source, &rq.query, &self.config.retry)
-                });
-            for ((rq, result), score) in candidates.into_iter().zip(results).zip(scores) {
+            // Fan the admitted retrievals out (each worker retries its own
+            // query under its clamped policy), then merge in rank order.
+            // Probe outcomes are recorded in the merge phase, so the
+            // observation log is identical to a sequential run.
+            let results = par::parallel_map(&plan, |(rq, policy)| {
+                query_validated(source, &rq.query, policy)
+            });
+            for (((rq, _), result), score) in plan.into_iter().zip(results).zip(plan_scores) {
                 match result {
-                    Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
+                    Ok(report) => {
+                        self.merge_validated(query, rq, report, ctx, &mut degraded, &mut merge, &cache)
+                    }
                     // Budget exhausted mid-plan: degrade to what is fetched.
                     Err(SourceError::QueryLimitExceeded { .. }) => break,
                     // A rewrite that failed after retries is skipped, not
                     // fatal: record what the plan lost and move on.
-                    Err(e) => degraded.record(score, e),
+                    Err(e) => {
+                        if e.is_failure() {
+                            ctx.probe.record_failure();
+                        }
+                        degraded.record(score, e);
+                    }
                 }
             }
         } else {
-            for (rq, score) in candidates.into_iter().zip(scores) {
-                match query_with_retry(source, &rq.query, &self.config.retry) {
-                    Ok(tuples) => self.merge_retrieval(query, rq, tuples, &mut merge, &cache),
+            for ((rq, policy), score) in plan.into_iter().zip(plan_scores) {
+                match query_validated(source, &rq.query, &policy) {
+                    Ok(report) => {
+                        self.merge_validated(query, rq, report, ctx, &mut degraded, &mut merge, &cache)
+                    }
                     Err(SourceError::QueryLimitExceeded { .. }) => break,
-                    Err(e) => degraded.record(score, e),
+                    Err(e) => {
+                        if e.is_failure() {
+                            ctx.probe.record_failure();
+                        }
+                        degraded.record(score, e);
+                    }
                 }
             }
         }
@@ -250,6 +404,29 @@ impl Qpiad {
             issued: merge.issued,
             degraded,
         })
+    }
+
+    /// Folds one validated response into the answer: quarantined tuples
+    /// feed the degradation record and the breaker probe (repeated drift
+    /// eventually opens the source's breaker), kept tuples merge as usual.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_validated(
+        &self,
+        query: &SelectQuery,
+        rq: RewrittenQuery,
+        report: qpiad_db::ValidationReport,
+        ctx: &mut QueryContext,
+        degraded: &mut Degradation,
+        merge: &mut AnswerMerge,
+        cache: &PredictionCache,
+    ) {
+        if report.is_clean() {
+            ctx.probe.record_success();
+        } else {
+            degraded.quarantined += report.quarantined_count();
+            ctx.probe.record_failure();
+        }
+        self.merge_retrieval(query, rq, report.kept, merge, cache);
     }
 
     /// Folds one rewritten query's result into the answer under

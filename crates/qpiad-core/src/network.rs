@@ -17,16 +17,37 @@
 //! [`SourceOutcome::Failed`] instead of poisoning every other source's
 //! answers, and a member whose rewrite plan partially failed is marked
 //! [`SourceOutcome::Degraded`] with the dropped F-measure mass.
+//!
+//! On top of that isolation sits the **availability layer**
+//! ([`qpiad_db::health`]): with a [`HealthRegistry`] attached
+//! ([`MediatorNetwork::with_health`]), every pass snapshots each member's
+//! circuit breaker sequentially, threads a pass-local probe through the
+//! member's retrieval, and absorbs the observation logs in registration
+//! order afterwards — so an Open member is skipped up front (its planned
+//! work charged to [`Degradation::breaker_skips`]) and all breaker
+//! decisions replay byte-identically at any thread count.
+//! [`MediatorNetwork::answer_budgeted`] additionally funds the pass from a
+//! caller-supplied [`QueryBudget`], and slow or recovering members get
+//! their rewrites **hedged** to the best correlated supporting member.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use qpiad_db::fault::query_fingerprint;
+use qpiad_db::health::{
+    BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation, QueryBudget,
+};
 use qpiad_db::par;
-use qpiad_db::{AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, Tuple};
+use qpiad_db::validate::query_validated;
+use qpiad_db::{
+    AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, SourceMeter, Tuple,
+};
 use qpiad_learn::afd::AfdSet;
 use qpiad_learn::knowledge::SourceStats;
+use qpiad_learn::persist::StatsSnapshot;
 
 use crate::correlated::{answer_from_correlated, is_correlated_source_usable};
-use crate::mediator::{Degradation, Qpiad, QpiadConfig, RankedAnswer};
+use crate::mediator::{Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
 use crate::rank::RankConfig;
 
 /// One registered source.
@@ -36,6 +57,10 @@ struct Member<'a> {
     /// Statistics mined from this source's sample, if the source supports
     /// the full global schema (statistics live in global-attribute space).
     stats: Option<SourceStats>,
+    /// `true` iff `stats` was restored from a snapshot instead of mined
+    /// live ([`MediatorNetwork::add_supporting_or_stale`]); every answer
+    /// this member serves is tagged [`Degradation::stale_knowledge`].
+    stale: bool,
 }
 
 /// How one member's contribution to a network answer went.
@@ -150,22 +175,47 @@ pub struct MediatorNetwork<'a> {
     global: Arc<Schema>,
     members: Vec<Member<'a>>,
     config: QpiadConfig,
+    /// Circuit-breaker registry shared across passes (and, if the caller
+    /// wants, across networks). `None` disables health management.
+    health: Option<Arc<HealthRegistry>>,
+    /// Whether slow / recovering members get their rewrites hedged.
+    hedging: bool,
 }
 
 impl<'a> MediatorNetwork<'a> {
     /// Creates an empty network over the global schema.
     pub fn new(global: Arc<Schema>, config: QpiadConfig) -> Self {
-        MediatorNetwork { global, members: Vec::new(), config }
+        MediatorNetwork { global, members: Vec::new(), config, health: None, hedging: true }
     }
 
-    /// Registers a source that supports the full global schema, together
-    /// with its mined statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the source's schema does not cover every global attribute
-    /// by name.
-    pub fn add_supporting(mut self, source: &'a dyn AutonomousSource, stats: SourceStats) -> Self {
+    /// Attaches a circuit-breaker registry. Breaker state persists across
+    /// passes: a member that keeps failing is skipped up front until its
+    /// cooldown elapses and a half-open probe succeeds.
+    pub fn with_health(mut self, health: Arc<HealthRegistry>) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Enables or disables hedged queries (default: enabled). Hedging only
+    /// activates for members whose breaker is half-open or whose metered
+    /// latency sits in the slowest decile, so healthy networks never pay
+    /// for it.
+    pub fn with_hedging(mut self, enabled: bool) -> Self {
+        self.hedging = enabled;
+        self
+    }
+
+    /// The attached health registry, if any.
+    pub fn health(&self) -> Option<&Arc<HealthRegistry>> {
+        self.health.as_ref()
+    }
+
+    fn push_supporting(
+        mut self,
+        source: &'a dyn AutonomousSource,
+        stats: SourceStats,
+        stale: bool,
+    ) -> Self {
         let binding = SourceBinding::by_name(source.name(), &self.global, source.schema());
         for g in self.global.attr_ids() {
             assert!(
@@ -175,15 +225,72 @@ impl<'a> MediatorNetwork<'a> {
                 self.global.attr(g).name()
             );
         }
-        self.members.push(Member { source, binding, stats: Some(stats) });
+        self.members.push(Member { source, binding, stats: Some(stats), stale });
         self
+    }
+
+    /// Registers a source that supports the full global schema, together
+    /// with its mined statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's schema does not cover every global attribute
+    /// by name.
+    pub fn add_supporting(self, source: &'a dyn AutonomousSource, stats: SourceStats) -> Self {
+        self.push_supporting(source, stats, false)
+    }
+
+    /// Registers a supporting source whose statistics are mined live by
+    /// `mine`, falling back to a persisted [`StatsSnapshot`] when the
+    /// source cannot be mined right now: if the source's breaker is
+    /// already Open, `mine` is not even attempted; if mining fails with a
+    /// source failure, the failure is recorded against the breaker and the
+    /// snapshot restored instead. A member running on restored statistics
+    /// is **stale** — every answer it serves is tagged
+    /// [`Degradation::stale_knowledge`] so callers can see the knowledge
+    /// may be out of date. With no snapshot to fall back on, the error (or
+    /// [`SourceError::CircuitOpen`]) propagates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's schema does not cover every global attribute
+    /// by name (same contract as [`Self::add_supporting`]).
+    pub fn add_supporting_or_stale(
+        self,
+        source: &'a dyn AutonomousSource,
+        mine: impl FnOnce(&'a dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+        snapshot: Option<&StatsSnapshot>,
+    ) -> Result<Self, SourceError> {
+        let open = self
+            .health
+            .as_ref()
+            .is_some_and(|h| h.state(source.name()) == BreakerState::Open);
+        if open {
+            return match snapshot {
+                Some(snap) => Ok(self.push_supporting(source, snap.restore(), true)),
+                None => Err(SourceError::CircuitOpen),
+            };
+        }
+        match mine(source) {
+            Ok(stats) => Ok(self.push_supporting(source, stats, false)),
+            Err(e) if e.is_failure() => {
+                if let Some(h) = &self.health {
+                    h.absorb(source.name(), &[Observation::Failure]);
+                }
+                match snapshot {
+                    Some(snap) => Ok(self.push_supporting(source, snap.restore(), true)),
+                    None => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Registers a source whose local schema lacks some global attributes;
     /// queries on those attributes are served through a correlated source.
     pub fn add_deficient(mut self, source: &'a dyn AutonomousSource) -> Self {
         let binding = SourceBinding::by_name(source.name(), &self.global, source.schema());
-        self.members.push(Member { source, binding, stats: None });
+        self.members.push(Member { source, binding, stats: None, stale: false });
         self
     }
 
@@ -224,28 +331,181 @@ impl<'a> MediatorNetwork<'a> {
         best.map(|(_, m)| m)
     }
 
-    /// Serves one member, directly or through a correlated source.
-    fn answer_member(
-        &self,
-        member: &Member<'a>,
-        query: &SelectQuery,
-    ) -> Result<SourceAnswers, SourceError> {
-        // A member "supports" the query only if the binding carries every
-        // constrained attribute AND the source's web form can actually bind
-        // it (local schemas may store attributes they expose no field for).
-        let supports_all = query.constrained_attrs().iter().all(|a| {
+    /// `true` iff the member can bind every constrained attribute of the
+    /// query: the binding carries it AND the source's web form actually
+    /// exposes a field for it (local schemas may store attributes they
+    /// expose no field for).
+    fn member_supports_all(member: &Member<'a>, query: &SelectQuery) -> bool {
+        query.constrained_attrs().iter().all(|a| {
             member
                 .binding
                 .local_attr(*a)
                 .is_some_and(|local| member.source.supports(local))
+        })
+    }
+
+    /// Picks hedge partners for this pass, sequentially, from the breaker
+    /// snapshot and the meters' latency history. `partners[i]` is the
+    /// member index whose source doubles member `i`'s rewrites, or `None`.
+    ///
+    /// A member is hedge-*eligible* when it would run the direct QPIAD
+    /// pipeline for this query (it has statistics and binds every
+    /// constrained attribute) and is either recovering (breaker HalfOpen)
+    /// or slow — its mean metered latency per query sits in the slowest
+    /// decile of members with any latency history. The *partner* is the
+    /// best correlated supporting member (highest minimum AFD confidence
+    /// over the constrained attributes) whose breaker is Closed and whose
+    /// local schema aligns positionally with the member's, so the same
+    /// local rewrite is valid on both.
+    fn hedge_partners(&self, query: &SelectQuery, views: &[BreakerView]) -> Vec<Option<usize>> {
+        let n = self.members.len();
+        let mut partners: Vec<Option<usize>> = vec![None; n];
+        if !self.hedging || n < 2 {
+            return partners;
+        }
+        let avgs: Vec<u64> = self
+            .members
+            .iter()
+            .map(|m| {
+                let meter: SourceMeter = m.source.meter();
+                let issued = meter.queries + meter.failures;
+                if issued == 0 {
+                    0
+                } else {
+                    meter.latency_ns / issued as u64
+                }
+            })
+            .collect();
+        let mut nonzero: Vec<u64> = avgs.iter().copied().filter(|a| *a > 0).collect();
+        nonzero.sort_unstable();
+        // The slowest-decile floor: ceil((len-1) * 0.9). With no latency
+        // history at all, nothing qualifies as slow.
+        let slow_floor = match nonzero.len() {
+            0 => u64::MAX,
+            len => nonzero[((len - 1) * 9).div_ceil(10)],
+        };
+        for (i, member) in self.members.iter().enumerate() {
+            if member.stats.is_none() || !Self::member_supports_all(member, query) {
+                continue;
+            }
+            let slow = avgs[i] > 0 && avgs[i] >= slow_floor;
+            if views[i].state() != BreakerState::HalfOpen && !slow {
+                continue;
+            }
+            partners[i] = self.hedge_partner_for(i, query, views);
+        }
+        partners
+    }
+
+    /// The best hedge partner for member `i`, by Definition-4-style AFD
+    /// confidence over the constrained attributes.
+    fn hedge_partner_for(
+        &self,
+        i: usize,
+        query: &SelectQuery,
+        views: &[BreakerView],
+    ) -> Option<usize> {
+        let target = &self.members[i];
+        let mut best: Option<(f64, usize)> = None;
+        for (j, m) in self.members.iter().enumerate() {
+            if j == i || views[j].state() != BreakerState::Closed {
+                continue;
+            }
+            let Some(stats) = &m.stats else { continue };
+            if !Self::member_supports_all(m, query)
+                || !schemas_aligned(target.source.schema(), m.source.schema())
+            {
+                continue;
+            }
+            let conf = min_afd_confidence(stats.afds(), &query.constrained_attrs())
+                .unwrap_or(0.0);
+            if best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
+                best = Some((conf, j));
+            }
+        }
+        best.map(|(_, j)| j)
+    }
+
+    /// Serves one member under the availability layer: an Open breaker
+    /// skips it up front; otherwise a pass-local probe and a per-member
+    /// copy of the budget gate every query. Returns the answer plus the
+    /// probe's observation log for the sequential absorb phase.
+    fn answer_member(
+        &self,
+        index: usize,
+        query: &SelectQuery,
+        view: BreakerView,
+        hedge: Option<usize>,
+        budget: QueryBudget,
+    ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>) {
+        let member = &self.members[index];
+        if view.state() == BreakerState::Open {
+            member.source.note_breaker_skip();
+            let d = Degradation {
+                breaker_skips: 1,
+                last_error: Some(SourceError::CircuitOpen),
+                ..Degradation::default()
+            };
+            let answers = SourceAnswers {
+                source: member.source.name().to_string(),
+                certain: Vec::new(),
+                possible: Vec::new(),
+                via_correlated: None,
+                outcome: SourceOutcome::Degraded(d),
+            };
+            return (Ok(answers), Vec::new());
+        }
+        let mut ctx =
+            QueryContext::unbounded().with_budget(budget).with_probe(BreakerProbe::new(view));
+        let result = self.answer_member_in(member, query, hedge, &mut ctx);
+        let observations = ctx.probe.take_observations();
+        let result = result.map(|mut answers| {
+            if member.stale {
+                answers.outcome = match answers.outcome {
+                    SourceOutcome::Healthy => SourceOutcome::Degraded(Degradation {
+                        stale_knowledge: true,
+                        ..Degradation::default()
+                    }),
+                    SourceOutcome::Degraded(mut d) => {
+                        d.stale_knowledge = true;
+                        SourceOutcome::Degraded(d)
+                    }
+                    failed => failed,
+                };
+            }
+            answers
         });
+        (result, observations)
+    }
+
+    /// The pre-availability-layer body of `answer_member`: serves one
+    /// member directly or through a correlated source, under the context's
+    /// probe and budget.
+    fn answer_member_in(
+        &self,
+        member: &Member<'a>,
+        query: &SelectQuery,
+        hedge: Option<usize>,
+        ctx: &mut QueryContext,
+    ) -> Result<SourceAnswers, SourceError> {
+        let supports_all = Self::member_supports_all(member, query);
         let answers = if supports_all {
             if let Some(stats) = &member.stats {
                 // Direct QPIAD. Statistics and query share the global
-                // schema; supporting members map attributes 1:1.
+                // schema; supporting members map attributes 1:1. A hedged
+                // member's queries are doubled to the partner source.
                 let local = member.binding.translate_query(query)?;
                 let qpiad = Qpiad::new(stats.clone(), self.config);
-                let set = qpiad.answer(member.source, &local)?;
+                let set = match hedge {
+                    Some(j) => {
+                        let hedged = HedgedSource {
+                            primary: member.source,
+                            fallback: self.members[j].source,
+                        };
+                        qpiad.answer_in(&hedged, &local, ctx)?
+                    }
+                    None => qpiad.answer_in(member.source, &local, ctx)?,
+                };
                 SourceAnswers {
                     source: member.source.name().to_string(),
                     certain: set.certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
@@ -262,20 +522,45 @@ impl<'a> MediatorNetwork<'a> {
                 }
             } else {
                 // Supports the attributes but has no statistics: certain
-                // answers only.
+                // answers only, still under admission and validation.
                 let local = member.binding.translate_query(query)?;
-                let certain =
-                    qpiad_db::fault::query_with_retry(member.source, &local, &self.config.retry)?;
+                if !ctx.probe.admits() {
+                    return Err(SourceError::CircuitOpen);
+                }
+                let Some(policy) =
+                    ctx.budget.admit(&self.config.retry, query_fingerprint(&local))
+                else {
+                    return Err(SourceError::BudgetExhausted);
+                };
+                ctx.probe.note_issued();
+                let report = match query_validated(member.source, &local, &policy) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        if e.is_failure() {
+                            ctx.probe.record_failure();
+                        }
+                        return Err(e);
+                    }
+                };
+                let mut d = Degradation::default();
+                if report.is_clean() {
+                    ctx.probe.record_success();
+                } else {
+                    d.quarantined = report.quarantined_count();
+                    ctx.probe.record_failure();
+                }
                 SourceAnswers {
                     source: member.source.name().to_string(),
-                    certain: certain.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                    certain: report.kept.iter().map(|t| member.binding.lift_tuple(t)).collect(),
                     possible: Vec::new(),
                     via_correlated: None,
-                    outcome: SourceOutcome::Healthy,
+                    outcome: SourceOutcome::from_degradation(d),
                 }
             }
         } else {
-            // Deficient for this query: try a correlated source.
+            // Deficient for this query: try a correlated source. The
+            // context's probe tracks the *target* (this member); the
+            // correlated member's own breaker was vetted in its own pass.
             match self.correlated_for(member, query) {
                 Some(correlated) => {
                     // `correlated_for` only returns members with statistics;
@@ -289,7 +574,7 @@ impl<'a> MediatorNetwork<'a> {
                             ),
                         }
                     })?;
-                    let result = answer_from_correlated(
+                    let mut result = answer_from_correlated(
                         correlated.source,
                         stats,
                         member.source,
@@ -297,7 +582,11 @@ impl<'a> MediatorNetwork<'a> {
                         query,
                         &RankConfig { alpha: self.config.alpha, k: self.config.k },
                         &self.config.retry,
+                        ctx,
                     )?;
+                    if correlated.stale {
+                        result.degraded.stale_knowledge = true;
+                    }
                     SourceAnswers {
                         source: member.source.name().to_string(),
                         certain: Vec::new(),
@@ -336,20 +625,210 @@ impl<'a> MediatorNetwork<'a> {
     /// always returned. The `Result` return type is kept for API stability;
     /// the current implementation always returns `Ok`.
     pub fn answer(&self, query: &SelectQuery) -> Result<NetworkAnswer, SourceError> {
-        let results: Vec<Result<SourceAnswers, SourceError>> =
-            if self.members.len() > 1 && par::num_threads() > 1 {
-                par::parallel_map(&self.members, |m| self.answer_member(m, query))
+        self.answer_budgeted(query, QueryBudget::unlimited())
+    }
+
+    /// [`Self::answer`] under a per-member [`QueryBudget`].
+    ///
+    /// Each member receives its own copy of the budget (members are
+    /// interrogated concurrently, so a shared pool would make admission
+    /// racy — a *per-member* budget keeps every decision deterministic).
+    ///
+    /// One pass of the availability protocol runs around the fan-out: the
+    /// pass clock ticks and each member's breaker is snapshotted
+    /// *sequentially before* the fan-out (an Open member is skipped up
+    /// front, charging [`Degradation::breaker_skips`]); hedge partners are
+    /// picked from the same snapshot; after the fan-out the members'
+    /// observation logs are absorbed into the registry in registration
+    /// order. Mediator-side refusals ([`SourceError::CircuitOpen`] /
+    /// [`SourceError::BudgetExhausted`]) degrade the member instead of
+    /// failing it — no query reached the source.
+    pub fn answer_budgeted(
+        &self,
+        query: &SelectQuery,
+        budget: QueryBudget,
+    ) -> Result<NetworkAnswer, SourceError> {
+        // Sequential pre-pass: tick the pass clock (half-opening cooled
+        // breakers), snapshot views, pick hedge partners.
+        if let Some(h) = &self.health {
+            h.begin_pass();
+        }
+        let views: Vec<BreakerView> = self
+            .members
+            .iter()
+            .map(|m| match &self.health {
+                Some(h) => h.view(m.source.name()),
+                None => BreakerView::disabled(),
+            })
+            .collect();
+        let hedges = self.hedge_partners(query, &views);
+
+        let n = self.members.len();
+        let results: Vec<(Result<SourceAnswers, SourceError>, Vec<Observation>)> =
+            if n > 1 && par::num_threads() > 1 {
+                par::parallel_map_indexed(n, |i| {
+                    self.answer_member(i, query, views[i], hedges[i], budget)
+                })
             } else {
-                self.members.iter().map(|m| self.answer_member(m, query)).collect()
+                (0..n)
+                    .map(|i| self.answer_member(i, query, views[i], hedges[i], budget))
+                    .collect()
             };
+
+        // Sequential post-pass: absorb observation logs in registration
+        // order, then assemble contributions.
         let mut out = NetworkAnswer::default();
-        for (member, r) in self.members.iter().zip(results) {
-            out.per_source.push(r.unwrap_or_else(|e| {
-                member.source.note_degraded();
-                SourceAnswers::failed(member.source, e)
-            }));
+        for (member, (r, observations)) in self.members.iter().zip(results) {
+            if let Some(h) = &self.health {
+                h.absorb(member.source.name(), &observations);
+            }
+            out.per_source.push(match r {
+                Ok(answers) => answers,
+                Err(e @ (SourceError::CircuitOpen | SourceError::BudgetExhausted)) => {
+                    // Mediator-side refusal: the member was skipped whole,
+                    // not failed — no query reached the source.
+                    let mut d = Degradation::default();
+                    match e {
+                        SourceError::CircuitOpen => d.breaker_skips = 1,
+                        _ => d.budget_skips = 1,
+                    }
+                    d.last_error = Some(e);
+                    SourceAnswers {
+                        source: member.source.name().to_string(),
+                        certain: Vec::new(),
+                        possible: Vec::new(),
+                        via_correlated: None,
+                        outcome: SourceOutcome::Degraded(d),
+                    }
+                }
+                Err(e) => {
+                    member.source.note_degraded();
+                    SourceAnswers::failed(member.source, e)
+                }
+            });
         }
         Ok(out)
+    }
+}
+
+/// `true` iff the two schemas agree positionally on attribute names and
+/// types, so a query phrased against one is valid verbatim against the
+/// other. Hedging requires this: the same local rewrite goes to both
+/// sources.
+fn schemas_aligned(a: &Schema, b: &Schema) -> bool {
+    a.arity() == b.arity()
+        && a.attr_ids().all(|id| {
+            a.attr(id).name() == b.attr(id).name() && a.attr(id).ty() == b.attr(id).ty()
+        })
+}
+
+/// A primary source doubled by a correlated fallback for one mediation
+/// pass (hedged queries). Every query is issued to *both* sources — in
+/// parallel when workers are available, sequentially otherwise, so meters
+/// accrue identically at any thread count — and the primary's response is
+/// preferred deterministically. Only when the primary *fails* (not a
+/// rejection) and the fallback serves does the fallback's response stand
+/// in, deduplicated by tuple id and counted on the primary's meter as a
+/// hedge.
+struct HedgedSource<'a> {
+    primary: &'a dyn AutonomousSource,
+    fallback: &'a dyn AutonomousSource,
+}
+
+impl AutonomousSource for HedgedSource<'_> {
+    fn name(&self) -> &str {
+        self.primary.name()
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.primary.schema()
+    }
+
+    // Planning is the primary's: the hedge must not change which rewrites
+    // are generated or admitted, only who ends up serving them.
+    fn supports(&self, attr: AttrId) -> bool {
+        self.primary.supports(attr)
+    }
+
+    fn allows_null_binding(&self) -> bool {
+        self.primary.allows_null_binding()
+    }
+
+    fn has_query_budget(&self) -> bool {
+        // Either budget makes issue order significant: serve sequentially.
+        self.primary.has_query_budget() || self.fallback.has_query_budget()
+    }
+
+    fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
+        let hedgeable = q.predicates().iter().all(|p| self.fallback.supports(p.attr))
+            && (!q.requires_null_binding() || self.fallback.allows_null_binding());
+        if !hedgeable {
+            return self.primary.query(q);
+        }
+        let lost = || SourceError::Internal { message: "hedge fan-out lost a result".into() };
+        let (primary, fallback) = if par::num_threads() > 1 {
+            let mut results = par::parallel_map_indexed(2, |i| {
+                if i == 0 {
+                    self.primary.query(q)
+                } else {
+                    self.fallback.query(q)
+                }
+            });
+            let fallback = results.pop().unwrap_or_else(|| Err(lost()));
+            let primary = results.pop().unwrap_or_else(|| Err(lost()));
+            (primary, fallback)
+        } else {
+            (self.primary.query(q), self.fallback.query(q))
+        };
+        match primary {
+            Ok(tuples) => Ok(tuples),
+            Err(e) if e.is_failure() => match fallback {
+                Ok(mut tuples) => {
+                    self.primary.note_hedge();
+                    let mut seen: HashSet<qpiad_db::TupleId> = HashSet::new();
+                    tuples.retain(|t| seen.insert(t.id()));
+                    Ok(tuples)
+                }
+                Err(_) => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    fn meter(&self) -> SourceMeter {
+        self.primary.meter()
+    }
+
+    fn reset_meter(&self) {
+        self.primary.reset_meter();
+    }
+
+    fn note_retries(&self, n: usize) {
+        self.primary.note_retries(n);
+    }
+
+    fn note_failure(&self) {
+        self.primary.note_failure();
+    }
+
+    fn note_degraded(&self) {
+        self.primary.note_degraded();
+    }
+
+    fn note_quarantined(&self, n: usize) {
+        self.primary.note_quarantined(n);
+    }
+
+    fn note_hedge(&self) {
+        self.primary.note_hedge();
+    }
+
+    fn note_breaker_skip(&self) {
+        self.primary.note_breaker_skip();
+    }
+
+    fn note_latency(&self, d: std::time::Duration) {
+        self.primary.note_latency(d);
     }
 }
 

@@ -13,7 +13,12 @@
 //!   ones ([`SourceError::is_transient`]) are worth retrying;
 //! * **internal** — a mediator-side invariant broke while serving the
 //!   source ([`SourceError::Internal`]); surfaced as a recorded outcome
-//!   instead of a panic so one bad member cannot poison a whole answer.
+//!   instead of a panic so one bad member cannot poison a whole answer;
+//! * **refusals** — the mediator itself declined to issue the query
+//!   because the source's circuit breaker is open
+//!   ([`SourceError::CircuitOpen`]) or the caller's query budget is spent
+//!   ([`SourceError::BudgetExhausted`]); the source was never contacted,
+//!   so these charge neither meters nor the breaker.
 
 use std::fmt;
 
@@ -57,6 +62,17 @@ pub enum SourceError {
         /// What broke, for diagnostics.
         message: String,
     },
+    /// The mediator refused to issue the query because the source's
+    /// circuit breaker is open (see
+    /// [`BreakerState`](crate::health::BreakerState)). No query reached
+    /// the source, so this is neither transient nor a source failure — it
+    /// must not feed meters or the breaker itself.
+    CircuitOpen,
+    /// The mediator refused to issue the query because the caller's
+    /// [`QueryBudget`](crate::health::QueryBudget) (deadline or attempt
+    /// cap) is exhausted. Like [`SourceError::CircuitOpen`], a
+    /// mediator-side refusal: neither transient nor a source failure.
+    BudgetExhausted,
 }
 
 impl SourceError {
@@ -106,6 +122,12 @@ impl fmt::Display for SourceError {
             SourceError::Internal { message } => {
                 write!(f, "internal mediation error: {message}")
             }
+            SourceError::CircuitOpen => {
+                write!(f, "query skipped: source circuit breaker is open")
+            }
+            SourceError::BudgetExhausted => {
+                write!(f, "query skipped: query budget exhausted")
+            }
         }
     }
 }
@@ -130,6 +152,8 @@ mod tests {
         assert!(e.to_string().contains("250"));
         let e = SourceError::Internal { message: "stats missing".into() };
         assert!(e.to_string().contains("stats missing"));
+        assert!(SourceError::CircuitOpen.to_string().contains("circuit breaker"));
+        assert!(SourceError::BudgetExhausted.to_string().contains("budget"));
     }
 
     #[test]
@@ -146,5 +170,12 @@ mod tests {
         assert!(!SourceError::NullBindingUnsupported { attr: AttrId(0) }.is_failure());
         assert!(!SourceError::UnsupportedAttribute { attr: AttrId(0) }.is_failure());
         assert!(!SourceError::QueryLimitExceeded { limit: 1 }.is_failure());
+
+        // Mediator-side refusals: no query reached the source, so they are
+        // neither retryable nor chargeable to the source's health.
+        assert!(!SourceError::CircuitOpen.is_transient());
+        assert!(!SourceError::CircuitOpen.is_failure());
+        assert!(!SourceError::BudgetExhausted.is_transient());
+        assert!(!SourceError::BudgetExhausted.is_failure());
     }
 }

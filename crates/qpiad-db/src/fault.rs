@@ -217,7 +217,11 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
 
     fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
         if !self.plan.latency.is_zero() {
-            std::thread::sleep(self.plan.latency);
+            // Injected latency rides the health module's clock (logical in
+            // tests/benches) and accrues on the meter so the hedging
+            // layer's slow-source detection sees it.
+            crate::health::sleep(self.plan.latency);
+            self.inner.note_latency(self.plan.latency);
         }
         if self.plan.permanent {
             return self.inject(SourceError::Unavailable { retryable: false });
@@ -269,6 +273,22 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
 
     fn note_degraded(&self) {
         self.inner.note_degraded();
+    }
+
+    fn note_quarantined(&self, n: usize) {
+        self.inner.note_quarantined(n);
+    }
+
+    fn note_hedge(&self) {
+        self.inner.note_hedge();
+    }
+
+    fn note_breaker_skip(&self) {
+        self.inner.note_breaker_skip();
+    }
+
+    fn note_latency(&self, d: Duration) {
+        self.inner.note_latency(d);
     }
 }
 
@@ -364,9 +384,9 @@ pub fn query_with_retry(
                 if e.is_transient() && attempt + 1 < max_attempts {
                     source.note_retries(1);
                     let delay = policy.backoff(query_fingerprint(q), attempt);
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
+                    // Backoff rides the injectable clock: logical time in
+                    // tests/benches, so par workers never really block.
+                    crate::health::sleep(delay);
                     attempt += 1;
                     continue;
                 }
@@ -431,6 +451,19 @@ mod tests {
         // Injected failures never reached the inner source.
         assert_eq!(src.meter().queries, 1);
         assert_eq!(src.meter().rejected, 0);
+    }
+
+    #[test]
+    fn with_latency_accrues_on_the_meter_per_query() {
+        // Injected latency must be visible to the hedging layer via the
+        // meter, whether the query succeeds or is failed by the plan.
+        let lat = Duration::from_millis(3);
+        let plan = FaultPlan::healthy().with_latency(lat).with_fail_first_attempts(1);
+        let src = FaultInjector::new(WebSource::new("cars", relation()), plan);
+        let q = model_query(&src);
+        assert!(src.query(&q).is_err());
+        assert!(src.query(&q).is_ok());
+        assert_eq!(src.meter().latency_ns, 2 * lat.as_nanos() as u64);
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //!   ([`fault::FaultInjector`], deterministic and seeded, for tests and
 //!   benches) and the retry boundary ([`fault::RetryPolicy`],
 //!   [`fault::query_with_retry`]) the mediator issues queries through,
+//! * [`health`] — the availability layer above retries: per-source circuit
+//!   breakers ([`health::HealthRegistry`], deterministic snapshot/absorb
+//!   protocol), per-pass deadline/attempt budgets
+//!   ([`health::QueryBudget`]), and the injectable logical clock every
+//!   mediation-path sleep goes through,
+//! * [`validate`] — response validation and quarantine
+//!   ([`validate::ResponseValidator`]): drops returned tuples that violate
+//!   the source schema or the issued query before they can poison an
+//!   answer set,
 //! * [`par`] — deterministic fork–join helpers; the mediator and the miner
 //!   use them to spread independent work over `QPIAD_THREADS` workers
 //!   without changing any result.
@@ -30,6 +39,7 @@
 pub mod catalog;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod index;
 pub mod par;
 pub mod query;
@@ -37,15 +47,21 @@ pub mod relation;
 pub mod schema;
 pub mod source;
 pub mod tuple;
+pub mod validate;
 pub mod value;
 
 pub use catalog::{GlobalCatalog, SourceBinding};
 pub use error::SourceError;
 pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy};
+pub use health::{
+    BreakerConfig, BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation,
+    QueryBudget,
+};
 pub use index::{AttrIndex, SelectionEngine};
 pub use query::{AggFunc, AggregateQuery, JoinQuery, PredOp, Predicate, SelectQuery};
 pub use relation::Relation;
 pub use schema::{AttrId, AttrType, Attribute, Schema};
 pub use source::{AutonomousSource, DirectSource, SourceMeter, WebSource};
 pub use tuple::{Tuple, TupleId};
+pub use validate::{query_validated, QuarantineReason, ResponseValidator, ValidationReport};
 pub use value::Value;

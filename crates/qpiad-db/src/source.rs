@@ -54,6 +54,19 @@ pub struct SourceMeter {
     /// rewritten queries dropped after retries, or the member recorded as
     /// failed outright.
     pub degraded: usize,
+    /// Returned tuples quarantined by response validation
+    /// ([`crate::validate::ResponseValidator`]): shape or predicate
+    /// violations dropped before they could poison the answer set.
+    pub quarantined: usize,
+    /// Queries this source failed but a hedged fallback served
+    /// ([`crate::health`]'s hedging layer).
+    pub hedges: usize,
+    /// Queries skipped up front because this source's circuit breaker was
+    /// open.
+    pub breaker_skips: usize,
+    /// Cumulative observed (or injected) query latency, in nanoseconds.
+    /// Feeds the hedging layer's slow-source detection.
+    pub latency_ns: u64,
 }
 
 /// The query interface every autonomous source exposes to the mediator.
@@ -113,6 +126,23 @@ pub trait AutonomousSource: Sync {
     /// Records one mediation pass that degraded this source's contribution
     /// (dropped rewrites or a failed member).
     fn note_degraded(&self) {}
+
+    /// Records `n` returned tuples quarantined by response validation.
+    fn note_quarantined(&self, n: usize) {
+        let _ = n;
+    }
+
+    /// Records one query this source failed but a hedged fallback served.
+    fn note_hedge(&self) {}
+
+    /// Records one query skipped because this source's breaker was open.
+    fn note_breaker_skip(&self) {}
+
+    /// Records observed (or injected) latency for one query against this
+    /// source. Feeds the hedging layer's slow-source detection.
+    fn note_latency(&self, d: std::time::Duration) {
+        let _ = d;
+    }
 }
 
 fn validate(
@@ -272,6 +302,23 @@ impl AutonomousSource for WebSource {
     fn note_degraded(&self) {
         self.inner.note(|m| m.degraded += 1);
     }
+
+    fn note_quarantined(&self, n: usize) {
+        self.inner.note(|m| m.quarantined += n);
+    }
+
+    fn note_hedge(&self) {
+        self.inner.note(|m| m.hedges += 1);
+    }
+
+    fn note_breaker_skip(&self) {
+        self.inner.note(|m| m.breaker_skips += 1);
+    }
+
+    fn note_latency(&self, d: std::time::Duration) {
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
+    }
 }
 
 /// A source with unrestricted access patterns, including null binding.
@@ -345,6 +392,23 @@ impl AutonomousSource for DirectSource {
 
     fn note_degraded(&self) {
         self.inner.note(|m| m.degraded += 1);
+    }
+
+    fn note_quarantined(&self, n: usize) {
+        self.inner.note(|m| m.quarantined += n);
+    }
+
+    fn note_hedge(&self) {
+        self.inner.note(|m| m.hedges += 1);
+    }
+
+    fn note_breaker_skip(&self) {
+        self.inner.note(|m| m.breaker_skips += 1);
+    }
+
+    fn note_latency(&self, d: std::time::Duration) {
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
     }
 }
 

@@ -9,6 +9,7 @@
 
 use qpiad_core::correlated::answer_from_correlated;
 use qpiad_core::rank::RankConfig;
+use qpiad_core::QueryContext;
 use qpiad_db::RetryPolicy;
 use qpiad_data::cars::CarsConfig;
 use qpiad_db::{AutonomousSource, Predicate, Relation, SelectQuery, SourceBinding, Value, WebSource};
@@ -79,6 +80,7 @@ pub fn run(scale: &Scale) -> Report {
                 &query,
                 &RankConfig { alpha: 0.0, k: 10 },
                 &RetryPolicy::default(),
+                &mut QueryContext::unbounded(),
             )
             .expect("rewritten queries are expressible on the target");
             let answers = answers.possible;

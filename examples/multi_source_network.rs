@@ -8,9 +8,16 @@
 //! retry policy), one is permanently down. Mediation still returns every
 //! healthy contribution and records the outage as a per-source outcome.
 //!
+//! A [`HealthRegistry`] watches every member: after the downed source burns
+//! through its breaker's failure threshold once, later passes skip it *up
+//! front* — the outage stops costing probe attempts at all until the
+//! cooldown elapses and a half-open probe checks whether it came back.
+//!
 //! ```text
 //! cargo run --release --example multi_source_network
 //! ```
+
+use std::sync::Arc;
 
 use qpiad::core::mediator::QpiadConfig;
 use qpiad::core::network::{MediatorNetwork, SourceOutcome};
@@ -18,7 +25,8 @@ use qpiad::data::cars::CarsConfig;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
 use qpiad::data::sample::uniform_sample;
 use qpiad::db::{
-    AutonomousSource, FaultInjector, FaultPlan, Predicate, RetryPolicy, SelectQuery, WebSource,
+    AutonomousSource, BreakerConfig, FaultInjector, FaultPlan, HealthRegistry, Predicate,
+    RetryPolicy, SelectQuery, WebSource,
 };
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 
@@ -59,7 +67,10 @@ fn main() {
     let config = QpiadConfig::default()
         .with_k(8)
         .with_retry(RetryPolicy::default().with_max_attempts(3));
+    let registry =
+        Arc::new(HealthRegistry::new(BreakerConfig::default().with_failure_threshold(3)));
     let network = MediatorNetwork::new(global.clone(), config)
+        .with_health(registry.clone())
         .add_supporting(&cars, stats)
         .add_deficient(&yahoo)
         .add_deficient(&carsdirect);
@@ -87,9 +98,15 @@ fn main() {
         for part in &answer.per_source {
             let outcome = match &part.outcome {
                 SourceOutcome::Healthy => "healthy".to_string(),
+                SourceOutcome::Degraded(d) if d.breaker_skips > 0 && d.dropped_rewrites == 0 => {
+                    format!(
+                        "degraded: breaker open, {} planned queries skipped up front",
+                        d.breaker_skips
+                    )
+                }
                 SourceOutcome::Degraded(d) => format!(
-                    "degraded: dropped {} rewrites ({:.3} F-measure mass)",
-                    d.dropped_rewrites, d.dropped_fmeasure
+                    "degraded: dropped {} rewrites, skipped {} ({:.3} F-measure mass)",
+                    d.dropped_rewrites, d.breaker_skips, d.dropped_fmeasure
                 ),
                 SourceOutcome::Failed(e) => format!("FAILED: {e}"),
             };
@@ -110,12 +127,20 @@ fn main() {
         for (name, err) in answer.failed_sources() {
             println!("  (outage isolated: `{name}` contributed nothing — {err})");
         }
+        println!(
+            "  breaker states: cars.com {:?}, yahoo_autos {:?}, carsdirect {:?}",
+            registry.state("cars.com"),
+            registry.state("yahoo_autos"),
+            registry.state("carsdirect"),
+        );
     }
     println!(
-        "\nmeters: yahoo_autos {} retries / {} failures; carsdirect {} failures, degraded {}",
+        "\nmeters: yahoo_autos {} retries / {} failures; carsdirect {} failures, \
+         {} breaker skips, degraded {}",
         yahoo.meter().retries,
         yahoo.meter().failures,
         carsdirect.meter().failures,
+        carsdirect.meter().breaker_skips,
         carsdirect.meter().degraded,
     );
 }

@@ -123,6 +123,7 @@ fn main() {
         &query,
         &RankConfig { alpha: 0.0, k: 8 },
         &RetryPolicy::default(),
+        &mut qpiad::core::QueryContext::unbounded(),
     )
     .expect("rewrites expressible on yahoo");
     let answers = answers.possible;

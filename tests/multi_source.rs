@@ -80,6 +80,7 @@ fn correlated_source_pipeline_end_to_end() {
         &q,
         &RankConfig { alpha: 0.0, k: 10 },
         &qpiad::db::RetryPolicy::default(),
+        &mut qpiad::core::QueryContext::unbounded(),
     )
     .unwrap();
     assert!(!answers.degraded.is_degraded());
