@@ -2,7 +2,9 @@
 //!
 //! Runs the parallelized stages — statistics mining, single-source
 //! `Qpiad::answer`, multi-source `MediatorNetwork::answer`, the
-//! fault-injected network, and the breaker-guarded faulted network — at
+//! fault-injected network, the breaker-guarded faulted network, and the
+//! knowledge lifecycle (snapshot persist + store load + drift-watched
+//! answer) — at
 //! `bench_scale()` with the worker pool pinned to 1 thread and then to the
 //! machine's hardware parallelism, and writes the timings to
 //! `BENCH_pipeline.json` at the repository root.
@@ -23,7 +25,10 @@ use qpiad_db::{
     RetryPolicy, SelectQuery, WebSource,
 };
 use qpiad_eval::experiments::common::cars_world;
+use qpiad_learn::drift::{DriftConfig, DriftRegistry};
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+use qpiad_learn::persist::StatsSnapshot;
+use qpiad_learn::store::KnowledgeStore;
 
 const REPS: usize = 3;
 
@@ -90,6 +95,11 @@ fn main() {
         FaultPlan::healthy().with_permanent_outage(),
     );
 
+    // Knowledge stage inputs: the mined snapshot and a scratch store under
+    // `target/` (inside the repo, recreated per run).
+    let snapshot = StatsSnapshot::capture(&world.stats, &MiningConfig::default());
+    let store_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/qpiad-bench-store");
+
     let mut runs: Vec<Run> = Vec::new();
     for threads in [1usize, par_threads] {
         runs.push(time("mine", threads, || {
@@ -151,6 +161,26 @@ fn main() {
             }
             assert_eq!(down.meter().breaker_skips, 1, "pass 2 must skip the downed member");
         }));
+        runs.push(time("knowledge", threads, || {
+            // Knowledge lifecycle: persist the mined snapshot, rebuild the
+            // network from the durable store, and run one drift-watched
+            // pass — measures the snapshot codec (checksum + JSON + re-mine
+            // on restore) and the paired drift observation on top of the
+            // network path.
+            let store = KnowledgeStore::open(store_dir).expect("open bench store");
+            store.save("cars.com", &snapshot).expect("persist snapshot");
+            let registry = Arc::new(DriftRegistry::new(DriftConfig::default()));
+            let network =
+                MediatorNetwork::new(world.ed.schema().clone(), QpiadConfig::default().with_k(10))
+                    .with_drift(registry.clone())
+                    .add_supporting_from_store(&source, &store)
+                    .add_deficient(&yahoo);
+            assert!(network.knowledge_failures().is_empty());
+            let ans = network.answer(&query).expect("network answers");
+            assert!(ans.possible_count() > 0);
+            assert!(ans.drift_verdicts.is_empty(), "an undrifted source must stay quiet");
+            assert!(registry.observed_rows("cars.com") > 0);
+        }));
     }
 
     let speedup = |name: &str| -> f64 {
@@ -181,12 +211,13 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"speedups\": {{ \"mine\": {:.3}, \"answer\": {:.3}, \"network\": {:.3}, \
-         \"faulted\": {:.3}, \"breakered\": {:.3} }},\n",
+         \"faulted\": {:.3}, \"breakered\": {:.3}, \"knowledge\": {:.3} }},\n",
         speedup("mine"),
         speedup("answer"),
         speedup("network"),
         speedup("faulted"),
-        speedup("breakered")
+        speedup("breakered"),
+        speedup("knowledge")
     ));
     json.push_str(&format!(
         "  \"note\": \"Speedups are min-over-min wall-time ratios (1 thread vs {par_threads}). \

@@ -43,6 +43,15 @@
 //! dropped and accounted in [`Degradation`], and a network member that
 //! fails outright contributes a recorded [`SourceOutcome::Failed`] instead
 //! of aborting the whole mediation.
+//!
+//! The mined knowledge itself has a **lifecycle**: the network can load
+//! member statistics from a durable [`qpiad_learn::store::KnowledgeStore`]
+//! (a snapshot that fails to load degrades that member to
+//! certain-answers-only, charged to [`Degradation::knowledge_unavailable`]),
+//! watch each member's live responses for drift against its mined sample
+//! ([`qpiad_learn::drift`], demoting drifted members' possible answers),
+//! and atomically swap in re-mined statistics with
+//! [`network::MediatorNetwork::refresh_member`].
 
 pub mod aggregate;
 pub mod baselines;

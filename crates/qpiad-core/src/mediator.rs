@@ -9,6 +9,7 @@ use qpiad_db::validate::query_validated;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::cache::PredictionCache;
+use qpiad_learn::drift::DriftProbe;
 use qpiad_learn::knowledge::SourceStats;
 
 use crate::rank::{f_scores, order_rewrites, RankConfig};
@@ -112,19 +113,32 @@ pub struct Degradation {
     /// because the source could not be mined live (its breaker was open or
     /// mining failed).
     pub stale_knowledge: bool,
+    /// Mediation passes served certain-answers-only because the source's
+    /// persisted knowledge failed to load (missing, corrupt, wrong
+    /// version, or wrong schema — see `qpiad_learn::store`). With no
+    /// statistics there is nothing to rewrite with, so every such pass
+    /// loses its whole possible-answer contribution.
+    pub knowledge_unavailable: usize,
+    /// `true` iff the source's mined knowledge has drifted past the
+    /// configured threshold (see `qpiad_learn::drift`) and awaits
+    /// re-mining; the answers' precision weight was demoted accordingly.
+    pub drift_demoted: bool,
     /// The last error that caused a drop (diagnostics).
     pub last_error: Option<SourceError>,
 }
 
 impl Degradation {
     /// `true` iff any planned retrieval was lost, any response tuple was
-    /// quarantined, or the answer rests on stale knowledge.
+    /// quarantined, or the answer rests on stale, unavailable, or drifted
+    /// knowledge.
     pub fn is_degraded(&self) -> bool {
         self.dropped_rewrites > 0
             || self.breaker_skips > 0
             || self.budget_skips > 0
             || self.quarantined > 0
             || self.stale_knowledge
+            || self.knowledge_unavailable > 0
+            || self.drift_demoted
     }
 
     pub(crate) fn record(&mut self, fmeasure: f64, error: SourceError) {
@@ -158,12 +172,21 @@ pub struct QueryContext {
     pub budget: QueryBudget,
     /// The source's pass-local circuit-breaker probe.
     pub probe: BreakerProbe,
+    /// Pass-local drift probe: every *validated* live response observed
+    /// during this pass is folded into it, giving the drift detector an
+    /// unbiased view of what the source actually returns
+    /// (see [`qpiad_learn::drift`]). `None` disables observation.
+    pub drift: Option<DriftProbe>,
 }
 
 impl QueryContext {
     /// Unlimited budget, no breaker: mediation exactly as unmanaged.
     pub fn unbounded() -> Self {
-        QueryContext { budget: QueryBudget::unlimited(), probe: BreakerProbe::disabled() }
+        QueryContext {
+            budget: QueryBudget::unlimited(),
+            probe: BreakerProbe::disabled(),
+            drift: None,
+        }
     }
 
     /// Replaces the budget.
@@ -175,6 +198,13 @@ impl QueryContext {
     /// Replaces the breaker probe.
     pub fn with_probe(mut self, probe: BreakerProbe) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Installs a drift probe; validated responses observed during the
+    /// pass accumulate into it.
+    pub fn with_drift(mut self, probe: DriftProbe) -> Self {
+        self.drift = Some(probe);
         self
     }
 }
@@ -295,6 +325,9 @@ impl Qpiad {
             degraded.quarantined += base.quarantined_count();
             ctx.probe.record_failure();
         }
+        if let Some(dp) = &mut ctx.drift {
+            dp.observe(&self.sample_matches(query), &base.kept);
+        }
         let certain = base.kept;
 
         // Step 2a–2c: generate, select and order rewritten queries. A
@@ -406,6 +439,21 @@ impl Qpiad {
         })
     }
 
+    /// The mined-sample tuples certainly matching `query` — the reference
+    /// side of a paired drift observation. Filtering the sample by the
+    /// same query the live response answered gives both sides identical
+    /// conditioning, so a selective query does not read as drift.
+    fn sample_matches(&self, query: &SelectQuery) -> Vec<Tuple> {
+        self.stats
+            .selectivity()
+            .sample()
+            .tuples()
+            .iter()
+            .filter(|t| query.matches(t))
+            .cloned()
+            .collect()
+    }
+
     /// Folds one validated response into the answer: quarantined tuples
     /// feed the degradation record and the breaker probe (repeated drift
     /// eventually opens the source's breaker), kept tuples merge as usual.
@@ -425,6 +473,9 @@ impl Qpiad {
         } else {
             degraded.quarantined += report.quarantined_count();
             ctx.probe.record_failure();
+        }
+        if let Some(dp) = &mut ctx.drift {
+            dp.observe(&self.sample_matches(&rq.query), &report.kept);
         }
         self.merge_retrieval(query, rq, report.kept, merge, cache);
     }

@@ -29,6 +29,21 @@
 //! [`MediatorNetwork::answer_budgeted`] additionally funds the pass from a
 //! caller-supplied [`QueryBudget`], and slow or recovering members get
 //! their rewrites **hedged** to the best correlated supporting member.
+//!
+//! The **knowledge lifecycle** closes the loop on mined statistics:
+//! members can be registered straight from a durable
+//! [`KnowledgeStore`] ([`MediatorNetwork::add_supporting_from_store`]) —
+//! a snapshot that fails to load (missing, corrupt, wrong version, wrong
+//! schema) degrades that member to certain-answers-only instead of
+//! failing the network, charged to
+//! [`Degradation::knowledge_unavailable`]. With a [`DriftRegistry`]
+//! attached ([`MediatorNetwork::with_drift`]), every pass folds each
+//! member's validated live responses into a pass-local [`DriftProbe`]
+//! (snapshotted sequentially before the fan-out, absorbed sequentially
+//! after it, like breaker state); a member whose responses have drifted
+//! past the threshold has its possible answers demoted and is queued for
+//! re-mining via [`MediatorNetwork::refresh_member`], which atomically
+//! swaps in freshly mined statistics without disturbing in-flight passes.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -43,8 +58,10 @@ use qpiad_db::{
     AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, SourceMeter, Tuple,
 };
 use qpiad_learn::afd::AfdSet;
-use qpiad_learn::knowledge::SourceStats;
-use qpiad_learn::persist::StatsSnapshot;
+use qpiad_learn::drift::{DriftProbe, DriftRegistry, DriftVerdict};
+use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+use qpiad_learn::persist::{PersistError, StatsSnapshot};
+use qpiad_learn::store::KnowledgeStore;
 
 use crate::correlated::{answer_from_correlated, is_correlated_source_usable};
 use crate::mediator::{Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
@@ -61,6 +78,23 @@ struct Member<'a> {
     /// live ([`MediatorNetwork::add_supporting_or_stale`]); every answer
     /// this member serves is tagged [`Degradation::stale_knowledge`].
     stale: bool,
+    /// `true` iff this member was registered from a [`KnowledgeStore`]
+    /// whose snapshot failed to load: the member serves certain answers
+    /// only, tagged [`Degradation::knowledge_unavailable`], until
+    /// [`MediatorNetwork::refresh_member`] re-mines it.
+    knowledge_unavailable: bool,
+    /// Why the persisted knowledge could not be used (diagnostics).
+    knowledge_error: Option<PersistError>,
+}
+
+/// One member's drift state for a single pass, snapshotted sequentially
+/// before the fan-out: the empty pass-local probe to fill and whether the
+/// sticky verdict already demotes this pass — demotion decisions must not
+/// depend on which worker finishes first.
+#[derive(Clone, Default)]
+struct MemberDrift {
+    probe: Option<DriftProbe>,
+    demoted: bool,
 }
 
 /// How one member's contribution to a network answer went.
@@ -135,6 +169,9 @@ impl SourceAnswers {
 pub struct NetworkAnswer {
     /// Per-source contributions, in registration order.
     pub per_source: Vec<SourceAnswers>,
+    /// Drift verdicts *newly* issued during this pass (a detector fires
+    /// once; verdicts from earlier passes are queried on the registry).
+    pub drift_verdicts: Vec<DriftVerdict>,
 }
 
 impl NetworkAnswer {
@@ -178,6 +215,10 @@ pub struct MediatorNetwork<'a> {
     /// Circuit-breaker registry shared across passes (and, if the caller
     /// wants, across networks). `None` disables health management.
     health: Option<Arc<HealthRegistry>>,
+    /// Drift registry shared across passes: tracks how far each member's
+    /// live responses have diverged from its mined sample. `None`
+    /// disables drift detection.
+    drift: Option<Arc<DriftRegistry>>,
     /// Whether slow / recovering members get their rewrites hedged.
     hedging: bool,
 }
@@ -185,7 +226,14 @@ pub struct MediatorNetwork<'a> {
 impl<'a> MediatorNetwork<'a> {
     /// Creates an empty network over the global schema.
     pub fn new(global: Arc<Schema>, config: QpiadConfig) -> Self {
-        MediatorNetwork { global, members: Vec::new(), config, health: None, hedging: true }
+        MediatorNetwork {
+            global,
+            members: Vec::new(),
+            config,
+            health: None,
+            drift: None,
+            hedging: true,
+        }
     }
 
     /// Attaches a circuit-breaker registry. Breaker state persists across
@@ -205,9 +253,22 @@ impl<'a> MediatorNetwork<'a> {
         self
     }
 
+    /// Attaches a drift registry. Must be called **before** sources are
+    /// registered (like [`Self::with_health`]): each supporting member's
+    /// detector is seeded from its mined statistics at registration time.
+    pub fn with_drift(mut self, drift: Arc<DriftRegistry>) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
     /// The attached health registry, if any.
     pub fn health(&self) -> Option<&Arc<HealthRegistry>> {
         self.health.as_ref()
+    }
+
+    /// The attached drift registry, if any.
+    pub fn drift(&self) -> Option<&Arc<DriftRegistry>> {
+        self.drift.as_ref()
     }
 
     fn push_supporting(
@@ -225,7 +286,17 @@ impl<'a> MediatorNetwork<'a> {
                 self.global.attr(g).name()
             );
         }
-        self.members.push(Member { source, binding, stats: Some(stats), stale });
+        if let Some(d) = &self.drift {
+            d.register(source.name(), &stats);
+        }
+        self.members.push(Member {
+            source,
+            binding,
+            stats: Some(stats),
+            stale,
+            knowledge_unavailable: false,
+            knowledge_error: None,
+        });
         self
     }
 
@@ -286,12 +357,134 @@ impl<'a> MediatorNetwork<'a> {
         }
     }
 
+    /// Registers a supporting source whose statistics come from a durable
+    /// [`KnowledgeStore`]. The load path is **fault-contained**: a
+    /// snapshot that is missing, corrupt, version-mismatched, or mined
+    /// against a different schema degrades the member to
+    /// **certain-answers-only** (it has no statistics to rewrite with, so
+    /// every answer it serves is tagged
+    /// [`Degradation::knowledge_unavailable`]) instead of failing the
+    /// network. The classified load error is kept for diagnostics
+    /// ([`Self::knowledge_failures`]) and the member heals on the next
+    /// successful [`Self::refresh_member`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source's schema does not cover every global attribute
+    /// by name (same contract as [`Self::add_supporting`]).
+    pub fn add_supporting_from_store(
+        mut self,
+        source: &'a dyn AutonomousSource,
+        store: &KnowledgeStore,
+    ) -> Self {
+        match store.load_for(source.name(), source.schema()) {
+            Ok(snapshot) => self.push_supporting(source, snapshot.restore(), false),
+            Err(e) => {
+                let binding =
+                    SourceBinding::by_name(source.name(), &self.global, source.schema());
+                for g in self.global.attr_ids() {
+                    assert!(
+                        binding.supports(g),
+                        "source `{}` lacks global attribute `{}`; register it with add_deficient",
+                        source.name(),
+                        self.global.attr(g).name()
+                    );
+                }
+                self.members.push(Member {
+                    source,
+                    binding,
+                    stats: None,
+                    stale: false,
+                    knowledge_unavailable: true,
+                    knowledge_error: Some(e),
+                });
+                self
+            }
+        }
+    }
+
     /// Registers a source whose local schema lacks some global attributes;
     /// queries on those attributes are served through a correlated source.
     pub fn add_deficient(mut self, source: &'a dyn AutonomousSource) -> Self {
         let binding = SourceBinding::by_name(source.name(), &self.global, source.schema());
-        self.members.push(Member { source, binding, stats: None, stale: false });
+        self.members.push(Member {
+            source,
+            binding,
+            stats: None,
+            stale: false,
+            knowledge_unavailable: false,
+            knowledge_error: None,
+        });
         self
+    }
+
+    /// The members currently running without usable knowledge, with the
+    /// classified load error that put them there.
+    pub fn knowledge_failures(&self) -> Vec<(&str, &PersistError)> {
+        self.members
+            .iter()
+            .filter_map(|m| {
+                m.knowledge_error.as_ref().map(|e| (m.source.name(), e))
+            })
+            .collect()
+    }
+
+    /// Re-mines one member's knowledge and atomically swaps it in.
+    ///
+    /// `mine` produces fresh statistics from the live source (typically
+    /// [`SourceStats::refresh`] on the old bundle, or a full re-mine). On
+    /// success the new statistics are persisted to `persist`'s store
+    /// *first* (temp-file + rename, so a crash never leaves a torn
+    /// snapshot), the member's drift detector is re-seeded, and the
+    /// in-memory statistics are swapped — clearing any stale /
+    /// knowledge-unavailable degradation. On failure the member keeps its
+    /// old knowledge (or its degraded certain-answers-only state) and the
+    /// failure is recorded against the member's breaker.
+    ///
+    /// Takes `&mut self`: refreshing cannot race an in-flight
+    /// [`Self::answer`] pass, so mid-query answers always see one
+    /// consistent knowledge bundle.
+    pub fn refresh_member(
+        &mut self,
+        name: &str,
+        mine: impl FnOnce(&'a dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+        persist: Option<(&KnowledgeStore, &MiningConfig)>,
+    ) -> Result<(), SourceError> {
+        let idx = self
+            .members
+            .iter()
+            .position(|m| m.source.name() == name)
+            .ok_or_else(|| SourceError::Internal {
+                message: format!("no member named `{name}`"),
+            })?;
+        let source = self.members[idx].source;
+        match mine(source) {
+            Ok(stats) => {
+                if let Some((store, config)) = persist {
+                    let snapshot = StatsSnapshot::capture(&stats, config);
+                    store.save(name, &snapshot).map_err(|e| SourceError::Internal {
+                        message: format!("persisting refreshed knowledge for `{name}`: {e}"),
+                    })?;
+                }
+                if let Some(d) = &self.drift {
+                    d.note_refreshed(name, &stats);
+                }
+                let member = &mut self.members[idx];
+                member.stats = Some(stats);
+                member.stale = false;
+                member.knowledge_unavailable = false;
+                member.knowledge_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                if e.is_failure() {
+                    if let Some(h) = &self.health {
+                        h.absorb(name, &[Observation::Failure]);
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Number of registered sources.
@@ -324,11 +517,21 @@ impl<'a> MediatorNetwork<'a> {
             let Some(conf) = min_afd_confidence(stats.afds(), &query.constrained_attrs()) else {
                 continue;
             };
+            // A drifted candidate's AFDs may no longer describe what it
+            // returns: demote its score so an un-drifted alternative wins.
+            let conf = conf * self.drift_weight(m.source.name());
             if best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
                 best = Some((conf, m));
             }
         }
         best.map(|(_, m)| m)
+    }
+
+    /// The drift demotion factor for a source: 1.0 while its live
+    /// responses match its mined sample, the registry's demote factor
+    /// once a drift verdict has been issued (until re-mining resets it).
+    fn drift_weight(&self, source: &str) -> f64 {
+        self.drift.as_ref().map(|d| d.weight(source)).unwrap_or(1.0)
     }
 
     /// `true` iff the member can bind every constrained attribute of the
@@ -418,7 +621,8 @@ impl<'a> MediatorNetwork<'a> {
                 continue;
             }
             let conf = min_afd_confidence(stats.afds(), &query.constrained_attrs())
-                .unwrap_or(0.0);
+                .unwrap_or(0.0)
+                * self.drift_weight(m.source.name());
             if best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
                 best = Some((conf, j));
             }
@@ -429,7 +633,8 @@ impl<'a> MediatorNetwork<'a> {
     /// Serves one member under the availability layer: an Open breaker
     /// skips it up front; otherwise a pass-local probe and a per-member
     /// copy of the budget gate every query. Returns the answer plus the
-    /// probe's observation log for the sequential absorb phase.
+    /// probe's observation log and the drift probe's accumulated
+    /// observations, both for the sequential absorb phase.
     fn answer_member(
         &self,
         index: usize,
@@ -437,7 +642,9 @@ impl<'a> MediatorNetwork<'a> {
         view: BreakerView,
         hedge: Option<usize>,
         budget: QueryBudget,
-    ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>) {
+        drift: MemberDrift,
+    ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>) {
+        let MemberDrift { probe: drift_probe, demoted: drifted } = drift;
         let member = &self.members[index];
         if view.state() == BreakerState::Open {
             member.source.note_breaker_skip();
@@ -453,29 +660,40 @@ impl<'a> MediatorNetwork<'a> {
                 via_correlated: None,
                 outcome: SourceOutcome::Degraded(d),
             };
-            return (Ok(answers), Vec::new());
+            return (Ok(answers), Vec::new(), drift_probe);
         }
         let mut ctx =
             QueryContext::unbounded().with_budget(budget).with_probe(BreakerProbe::new(view));
+        if let Some(probe) = drift_probe {
+            ctx = ctx.with_drift(probe);
+        }
         let result = self.answer_member_in(member, query, hedge, &mut ctx);
         let observations = ctx.probe.take_observations();
+        let drift_probe = ctx.drift.take();
         let result = result.map(|mut answers| {
             if member.stale {
-                answers.outcome = match answers.outcome {
-                    SourceOutcome::Healthy => SourceOutcome::Degraded(Degradation {
-                        stale_knowledge: true,
-                        ..Degradation::default()
-                    }),
-                    SourceOutcome::Degraded(mut d) => {
-                        d.stale_knowledge = true;
-                        SourceOutcome::Degraded(d)
-                    }
-                    failed => failed,
-                };
+                answers.outcome = tag_degradation(answers.outcome, |d| d.stale_knowledge = true);
+            }
+            if member.knowledge_unavailable {
+                member.source.note_knowledge_unavailable();
+                answers.outcome =
+                    tag_degradation(answers.outcome, |d| d.knowledge_unavailable += 1);
+            }
+            if drifted {
+                // The member's knowledge no longer matches what it
+                // returns: demote the precision of every possible answer
+                // it contributed and flag the degradation, so callers see
+                // the answers survive but carry less weight until the
+                // source is re-mined.
+                let w = self.drift_weight(member.source.name());
+                for a in &mut answers.possible {
+                    a.query_precision *= w;
+                }
+                answers.outcome = tag_degradation(answers.outcome, |d| d.drift_demoted = true);
             }
             answers
         });
-        (result, observations)
+        (result, observations, drift_probe)
     }
 
     /// The pre-availability-layer body of `answer_member`: serves one
@@ -649,7 +867,10 @@ impl<'a> MediatorNetwork<'a> {
         budget: QueryBudget,
     ) -> Result<NetworkAnswer, SourceError> {
         // Sequential pre-pass: tick the pass clock (half-opening cooled
-        // breakers), snapshot views, pick hedge partners.
+        // breakers), snapshot views, pick hedge partners, snapshot each
+        // member's drift state (an empty pass-local probe plus the
+        // sticky drifted flag — demotion decisions must not depend on
+        // which worker finishes first).
         if let Some(h) = &self.health {
             h.begin_pass();
         }
@@ -662,25 +883,43 @@ impl<'a> MediatorNetwork<'a> {
             })
             .collect();
         let hedges = self.hedge_partners(query, &views);
+        let drift_states: Vec<MemberDrift> = self
+            .members
+            .iter()
+            .map(|m| MemberDrift {
+                probe: self.drift.as_ref().and_then(|d| d.probe(m.source.name())),
+                demoted: self.drift.as_ref().is_some_and(|d| d.is_drifted(m.source.name())),
+            })
+            .collect();
 
         let n = self.members.len();
-        let results: Vec<(Result<SourceAnswers, SourceError>, Vec<Observation>)> =
-            if n > 1 && par::num_threads() > 1 {
-                par::parallel_map_indexed(n, |i| {
-                    self.answer_member(i, query, views[i], hedges[i], budget)
+        type MemberResult =
+            (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>);
+        let results: Vec<MemberResult> = if n > 1 && par::num_threads() > 1 {
+            par::parallel_map_indexed(n, |i| {
+                self.answer_member(i, query, views[i], hedges[i], budget, drift_states[i].clone())
+            })
+        } else {
+            (0..n)
+                .zip(drift_states)
+                .map(|(i, drift)| {
+                    self.answer_member(i, query, views[i], hedges[i], budget, drift)
                 })
-            } else {
-                (0..n)
-                    .map(|i| self.answer_member(i, query, views[i], hedges[i], budget))
-                    .collect()
-            };
+                .collect()
+        };
 
-        // Sequential post-pass: absorb observation logs in registration
-        // order, then assemble contributions.
+        // Sequential post-pass: absorb observation logs and drift probes
+        // in registration order, then assemble contributions.
         let mut out = NetworkAnswer::default();
-        for (member, (r, observations)) in self.members.iter().zip(results) {
+        for (member, (r, observations, drift_probe)) in self.members.iter().zip(results) {
             if let Some(h) = &self.health {
                 h.absorb(member.source.name(), &observations);
+            }
+            if let (Some(d), Some(probe)) = (&self.drift, drift_probe) {
+                if let Some(verdict) = d.absorb(member.source.name(), probe) {
+                    member.source.note_drift();
+                    out.drift_verdicts.push(verdict);
+                }
             }
             out.per_source.push(match r {
                 Ok(answers) => answers,
@@ -708,6 +947,25 @@ impl<'a> MediatorNetwork<'a> {
             });
         }
         Ok(out)
+    }
+}
+
+/// Applies a degradation tag to an outcome: a Healthy outcome becomes
+/// Degraded iff the tag actually degrades it, a Degraded outcome gains the
+/// tag, a Failed outcome is left alone (the member contributed nothing to
+/// tag).
+fn tag_degradation(outcome: SourceOutcome, tag: impl FnOnce(&mut Degradation)) -> SourceOutcome {
+    match outcome {
+        SourceOutcome::Healthy => {
+            let mut d = Degradation::default();
+            tag(&mut d);
+            SourceOutcome::from_degradation(d)
+        }
+        SourceOutcome::Degraded(mut d) => {
+            tag(&mut d);
+            SourceOutcome::Degraded(d)
+        }
+        failed => failed,
     }
 }
 
@@ -825,6 +1083,14 @@ impl AutonomousSource for HedgedSource<'_> {
 
     fn note_breaker_skip(&self) {
         self.primary.note_breaker_skip();
+    }
+
+    fn note_knowledge_unavailable(&self) {
+        self.primary.note_knowledge_unavailable();
+    }
+
+    fn note_drift(&self) {
+        self.primary.note_drift();
     }
 
     fn note_latency(&self, d: std::time::Duration) {
@@ -1016,5 +1282,89 @@ mod tests {
         let f = fixture();
         let _ = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
             .add_supporting(&f.yahoo, f.cars_stats.clone());
+    }
+
+    fn scratch_store(name: &str) -> KnowledgeStore {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/test-knowledge-store")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        KnowledgeStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_member_to_certain_answers_only() {
+        let f = fixture();
+        let store = scratch_store("network-corrupt");
+        std::fs::write(store.path_for("cars.com"), "not a snapshot at all").unwrap();
+
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting_from_store(&f.cars, &store);
+        let failures = network.knowledge_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "cars.com");
+        assert_eq!(failures[0].1.kind(), "corrupt");
+
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        f.cars.reset_meter();
+        let answer = network.answer(&q).unwrap();
+        let part = &answer.per_source[0];
+        // Certain answers survive; with no statistics there is nothing to
+        // rewrite with, so no possible answers — and the loss is charged.
+        assert!(!part.certain.is_empty());
+        assert!(part.possible.is_empty());
+        match &part.outcome {
+            SourceOutcome::Degraded(d) => {
+                assert_eq!(d.knowledge_unavailable, 1);
+                assert!(d.is_degraded());
+            }
+            other => panic!("expected degraded outcome, got {other:?}"),
+        }
+        assert_eq!(f.cars.meter().knowledge_unavailable, 1);
+    }
+
+    #[test]
+    fn refresh_member_heals_a_knowledge_unavailable_member() {
+        let f = fixture();
+        let store = scratch_store("network-heal");
+        std::fs::write(store.path_for("cars.com"), "QPIAD-KNOWLEDGE v1 truncated").unwrap();
+
+        let mut network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting_from_store(&f.cars, &store);
+        assert_eq!(network.knowledge_failures().len(), 1);
+
+        let config = MiningConfig::default();
+        network
+            .refresh_member("cars.com", |_| Ok(f.cars_stats.clone()), Some((&store, &config)))
+            .unwrap();
+        assert!(network.knowledge_failures().is_empty());
+        // The refreshed knowledge was persisted and loads cleanly now.
+        assert!(store.load_for("cars.com", f.cars.schema()).is_ok());
+
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answer = network.answer(&q).unwrap();
+        let part = &answer.per_source[0];
+        assert!(!part.certain.is_empty());
+        assert!(!part.possible.is_empty());
+        assert!(part.outcome.is_healthy());
+    }
+
+    #[test]
+    fn refresh_member_requires_a_registered_member() {
+        let f = fixture();
+        let mut network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
+            .add_supporting(&f.cars, f.cars_stats.clone());
+        let err = network.refresh_member("nope.example", |_| Ok(f.cars_stats.clone()), None);
+        assert!(err.is_err());
+        // A failing mine keeps the old knowledge in place.
+        let err = network
+            .refresh_member("cars.com", |_| Err(SourceError::Timeout { waited_ms: 10 }), None);
+        assert!(err.is_err());
+        let body = f.global.expect_attr("body_style");
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let answer = network.answer(&q).unwrap();
+        assert!(!answer.per_source[0].possible.is_empty());
     }
 }

@@ -155,14 +155,36 @@ pub fn relation_from_csv(text: &str, options: &CsvOptions) -> Result<Relation, C
     let is_null =
         |s: &str| s.is_empty() || s.eq_ignore_ascii_case(&options.null_token);
 
-    // Type inference per column.
+    // Every cell is parsed exactly once, before any typing decision. The
+    // old two-pass scheme (infer with `parse().is_ok()`, build with
+    // `parse().expect(...)`) panicked whenever the passes disagreed —
+    // e.g. an i64 overflow that one pass accepted and the other didn't.
+    enum RawCell {
+        Null,
+        Int(i64),
+        Text,
+    }
+    let raw: Vec<Vec<RawCell>> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|s| {
+                    let s = s.trim();
+                    if is_null(s) {
+                        RawCell::Null
+                    } else {
+                        s.parse::<i64>().map(RawCell::Int).unwrap_or(RawCell::Text)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Type inference per column: integer iff no non-null cell failed to
+    // parse.
     let mut types = vec![AttrType::Integer; arity];
     for (col, ty) in types.iter_mut().enumerate() {
-        let all_int = rows.iter().all(|row| {
-            let s = row[col].trim();
-            is_null(s) || s.parse::<i64>().is_ok()
-        });
-        if !all_int {
+        if raw.iter().any(|row| matches!(row[col], RawCell::Text)) {
             *ty = AttrType::Categorical;
         }
     }
@@ -176,24 +198,20 @@ pub fn relation_from_csv(text: &str, options: &CsvOptions) -> Result<Relation, C
             .collect(),
     );
     let tuples = rows
-        .into_iter()
+        .iter()
+        .zip(&raw)
         .enumerate()
-        .map(|(i, row)| {
+        .map(|(i, (row, raw_row))| {
             let values = row
                 .iter()
+                .zip(raw_row)
                 .zip(&types)
-                .map(|(s, ty)| {
-                    let s = s.trim();
-                    if is_null(s) {
-                        Value::Null
-                    } else {
-                        match ty {
-                            AttrType::Integer => Value::int(
-                                s.parse::<i64>().expect("inference guaranteed integer"),
-                            ),
-                            AttrType::Categorical => Value::str(s),
-                        }
-                    }
+                .map(|((s, cell), ty)| match (ty, cell) {
+                    (_, RawCell::Null) => Value::Null,
+                    (AttrType::Integer, RawCell::Int(v)) => Value::int(*v),
+                    // A column inferred integer holds only Int/Null cells;
+                    // any other combination keeps the raw text.
+                    _ => Value::str(s.trim()),
                 })
                 .collect();
             Tuple::new(TupleId(i as u32), values)
@@ -300,6 +318,20 @@ BMW,\"Z4, Roadster\",2003,null
         let r = relation_from_csv(text, &CsvOptions::default()).unwrap();
         assert_eq!(r.schema().attr(qpiad_db::AttrId(0)).ty(), AttrType::Categorical);
         assert_eq!(r.tuples()[0].value(qpiad_db::AttrId(0)), &Value::str("1"));
+    }
+
+    #[test]
+    fn later_rows_contradicting_integer_inference_fall_back_to_text() {
+        // The first rows parse as i64; a later row overflows it. The old
+        // two-pass parser panicked here ("inference guaranteed integer");
+        // the column must instead fall back to categorical with every
+        // value's text preserved.
+        let text = "n,m\n1,a\n2,b\n99999999999999999999,c\n";
+        let r = relation_from_csv(text, &CsvOptions::default()).unwrap();
+        let n = r.schema().expect_attr("n");
+        assert_eq!(r.schema().attr(n).ty(), AttrType::Categorical);
+        assert_eq!(r.tuples()[0].value(n), &Value::str("1"));
+        assert_eq!(r.tuples()[2].value(n), &Value::str("99999999999999999999"));
     }
 
     #[test]

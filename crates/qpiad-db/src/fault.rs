@@ -287,6 +287,173 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
         self.inner.note_breaker_skip();
     }
 
+    fn note_knowledge_unavailable(&self) {
+        self.inner.note_knowledge_unavailable();
+    }
+
+    fn note_drift(&self) {
+        self.inner.note_drift();
+    }
+
+    fn note_latency(&self, d: Duration) {
+        self.inner.note_latency(d);
+    }
+}
+
+/// A deterministic *semantic* mutation of live responses: where
+/// [`FaultInjector`] makes a source fail, [`SkewPlan`] makes it lie.
+///
+/// Each returned tuple keeps its shape and still satisfies the issued
+/// query — queries constraining the skewed attribute pass through
+/// untouched, so response validation keeps the tuples and nothing trips a
+/// breaker — but the skewed attribute's value is rewritten with
+/// probability `rate`. That is exactly the failure mode drift detection
+/// (`qpiad_learn::drift`) exists to catch: a source whose distributions
+/// shifted under the mediator's mined knowledge.
+///
+/// Decisions are content-keyed on the tuple id (same discipline as
+/// [`FaultPlan`]): a given tuple is either always skewed or never skewed
+/// for a given seed, independent of query order or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewPlan {
+    /// Seed for the per-tuple decisions.
+    pub seed: u64,
+    /// The attribute whose values drift.
+    pub attr: AttrId,
+    /// The value drifted tuples report instead of their stored one.
+    pub replacement: crate::value::Value,
+    /// Probability that any given tuple is skewed.
+    pub rate: f64,
+}
+
+impl SkewPlan {
+    /// Skews `attr` to `replacement` on the given fraction of tuples.
+    pub fn new(attr: AttrId, replacement: crate::value::Value, rate: f64, seed: u64) -> Self {
+        SkewPlan { seed, attr, replacement, rate }
+    }
+}
+
+/// Wraps any [`AutonomousSource`] and applies a [`SkewPlan`] to its
+/// responses. Exists for drift-detection tests and benches.
+#[derive(Debug)]
+pub struct SkewInjector<S> {
+    inner: S,
+    plan: SkewPlan,
+    skewed: Mutex<usize>,
+}
+
+impl<S: AutonomousSource> SkewInjector<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: SkewPlan) -> Self {
+        SkewInjector { inner, plan, skewed: Mutex::new(0) }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &SkewPlan {
+        &self.plan
+    }
+
+    /// Number of tuple values skewed so far (counting repeats across
+    /// queries).
+    pub fn skewed_values(&self) -> usize {
+        *self.skewed.lock()
+    }
+}
+
+impl<S: AutonomousSource> AutonomousSource for SkewInjector<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn supports(&self, attr: AttrId) -> bool {
+        self.inner.supports(attr)
+    }
+
+    fn allows_null_binding(&self) -> bool {
+        self.inner.allows_null_binding()
+    }
+
+    fn has_query_budget(&self) -> bool {
+        self.inner.has_query_budget()
+    }
+
+    fn query(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
+        let mut tuples = self.inner.query(q)?;
+        // A query constraining the skewed attribute selected on the stored
+        // value; rewriting it would violate the query's own predicate and
+        // get the response quarantined. Real drift is invisible to such
+        // queries too: they only ever see tuples that still match.
+        if q.predicates().iter().any(|p| p.attr == self.plan.attr) {
+            return Ok(tuples);
+        }
+        let mut n = 0usize;
+        for t in tuples.iter_mut() {
+            if self.plan.attr.index() >= t.arity() || t.values()[self.plan.attr.index()].is_null()
+            {
+                continue; // keep the source's incompleteness intact
+            }
+            let r = splitmix64(self.plan.seed ^ u64::from(t.id().0).rotate_left(32) ^ 0xd21f);
+            if (r as f64 / u64::MAX as f64) < self.plan.rate {
+                *t = t.with_value(self.plan.attr, self.plan.replacement.clone());
+                n += 1;
+            }
+        }
+        if n > 0 {
+            *self.skewed.lock() += n;
+        }
+        Ok(tuples)
+    }
+
+    fn meter(&self) -> SourceMeter {
+        self.inner.meter()
+    }
+
+    fn reset_meter(&self) {
+        self.inner.reset_meter();
+        *self.skewed.lock() = 0;
+    }
+
+    fn note_retries(&self, n: usize) {
+        self.inner.note_retries(n);
+    }
+
+    fn note_failure(&self) {
+        self.inner.note_failure();
+    }
+
+    fn note_degraded(&self) {
+        self.inner.note_degraded();
+    }
+
+    fn note_quarantined(&self, n: usize) {
+        self.inner.note_quarantined(n);
+    }
+
+    fn note_hedge(&self) {
+        self.inner.note_hedge();
+    }
+
+    fn note_breaker_skip(&self) {
+        self.inner.note_breaker_skip();
+    }
+
+    fn note_knowledge_unavailable(&self) {
+        self.inner.note_knowledge_unavailable();
+    }
+
+    fn note_drift(&self) {
+        self.inner.note_drift();
+    }
+
     fn note_latency(&self, d: Duration) {
         self.inner.note_latency(d);
     }
@@ -579,6 +746,58 @@ mod tests {
         assert_eq!(policy.backoff(42, 3), policy.backoff(42, 3));
         // Zero base ⇒ no sleeping at all.
         assert_eq!(RetryPolicy::default().backoff(42, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn skew_injector_mutates_deterministically_by_tuple_id() {
+        let rel = relation();
+        let body = rel.schema().expect_attr("body");
+        let model = rel.schema().expect_attr("model");
+        let plan = SkewPlan::new(body, Value::str("SUV"), 1.0, 11);
+        let src = SkewInjector::new(WebSource::new("cars", rel), plan);
+
+        // A query not constraining `body` sees every body skewed...
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Z4")]);
+        let res = src.query(&q).unwrap();
+        assert!(res.iter().all(|t| t.values()[body.index()] == Value::str("SUV")));
+        assert_eq!(src.skewed_values(), 1);
+
+        // ...and repeating the query skews the same tuples the same way.
+        let again = src.query(&q).unwrap();
+        assert_eq!(res, again);
+    }
+
+    #[test]
+    fn skew_injector_leaves_constrained_attributes_alone() {
+        // Queries binding the skewed attribute must see consistent, valid
+        // responses — drift models a shifted distribution, not a source
+        // that contradicts its own predicate evaluation.
+        let rel = relation();
+        let body = rel.schema().expect_attr("body");
+        let plan = SkewPlan::new(body, Value::str("SUV"), 1.0, 11);
+        let src = SkewInjector::new(WebSource::new("cars", rel), plan);
+        let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+        let res = src.query(&q).unwrap();
+        assert_eq!(res.len(), 2);
+        assert!(res.iter().all(|t| t.values()[body.index()] == Value::str("Convt")));
+        assert_eq!(src.skewed_values(), 0);
+    }
+
+    #[test]
+    fn skew_rate_partitions_tuples_stably() {
+        let rel = relation();
+        let body = rel.schema().expect_attr("body");
+        let mk = |seed| {
+            SkewInjector::new(
+                WebSource::new("cars", relation()),
+                SkewPlan::new(body, Value::str("SUV"), 0.5, seed),
+            )
+        };
+        let a = mk(3);
+        let b = mk(3);
+        let q = SelectQuery::all();
+        assert_eq!(a.query(&q).unwrap(), b.query(&q).unwrap());
+        let _ = rel;
     }
 
     #[test]

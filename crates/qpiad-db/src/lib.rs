@@ -16,8 +16,11 @@
 //!   attributes onto each source's local schema,
 //! * [`fault`] — the failure model: transient-error injection
 //!   ([`fault::FaultInjector`], deterministic and seeded, for tests and
-//!   benches) and the retry boundary ([`fault::RetryPolicy`],
-//!   [`fault::query_with_retry`]) the mediator issues queries through,
+//!   benches), semantic response skew ([`fault::SkewInjector`], the
+//!   drift-detection counterpart: the source answers, but its value
+//!   distributions have shifted), and the retry boundary
+//!   ([`fault::RetryPolicy`], [`fault::query_with_retry`]) the mediator
+//!   issues queries through,
 //! * [`health`] — the availability layer above retries: per-source circuit
 //!   breakers ([`health::HealthRegistry`], deterministic snapshot/absorb
 //!   protocol), per-pass deadline/attempt budgets
@@ -52,7 +55,7 @@ pub mod value;
 
 pub use catalog::{GlobalCatalog, SourceBinding};
 pub use error::SourceError;
-pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy};
+pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy, SkewInjector, SkewPlan};
 pub use health::{
     BreakerConfig, BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation,
     QueryBudget,

@@ -64,6 +64,14 @@ pub struct SourceMeter {
     /// Queries skipped up front because this source's circuit breaker was
     /// open.
     pub breaker_skips: usize,
+    /// Mediation passes this source served certain-answers-only because
+    /// its persisted knowledge failed to load (missing, corrupt, wrong
+    /// version, or wrong schema — see `qpiad_learn::store`).
+    pub knowledge_unavailable: usize,
+    /// Drift verdicts raised against this source: its mined knowledge
+    /// diverged from live responses past the configured threshold and a
+    /// re-mine was scheduled (see `qpiad_learn::drift`).
+    pub drift_events: usize,
     /// Cumulative observed (or injected) query latency, in nanoseconds.
     /// Feeds the hedging layer's slow-source detection.
     pub latency_ns: u64,
@@ -137,6 +145,13 @@ pub trait AutonomousSource: Sync {
 
     /// Records one query skipped because this source's breaker was open.
     fn note_breaker_skip(&self) {}
+
+    /// Records one mediation pass served certain-answers-only because the
+    /// source's persisted knowledge failed to load.
+    fn note_knowledge_unavailable(&self) {}
+
+    /// Records one drift verdict raised against this source.
+    fn note_drift(&self) {}
 
     /// Records observed (or injected) latency for one query against this
     /// source. Feeds the hedging layer's slow-source detection.
@@ -315,6 +330,14 @@ impl AutonomousSource for WebSource {
         self.inner.note(|m| m.breaker_skips += 1);
     }
 
+    fn note_knowledge_unavailable(&self) {
+        self.inner.note(|m| m.knowledge_unavailable += 1);
+    }
+
+    fn note_drift(&self) {
+        self.inner.note(|m| m.drift_events += 1);
+    }
+
     fn note_latency(&self, d: std::time::Duration) {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
@@ -404,6 +427,14 @@ impl AutonomousSource for DirectSource {
 
     fn note_breaker_skip(&self) {
         self.inner.note(|m| m.breaker_skips += 1);
+    }
+
+    fn note_knowledge_unavailable(&self) {
+        self.inner.note(|m| m.knowledge_unavailable += 1);
+    }
+
+    fn note_drift(&self) {
+        self.inner.note(|m| m.drift_events += 1);
     }
 
     fn note_latency(&self, d: std::time::Duration) {

@@ -1,0 +1,656 @@
+//! Drift detection: is the mined knowledge still describing the source?
+//!
+//! QPIAD mines AFDs, value distributions, and selectivity estimates from a
+//! one-shot probed sample, then serves queries from them indefinitely. An
+//! autonomous source keeps evolving underneath — new listings, changed
+//! categories, schema-preserving format shifts — and every evolution
+//! silently erodes rewrite precision. This module compares the *live*
+//! validated responses flowing through `qpiad_db::validate` against the
+//! mined sample and raises a [`DriftVerdict`] once the divergence crosses
+//! a configurable threshold, at which point the mediator demotes the
+//! source's knowledge weight and schedules a re-mine
+//! (`MediatorNetwork::refresh_member`).
+//!
+//! ## The statistic
+//!
+//! Live responses are **query-conditioned** — a pass that asks for
+//! convertibles only ever sees convertibles — so comparing them against
+//! the sample's *unconditional* distributions would convict every
+//! selective query of drift. The probe therefore accumulates **paired**
+//! observations: for each response, the mediator also filters its mined
+//! sample by the *same query* (`SelectQuery::matches`, the certain-answer
+//! test) and feeds the matching sample tuples in as the reference side.
+//! Both sides carry the same conditioning, and both are reduced by the
+//! same estimator, so a source that still looks like its sample scores
+//! exactly zero. The statistic is
+//!
+//! ```text
+//! drift = max( max_a max_v |p_ref_a(v) − p_live_a(v)|,
+//!              max_afd |conf_ref − conf_live| )
+//! ```
+//!
+//! the worst single-value probability shift (L∞ distance — robust to the
+//! sampling noise that saturates total variation on high-cardinality
+//! attributes) and `conf`, the support-weighted confidence of the mined
+//! determining set over each side's counts. The worst attribute decides:
+//! one collapsed category or one broken dependency is enough to poison
+//! that attribute's rewrites, so averaging across healthy attributes
+//! would only hide it.
+//!
+//! ## Determinism
+//!
+//! Accumulation follows the same snapshot → pass-local → sequential-absorb
+//! protocol as `qpiad_db::health`: each mediation pass takes an empty
+//! [`DriftProbe`] per source (sequentially, before fan-out), workers fill
+//! their probe in isolation, and the network absorbs probes in
+//! registration order after the pass. The counts are integers and
+//! addition is commutative, so the statistic — and the pass on which a
+//! verdict fires — is byte-identical at any `QPIAD_THREADS`.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use qpiad_db::{AttrId, Tuple, Value};
+
+use crate::knowledge::SourceStats;
+
+/// Tuning knobs for drift detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Statistic value at or above which a [`DriftVerdict`] fires.
+    pub threshold: f64,
+    /// Minimum live tuples observed before a verdict may fire — small
+    /// responses are too noisy to convict a source on.
+    pub min_observations: u64,
+    /// Multiplier applied to a drifted source's knowledge weight (AFD
+    /// confidence in correlated-source selection, answer precision) until
+    /// it is re-mined. Must lie in `(0, 1]`.
+    pub demote_factor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { threshold: 0.35, min_observations: 50, demote_factor: 0.5 }
+    }
+}
+
+impl DriftConfig {
+    /// Overrides the verdict threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Overrides the minimum observation count.
+    pub fn with_min_observations(mut self, n: u64) -> Self {
+        self.min_observations = n;
+        self
+    }
+
+    /// Overrides the demotion factor.
+    pub fn with_demote_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "demote_factor must lie in (0, 1]");
+        self.demote_factor = factor;
+        self
+    }
+}
+
+/// The verdict emitted (once per source, until re-mining resets it) when
+/// the divergence statistic crosses the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftVerdict {
+    /// The drifted source.
+    pub source: String,
+    /// The combined statistic that crossed the threshold.
+    pub statistic: f64,
+    /// Worst per-attribute single-value probability shift component.
+    pub value_divergence: f64,
+    /// Worst AFD-confidence delta component.
+    pub afd_divergence: f64,
+    /// The configured threshold at the time the verdict fired.
+    pub threshold: f64,
+    /// Live tuples observed when the verdict fired.
+    pub observed: u64,
+}
+
+/// What the probe tracks per attribute, extracted from mined stats: the
+/// schema arity and each attribute's best-AFD determining set.
+#[derive(Debug, Clone)]
+struct TrackedShape {
+    arity: usize,
+    /// Determining set per attribute, for attributes with a best AFD.
+    tracked: Vec<Option<Vec<AttrId>>>,
+}
+
+impl TrackedShape {
+    fn from_stats(stats: &SourceStats) -> Self {
+        let sample = stats.selectivity().sample();
+        let arity = sample.schema().arity();
+        let tracked = sample
+            .schema()
+            .attr_ids()
+            .map(|a| stats.afds().best(a).map(|afd| afd.lhs.clone()))
+            .collect();
+        TrackedShape { arity, tracked }
+    }
+}
+
+/// One side of the paired comparison: per-attribute value counts plus
+/// AFD evidence (determining-set valuation → rhs value counts).
+#[derive(Debug, Clone, Default)]
+struct SideCounts {
+    attr_counts: Vec<BTreeMap<Value, u64>>,
+    afd_counts: Vec<BTreeMap<Vec<Value>, BTreeMap<Value, u64>>>,
+    rows: u64,
+}
+
+impl SideCounts {
+    fn shaped(arity: usize) -> Self {
+        SideCounts {
+            attr_counts: vec![BTreeMap::new(); arity],
+            afd_counts: vec![BTreeMap::new(); arity],
+            rows: 0,
+        }
+    }
+
+    fn accumulate(&mut self, tracked: &[Option<Vec<AttrId>>], tuples: &[Tuple]) {
+        let arity = self.attr_counts.len();
+        for t in tuples {
+            if t.arity() != arity {
+                continue;
+            }
+            self.rows += 1;
+            for (i, v) in t.values().iter().enumerate() {
+                if !v.is_null() {
+                    *self.attr_counts[i].entry(v.clone()).or_insert(0u64) += 1;
+                }
+            }
+            for (i, lhs) in tracked.iter().enumerate() {
+                let Some(lhs) = lhs else { continue };
+                let rhs = &t.values()[i];
+                if rhs.is_null() || lhs.iter().any(|a| t.values()[a.index()].is_null()) {
+                    continue;
+                }
+                let key: Vec<Value> = lhs.iter().map(|a| t.values()[a.index()].clone()).collect();
+                *self
+                    .afd_counts[i]
+                    .entry(key)
+                    .or_default()
+                    .entry(rhs.clone())
+                    .or_insert(0u64) += 1;
+            }
+        }
+    }
+
+    fn merge_into(self, dst: &mut SideCounts) {
+        dst.rows += self.rows;
+        for (dst, src) in dst.attr_counts.iter_mut().zip(self.attr_counts) {
+            for (v, n) in src {
+                *dst.entry(v).or_insert(0) += n;
+            }
+        }
+        for (dst, src) in dst.afd_counts.iter_mut().zip(self.afd_counts) {
+            for (key, counts) in src {
+                let slot = dst.entry(key).or_default();
+                for (v, n) in counts {
+                    *slot.entry(v).or_insert(0) += n;
+                }
+            }
+        }
+    }
+
+    /// Support-weighted confidence of attribute `i`'s tracked determining
+    /// set over this side's counts, or `None` without evidence.
+    fn afd_confidence(&self, i: usize) -> Option<f64> {
+        let groups = &self.afd_counts[i];
+        let total: u64 = groups.values().flat_map(|m| m.values()).sum();
+        if total == 0 {
+            return None;
+        }
+        let agree: u64 = groups.values().map(|m| m.values().copied().max().unwrap_or(0)).sum();
+        Some(agree as f64 / total as f64)
+    }
+}
+
+/// A pass-local accumulator of **paired** observations: validated live
+/// response tuples on one side, the mined-sample tuples matching the same
+/// query on the other. Cheap to clone while empty; filled by one worker
+/// during a mediation pass and absorbed sequentially afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct DriftProbe {
+    live: SideCounts,
+    reference: SideCounts,
+    /// Determining set per attribute (copied from the detector so the
+    /// probe can accumulate without holding a detector borrow).
+    tracked: Vec<Option<Vec<AttrId>>>,
+}
+
+impl DriftProbe {
+    fn shaped(shape: &TrackedShape) -> Self {
+        DriftProbe {
+            live: SideCounts::shaped(shape.arity),
+            reference: SideCounts::shaped(shape.arity),
+            tracked: shape.tracked.clone(),
+        }
+    }
+
+    /// Whether this probe has accumulated nothing.
+    pub fn is_empty(&self) -> bool {
+        self.live.rows == 0 && self.reference.rows == 0
+    }
+
+    /// Live tuples observed so far.
+    pub fn observed_rows(&self) -> u64 {
+        self.live.rows
+    }
+
+    /// Accumulates one paired observation: `reference` is the mined
+    /// sample filtered by the query that produced the validated `live`
+    /// response, so both sides carry identical query conditioning.
+    /// Tuples whose arity disagrees with the mined schema are skipped
+    /// (validation already quarantines them; this is belt and braces).
+    pub fn observe(&mut self, reference: &[Tuple], live: &[Tuple]) {
+        let tracked = std::mem::take(&mut self.tracked);
+        self.reference.accumulate(&tracked, reference);
+        self.live.accumulate(&tracked, live);
+        self.tracked = tracked;
+    }
+
+    fn merge_into(self, dst: &mut DriftProbe) {
+        self.live.merge_into(&mut dst.live);
+        self.reference.merge_into(&mut dst.reference);
+    }
+}
+
+/// The two components and their combination, as currently accumulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStatistic {
+    /// Worst per-attribute single-value probability shift (L∞ distance)
+    /// between the paired reference and live value distributions.
+    pub value_divergence: f64,
+    /// Worst `|reference − live|` AFD confidence delta, both sides
+    /// estimated support-weighted over their accumulated counts.
+    pub afd_divergence: f64,
+    /// `max(value_divergence, afd_divergence)`.
+    pub statistic: f64,
+}
+
+/// Worst single-value probability shift between two (unnormalized) count
+/// maps — the L∞ distance between the empirical distributions.
+///
+/// L∞ is used instead of total variation because the reference side is a
+/// small probed sample: on high-cardinality attributes (prices,
+/// mileages) two honest samples share few exact values, so TV saturates
+/// near 1 on sampling noise alone, while every individual value's
+/// probability stays tiny under L∞. The drift mode that actually poisons
+/// rewrites — a category collapsing or newly dominating — moves one
+/// value's probability by a large amount and is caught.
+fn value_shift(reference: &BTreeMap<Value, u64>, live: &BTreeMap<Value, u64>) -> f64 {
+    let ref_total: u64 = reference.values().sum();
+    let live_total: u64 = live.values().sum();
+    if ref_total == 0 || live_total == 0 {
+        return 0.0;
+    }
+    let mut worst = 0.0f64;
+    for (v, &rn) in reference {
+        let rp = rn as f64 / ref_total as f64;
+        let lp = live.get(v).map_or(0.0, |&n| n as f64 / live_total as f64);
+        worst = worst.max((rp - lp).abs());
+    }
+    for (v, &ln) in live {
+        if !reference.contains_key(v) {
+            worst = worst.max(ln as f64 / live_total as f64);
+        }
+    }
+    worst
+}
+
+/// Drift state for one source: the tracked shape (from mined stats), the
+/// absorbed paired counts, and, once crossed, the sticky verdict.
+#[derive(Debug)]
+pub struct DriftDetector {
+    source: String,
+    config: DriftConfig,
+    shape: TrackedShape,
+    accumulated: DriftProbe,
+    verdict: Option<DriftVerdict>,
+}
+
+impl DriftDetector {
+    /// Builds a detector against a source's mined statistics.
+    pub fn new(source: impl Into<String>, stats: &SourceStats, config: DriftConfig) -> Self {
+        let shape = TrackedShape::from_stats(stats);
+        let accumulated = DriftProbe::shaped(&shape);
+        DriftDetector { source: source.into(), config, shape, accumulated, verdict: None }
+    }
+
+    /// An empty pass-local probe shaped like this detector's statistics.
+    pub fn probe(&self) -> DriftProbe {
+        DriftProbe::shaped(&self.shape)
+    }
+
+    /// Merges a pass-local probe and re-evaluates the statistic; returns
+    /// the verdict if this absorption is the one that crossed the
+    /// threshold (verdicts fire once and stay until [`DriftDetector::reset`]).
+    pub fn absorb(&mut self, probe: DriftProbe) -> Option<DriftVerdict> {
+        probe.merge_into(&mut self.accumulated);
+        if self.verdict.is_some() || self.accumulated.live.rows < self.config.min_observations {
+            return None;
+        }
+        let stat = self.statistic();
+        if stat.statistic >= self.config.threshold {
+            let verdict = DriftVerdict {
+                source: self.source.clone(),
+                statistic: stat.statistic,
+                value_divergence: stat.value_divergence,
+                afd_divergence: stat.afd_divergence,
+                threshold: self.config.threshold,
+                observed: self.accumulated.live.rows,
+            };
+            self.verdict = Some(verdict.clone());
+            return Some(verdict);
+        }
+        None
+    }
+
+    /// The current divergence statistic over everything absorbed so far.
+    /// An attribute contributes only when *both* sides have evidence for
+    /// it — a query whose conditioning leaves one side empty says nothing
+    /// about drift.
+    pub fn statistic(&self) -> DriftStatistic {
+        let reference = &self.accumulated.reference;
+        let live = &self.accumulated.live;
+
+        let mut value_divergence = 0.0;
+        for (ref_counts, live_counts) in reference.attr_counts.iter().zip(&live.attr_counts) {
+            if ref_counts.is_empty() || live_counts.is_empty() {
+                continue;
+            }
+            value_divergence = value_shift(ref_counts, live_counts).max(value_divergence);
+        }
+
+        let mut afd_divergence = 0.0;
+        for (i, lhs) in self.shape.tracked.iter().enumerate() {
+            if lhs.is_none() {
+                continue;
+            }
+            let (Some(ref_conf), Some(live_conf)) =
+                (reference.afd_confidence(i), live.afd_confidence(i))
+            else {
+                continue;
+            };
+            afd_divergence = (ref_conf - live_conf).abs().max(afd_divergence);
+        }
+
+        DriftStatistic {
+            value_divergence,
+            afd_divergence,
+            statistic: value_divergence.max(afd_divergence),
+        }
+    }
+
+    /// Whether the verdict has fired and the source awaits re-mining.
+    pub fn is_drifted(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    /// The sticky verdict, if fired.
+    pub fn verdict(&self) -> Option<&DriftVerdict> {
+        self.verdict.as_ref()
+    }
+
+    /// The knowledge weight: `demote_factor` once drifted, `1.0` before.
+    pub fn weight(&self) -> f64 {
+        if self.is_drifted() { self.config.demote_factor } else { 1.0 }
+    }
+
+    /// Live tuples absorbed so far.
+    pub fn observed_rows(&self) -> u64 {
+        self.accumulated.live.rows
+    }
+
+    /// Rebuilds the tracked shape from freshly mined statistics and clears
+    /// the accumulated counts and the verdict — called after a successful
+    /// re-mine.
+    pub fn reset(&mut self, stats: &SourceStats) {
+        self.shape = TrackedShape::from_stats(stats);
+        self.accumulated = DriftProbe::shaped(&self.shape);
+        self.verdict = None;
+    }
+}
+
+/// A shared registry of per-source drift detectors, following the same
+/// snapshot/probe/absorb discipline as `qpiad_db::health::HealthRegistry`.
+#[derive(Debug)]
+pub struct DriftRegistry {
+    config: DriftConfig,
+    inner: Mutex<BTreeMap<String, DriftDetector>>,
+}
+
+impl DriftRegistry {
+    /// A registry with the given configuration.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftRegistry { config, inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// Registers (or re-registers, resetting) a source's detector.
+    pub fn register(&self, source: &str, stats: &SourceStats) {
+        self.inner
+            .lock()
+            .insert(source.to_string(), DriftDetector::new(source, stats, self.config));
+    }
+
+    /// An empty pass-local probe for a registered source.
+    pub fn probe(&self, source: &str) -> Option<DriftProbe> {
+        self.inner.lock().get(source).map(DriftDetector::probe)
+    }
+
+    /// Absorbs a pass-local probe; returns the verdict if this absorption
+    /// crossed the threshold. Call sequentially, in registration order.
+    pub fn absorb(&self, source: &str, probe: DriftProbe) -> Option<DriftVerdict> {
+        self.inner.lock().get_mut(source).and_then(|d| d.absorb(probe))
+    }
+
+    /// Whether the source's verdict has fired.
+    pub fn is_drifted(&self, source: &str) -> bool {
+        self.inner.lock().get(source).is_some_and(DriftDetector::is_drifted)
+    }
+
+    /// The source's knowledge weight (1.0 for unregistered sources).
+    pub fn weight(&self, source: &str) -> f64 {
+        self.inner.lock().get(source).map_or(1.0, DriftDetector::weight)
+    }
+
+    /// The source's sticky verdict, if fired.
+    pub fn verdict(&self, source: &str) -> Option<DriftVerdict> {
+        self.inner.lock().get(source).and_then(|d| d.verdict().cloned())
+    }
+
+    /// The source's current statistic, if registered.
+    pub fn statistic(&self, source: &str) -> Option<DriftStatistic> {
+        self.inner.lock().get(source).map(DriftDetector::statistic)
+    }
+
+    /// Live tuples absorbed for the source so far.
+    pub fn observed_rows(&self, source: &str) -> u64 {
+        self.inner.lock().get(source).map_or(0, DriftDetector::observed_rows)
+    }
+
+    /// Sources whose verdict has fired and that await re-mining, in
+    /// deterministic (name) order.
+    pub fn pending_refresh(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(_, d)| d.is_drifted())
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Resets a source's detector against freshly mined statistics —
+    /// called by the re-mining path after an atomic snapshot swap.
+    pub fn note_refreshed(&self, source: &str, stats: &SourceStats) {
+        if let Some(d) = self.inner.lock().get_mut(source) {
+            d.reset(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{MiningConfig, SourceStats};
+    use qpiad_data::cars::CarsConfig;
+    use qpiad_data::corrupt::{corrupt, CorruptionConfig};
+    use qpiad_data::sample::uniform_sample;
+    use qpiad_db::Relation;
+
+    fn mined() -> (Relation, SourceStats) {
+        let ground = CarsConfig::default().with_rows(2_000).generate(23);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let sample = uniform_sample(&ed, 0.15, 7);
+        let stats = SourceStats::mine(&sample, ed.len(), &MiningConfig::default());
+        (ed, stats)
+    }
+
+    #[test]
+    fn paired_self_comparison_registers_exactly_zero_drift() {
+        let (_, stats) = mined();
+        let mut detector = DriftDetector::new("cars.com", &stats, DriftConfig::default());
+        let sample: Vec<_> = stats.selectivity().sample().tuples().to_vec();
+        let mut probe = detector.probe();
+        probe.observe(&sample, &sample);
+        assert!(detector.absorb(probe).is_none());
+        let stat = detector.statistic();
+        // Identical paired sides through identical estimators: exact zero
+        // on both components, no estimator bias to tolerate.
+        assert_eq!(stat.value_divergence, 0.0);
+        assert_eq!(stat.afd_divergence, 0.0);
+        assert_eq!(stat.statistic, 0.0);
+        assert!(!detector.is_drifted());
+        assert_eq!(detector.weight(), 1.0);
+    }
+
+    #[test]
+    fn skewed_responses_cross_the_threshold_once() {
+        let (ed, stats) = mined();
+        let make = ed.schema().expect_attr("make");
+        let mut detector = DriftDetector::new(
+            "cars.com",
+            &stats,
+            DriftConfig::default().with_threshold(0.3).with_min_observations(10),
+        );
+        // Live responses where every make collapsed to one value the
+        // reference never saw: large TV distance on `make`, broken
+        // make-determining AFDs.
+        let reference: Vec<_> = ed.tuples().iter().take(200).cloned().collect();
+        let skewed: Vec<_> = reference
+            .iter()
+            .map(|t| t.with_value(make, qpiad_db::Value::str("Monopoly")))
+            .collect();
+        let mut probe = detector.probe();
+        probe.observe(&reference, &skewed);
+        let verdict = detector.absorb(probe).expect("verdict fires");
+        assert_eq!(verdict.source, "cars.com");
+        assert!(verdict.statistic >= 0.3);
+        assert_eq!(verdict.observed, 200);
+        assert!(detector.is_drifted());
+        assert_eq!(detector.weight(), 0.5);
+
+        // The verdict is sticky and fires only once.
+        let mut probe = detector.probe();
+        probe.observe(&reference, &skewed);
+        assert!(detector.absorb(probe).is_none());
+        assert!(detector.is_drifted());
+    }
+
+    #[test]
+    fn absorb_order_does_not_change_the_statistic() {
+        let (ed, stats) = mined();
+        let tuples = ed.tuples();
+        let (front, back) = tuples.split_at(tuples.len() / 3);
+
+        let config = DriftConfig::default();
+        let mut forward = DriftDetector::new("s", &stats, config);
+        let mut p = forward.probe();
+        p.observe(front, back);
+        forward.absorb(p);
+        let mut p = forward.probe();
+        p.observe(back, front);
+        forward.absorb(p);
+
+        let mut reverse = DriftDetector::new("s", &stats, config);
+        let mut p = reverse.probe();
+        p.observe(back, front);
+        reverse.absorb(p);
+        let mut p = reverse.probe();
+        p.observe(front, back);
+        reverse.absorb(p);
+
+        let a = forward.statistic();
+        let b = reverse.statistic();
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(a.value_divergence.to_bits(), b.value_divergence.to_bits());
+        assert_eq!(a.afd_divergence.to_bits(), b.afd_divergence.to_bits());
+    }
+
+    #[test]
+    fn reset_clears_the_verdict_and_live_counts() {
+        let (ed, stats) = mined();
+        let make = ed.schema().expect_attr("make");
+        let mut detector = DriftDetector::new(
+            "cars.com",
+            &stats,
+            DriftConfig::default().with_threshold(0.2).with_min_observations(5),
+        );
+        let reference: Vec<_> = ed.tuples().iter().take(100).cloned().collect();
+        let skewed: Vec<_> = reference
+            .iter()
+            .map(|t| t.with_value(make, qpiad_db::Value::str("Monopoly")))
+            .collect();
+        let mut probe = detector.probe();
+        probe.observe(&reference, &skewed);
+        assert!(detector.absorb(probe).is_some());
+
+        detector.reset(&stats);
+        assert!(!detector.is_drifted());
+        assert_eq!(detector.observed_rows(), 0);
+        assert_eq!(detector.weight(), 1.0);
+    }
+
+    #[test]
+    fn registry_tracks_pending_refreshes_in_name_order() {
+        let (ed, stats) = mined();
+        let make = ed.schema().expect_attr("make");
+        let registry = DriftRegistry::new(
+            DriftConfig::default().with_threshold(0.2).with_min_observations(5),
+        );
+        registry.register("zeta", &stats);
+        registry.register("alpha", &stats);
+        assert!(registry.pending_refresh().is_empty());
+        assert_eq!(registry.weight("unregistered"), 1.0);
+
+        let reference: Vec<_> = ed.tuples().iter().take(100).cloned().collect();
+        let skewed: Vec<_> = reference
+            .iter()
+            .map(|t| t.with_value(make, qpiad_db::Value::str("Monopoly")))
+            .collect();
+        for name in ["zeta", "alpha"] {
+            let mut probe = registry.probe(name).unwrap();
+            probe.observe(&reference, &skewed);
+            assert!(registry.absorb(name, probe).is_some());
+        }
+        assert_eq!(registry.pending_refresh(), vec!["alpha".to_string(), "zeta".to_string()]);
+
+        registry.note_refreshed("alpha", &stats);
+        assert_eq!(registry.pending_refresh(), vec!["zeta".to_string()]);
+        assert!(registry.verdict("zeta").is_some());
+        assert!(registry.verdict("alpha").is_none());
+    }
+}

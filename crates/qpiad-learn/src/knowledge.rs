@@ -109,6 +109,48 @@ impl SourceStats {
         }
     }
 
+    /// Incrementally re-mines against a fresh probe of the source. The
+    /// retained sample and the fresh tuples are merged — a fresh tuple
+    /// replaces the retained tuple with the same id, unseen ids append in
+    /// probe order — and the full §5 pipeline re-runs over the merged
+    /// sample with the given `SmplRatio`/`PerInc` estimates.
+    ///
+    /// The result is a *new* `SourceStats`: the caller swaps it in
+    /// atomically (see `MediatorNetwork::refresh_member`), so answers
+    /// produced mid-refresh keep reading the old bundle. Mining is
+    /// deterministic, so the merged-sample order above makes `refresh`
+    /// itself deterministic. An empty `fresh` relation degenerates to
+    /// re-mining the retained sample, which reproduces the original
+    /// bundle bit-for-bit.
+    pub fn refresh(
+        &self,
+        fresh: &Relation,
+        smpl_ratio: f64,
+        per_inc: f64,
+        config: &MiningConfig,
+    ) -> SourceStats {
+        let old = self.selectivity.sample();
+        assert_eq!(
+            fresh.schema().arity(),
+            old.schema().arity(),
+            "refresh probe must share the source schema"
+        );
+        let fresh_by_id: std::collections::HashMap<_, _> =
+            fresh.tuples().iter().map(|t| (t.id(), t)).collect();
+        let mut merged: Vec<_> = old
+            .tuples()
+            .iter()
+            .map(|t| fresh_by_id.get(&t.id()).copied().unwrap_or(t).clone())
+            .collect();
+        let retained: std::collections::HashSet<_> =
+            old.tuples().iter().map(|t| t.id()).collect();
+        merged.extend(
+            fresh.tuples().iter().filter(|t| !retained.contains(&t.id())).cloned(),
+        );
+        let sample = Relation::new(old.schema().clone(), merged);
+        Self::mine_probed(&sample, smpl_ratio, per_inc, config)
+    }
+
     /// The source's schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema

@@ -16,7 +16,16 @@
 //!    `SmplSel · SmplRatio · PerInc` estimator of §5.4.
 //!
 //! [`persist`] snapshots mined knowledge as JSON (the knowledge-mining
-//! module runs offline; a deployed mediator caches its artifacts), and
+//! module runs offline; a deployed mediator caches its artifacts), and the
+//! knowledge-lifecycle layer keeps those artifacts honest over a long-
+//! running mediator's lifetime: [`store`] is the durable on-disk snapshot
+//! store (versioned header, per-snapshot checksum, atomic writes, and a
+//! load path that classifies failures so a corrupt file degrades one
+//! source instead of the mediator), [`drift`] accumulates a deterministic
+//! divergence statistic between live validated responses and the mined
+//! sample and emits a [`drift::DriftVerdict`] when a source's knowledge
+//! goes stale, and [`knowledge::SourceStats::refresh`] re-mines
+//! incrementally so the mediator can swap in fresh knowledge atomically.
 //! [`assoc`] provides the association-rule imputation baseline the paper
 //! compares classifiers against (§6.5), [`tree`] adds an ID3-style decision
 //! tree and [`tan`] a Chow–Liu tree-augmented Naïve Bayes (the restricted
@@ -35,11 +44,13 @@
 pub mod afd;
 pub mod assoc;
 pub mod cache;
+pub mod drift;
 pub mod knowledge;
 pub mod nbc;
 pub mod partition;
 pub mod persist;
 pub mod selectivity;
+pub mod store;
 pub mod strategy;
 pub mod tan;
 pub mod tane;
@@ -47,8 +58,11 @@ pub mod tree;
 
 pub use afd::{AKey, Afd, AfdSet};
 pub use cache::PredictionCache;
+pub use drift::{DriftConfig, DriftDetector, DriftProbe, DriftRegistry, DriftVerdict};
 pub use knowledge::{MiningConfig, SourceStats};
+pub use persist::{PersistError, StatsSnapshot};
 pub use qpiad_db::par;
 pub use nbc::NaiveBayes;
 pub use selectivity::SelectivityEstimator;
+pub use store::KnowledgeStore;
 pub use strategy::{FeatureStrategy, ValuePredictor};

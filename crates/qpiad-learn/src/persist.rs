@@ -66,17 +66,61 @@ pub struct StatsSnapshot {
     pub config: MiningConfig,
 }
 
-/// A restore failure.
+/// Why a persisted snapshot could not be used. The load path of the
+/// durable store ([`crate::store::KnowledgeStore`]) classifies every
+/// failure so the mediator can degrade the affected source instead of
+/// aborting: a `Missing` or `Corrupt` snapshot costs that one source its
+/// rewriting knowledge (certain answers keep flowing), never the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistError {
+    /// No snapshot exists for the requested source.
+    Missing,
+    /// The on-disk header declares a format version this build does not
+    /// read.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u32,
+        /// The version this build writes.
+        expected: u32,
+    },
+    /// The payload does not match its recorded checksum (truncation, bit
+    /// rot, a torn write), or the header itself is garbled.
+    Corrupt(String),
+    /// The snapshot parsed but describes a different schema than the
+    /// source it was loaded for.
+    SchemaMismatch(String),
     /// The JSON did not parse or did not match the snapshot shape.
     Malformed(String),
+    /// The underlying file operation failed.
+    Io(String),
+}
+
+impl PersistError {
+    /// The stable classification code: `missing`, `version-mismatch`,
+    /// `corrupt`, `schema-mismatch`, `malformed` or `io`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PersistError::Missing => "missing",
+            PersistError::VersionMismatch { .. } => "version-mismatch",
+            PersistError::Corrupt(_) => "corrupt",
+            PersistError::SchemaMismatch(_) => "schema-mismatch",
+            PersistError::Malformed(_) => "malformed",
+            PersistError::Io(_) => "io",
+        }
+    }
 }
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            PersistError::Missing => f.write_str("no snapshot stored for this source"),
+            PersistError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            PersistError::Corrupt(e) => write!(f, "corrupt stats snapshot: {e}"),
+            PersistError::SchemaMismatch(e) => write!(f, "snapshot schema mismatch: {e}"),
             PersistError::Malformed(e) => write!(f, "malformed stats snapshot: {e}"),
+            PersistError::Io(e) => write!(f, "snapshot io failure: {e}"),
         }
     }
 }
@@ -153,12 +197,40 @@ impl StatsSnapshot {
                     snapshot.attributes.len()
                 )));
             }
+            for (j, ((name, is_int), cell)) in snapshot.attributes.iter().zip(row).enumerate() {
+                let ok = match cell {
+                    Cell::Null(()) => true,
+                    Cell::Int(_) => *is_int,
+                    Cell::Str(_) => !*is_int,
+                };
+                if !ok {
+                    return Err(PersistError::Malformed(format!(
+                        "row {i} cell {j}: value disagrees with `{name}` declared as {}",
+                        if *is_int { "integer" } else { "categorical" }
+                    )));
+                }
+            }
         }
         if snapshot.ids.len() != snapshot.rows.len() {
             return Err(PersistError::Malformed(format!(
                 "{} ids for {} rows",
                 snapshot.ids.len(),
                 snapshot.rows.len()
+            )));
+        }
+        // SelectivityEstimator asserts these invariants; reject here so a
+        // doctored snapshot fails classification instead of panicking in
+        // `restore`.
+        if !(snapshot.smpl_ratio.is_finite() && snapshot.smpl_ratio > 0.0) {
+            return Err(PersistError::Malformed(format!(
+                "SmplRatio must be finite and positive, got {}",
+                snapshot.smpl_ratio
+            )));
+        }
+        if !(snapshot.per_inc.is_finite() && (0.0..=1.0).contains(&snapshot.per_inc)) {
+            return Err(PersistError::Malformed(format!(
+                "PerInc must lie in [0, 1], got {}",
+                snapshot.per_inc
             )));
         }
         Ok(snapshot)
@@ -258,6 +330,68 @@ mod tests {
             StatsSnapshot::from_json(&json),
             Err(PersistError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn cell_types_must_match_declared_attributes() {
+        let (_, stats, config) = mined();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+
+        // A string cell smuggled into an integer column is rejected...
+        let mut bad = snapshot.clone();
+        let year = bad
+            .attributes
+            .iter()
+            .position(|(name, is_int)| name == "year" && *is_int)
+            .expect("cars schema has an integer `year`");
+        bad.rows[0][year] = Cell::Str("not a year".into());
+        assert!(matches!(
+            StatsSnapshot::from_json(&bad.to_json()),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // ...and so is an integer cell in a categorical column.
+        let mut bad = snapshot.clone();
+        let make = bad
+            .attributes
+            .iter()
+            .position(|(name, is_int)| name == "make" && !*is_int)
+            .expect("cars schema has a categorical `make`");
+        bad.rows[0][make] = Cell::Int(7);
+        assert!(matches!(
+            StatsSnapshot::from_json(&bad.to_json()),
+            Err(PersistError::Malformed(_))
+        ));
+
+        // Nulls are fine anywhere.
+        let mut ok = snapshot.clone();
+        ok.rows[0][year] = Cell::Null(());
+        ok.rows[0][make] = Cell::Null(());
+        assert!(StatsSnapshot::from_json(&ok.to_json()).is_ok());
+    }
+
+    #[test]
+    fn selectivity_parameters_are_validated() {
+        // These fields feed SelectivityEstimator's asserts; out-of-range
+        // values must classify as Malformed, not panic during restore().
+        let (_, stats, config) = mined();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        for (ratio, inc) in [
+            (0.0, 0.3),
+            (-1.0, 0.3),
+            (f64::NAN, 0.3),
+            (0.1, -0.1),
+            (0.1, 1.5),
+            (0.1, f64::NAN),
+        ] {
+            let mut bad = snapshot.clone();
+            bad.smpl_ratio = ratio;
+            bad.per_inc = inc;
+            assert!(
+                matches!(StatsSnapshot::from_json(&bad.to_json()), Err(PersistError::Malformed(_))),
+                "smpl_ratio={ratio} per_inc={inc} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Knowledge lifecycle robustness: durable snapshots, drift detection,
+//! and safe re-mining.
+//!
+//! The mined knowledge a QPIAD mediator runs on is itself a failure
+//! domain: snapshot files rot on disk, and live sources evolve away from
+//! the sample they were mined from. These scenarios check three
+//! properties end to end:
+//!
+//! 1. **Containment** — a snapshot that fails to load (missing, corrupt,
+//!    truncated, version-mismatched, or mined against another schema)
+//!    degrades that member to certain-answers-only, charged to
+//!    `Degradation::knowledge_unavailable`, instead of failing the
+//!    network.
+//! 2. **Detection** — a seeded, content-keyed skew of a source's live
+//!    responses ([`SkewInjector`]) drives the drift statistic over the
+//!    threshold and emits exactly one [`DriftVerdict`]; later passes
+//!    demote the drifted member's possible answers until it is re-mined.
+//! 3. **Determinism** — drift observation follows the same sequential
+//!    snapshot → pass-local probe → sequential absorb protocol as breaker
+//!    health, so verdicts, demotions, and post-refresh answers replay
+//!    byte-identically at 1 and 8 worker threads.
+//!
+//! The thread override is process-global; tests serialize on a mutex and
+//! restore the default on drop, mirroring `fault_tolerance.rs`.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use qpiad::core::network::{MediatorNetwork, NetworkAnswer, SourceOutcome};
+use qpiad::core::{par, QpiadConfig};
+use qpiad::data::cars::CarsConfig;
+use qpiad::data::corrupt::{corrupt, CorruptionConfig};
+use qpiad::data::sample::uniform_sample;
+use qpiad::db::{
+    AutonomousSource, Predicate, Relation, SelectQuery, SkewInjector, SkewPlan, Value, WebSource,
+};
+use qpiad::learn::drift::{DriftConfig, DriftRegistry, DriftVerdict};
+use qpiad::learn::knowledge::{MiningConfig, SourceStats};
+use qpiad::learn::persist::StatsSnapshot;
+use qpiad::learn::store::{encode_snapshot, KnowledgeStore};
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the override lock and resets the pool size when dropped.
+struct PinnedPool<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+impl PinnedPool<'_> {
+    fn acquire() -> Self {
+        PinnedPool(OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Drop for PinnedPool<'_> {
+    fn drop(&mut self) {
+        par::set_thread_override(None);
+    }
+}
+
+/// A fresh scratch store under `target/` (never outside the repo).
+fn scratch_store(name: &str) -> KnowledgeStore {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/test-knowledge-lifecycle")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    KnowledgeStore::open(dir).unwrap()
+}
+
+struct Fixture {
+    cars_ed: Relation,
+    cars_stats: SourceStats,
+    config: MiningConfig,
+}
+
+fn fixture() -> Fixture {
+    let cars_gd = CarsConfig::default().with_rows(5_000).generate(91);
+    let (cars_ed, _) = corrupt(&cars_gd, &CorruptionConfig::default().with_seed(1));
+    let config = MiningConfig::default();
+    let cars_stats = SourceStats::mine(&uniform_sample(&cars_ed, 0.10, 2), cars_ed.len(), &config);
+    Fixture { cars_ed, cars_stats, config }
+}
+
+/// Everything order- and rank-sensitive about a network answer, with float
+/// bits compared exactly. Outcomes (including knowledge / drift
+/// degradation accounting) are part of the signature.
+fn signature(answer: &NetworkAnswer) -> Vec<String> {
+    answer
+        .per_source
+        .iter()
+        .flat_map(|part| {
+            std::iter::once(format!(
+                "source {} via={:?} outcome={:?}",
+                part.source, part.via_correlated, part.outcome
+            ))
+            .chain(part.certain.iter().map(|t| format!("certain {:?}", t.id())))
+            .chain(part.possible.iter().map(|r| {
+                format!(
+                    "possible {:?} conf={:016x} prec={:016x} q={}",
+                    r.tuple.id(),
+                    r.confidence.to_bits(),
+                    r.query_precision.to_bits(),
+                    r.query_index
+                )
+            }))
+            .collect::<Vec<_>>()
+        })
+        .chain(answer.drift_verdicts.iter().map(|v| {
+            format!(
+                "verdict {} stat={:016x} value={:016x} afd={:016x} observed={}",
+                v.source,
+                v.statistic.to_bits(),
+                v.value_divergence.to_bits(),
+                v.afd_divergence.to_bits(),
+                v.observed
+            )
+        }))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Containment: every load-failure class serves certain answers only.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_load_failure_class_degrades_to_certain_answers_only() {
+    let f = fixture();
+    let global = f.cars_ed.schema().clone();
+    let good = encode_snapshot(&StatsSnapshot::capture(&f.cars_stats, &f.config));
+
+    // A snapshot mined against a narrower schema (body_style dropped):
+    // decodes fine, but does not match the source it is loaded for.
+    let keep: Vec<_> = global
+        .attr_ids()
+        .filter(|a| global.attr(*a).name() != "body_style")
+        .collect();
+    let narrow = f.cars_ed.project_to("cars.com", &keep);
+    let narrow_stats =
+        SourceStats::mine(&uniform_sample(&narrow, 0.10, 2), narrow.len(), &f.config);
+    let narrow_text = encode_snapshot(&StatsSnapshot::capture(&narrow_stats, &f.config));
+
+    let cases: [(&str, Option<String>, &str); 5] = [
+        ("missing", None, "missing"),
+        ("garbage", Some("not a snapshot at all".to_string()), "corrupt"),
+        ("truncated", Some(good[..good.len() / 2].to_string()), "corrupt"),
+        ("future-version", Some(good.replacen(" v1 ", " v9 ", 1)), "version-mismatch"),
+        ("other-schema", Some(narrow_text), "schema-mismatch"),
+    ];
+
+    let body = global.expect_attr("body_style");
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    for (name, contents, expected_kind) in cases {
+        let store = scratch_store(name);
+        if let Some(text) = contents {
+            std::fs::write(store.path_for("cars.com"), text).unwrap();
+        }
+        let cars = WebSource::new("cars.com", f.cars_ed.clone());
+        let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+            .add_supporting_from_store(&cars, &store);
+
+        let failures = network.knowledge_failures();
+        assert_eq!(failures.len(), 1, "case `{name}`");
+        assert_eq!(failures[0].1.kind(), expected_kind, "case `{name}`");
+
+        let answer = network.answer(&q).unwrap();
+        let part = &answer.per_source[0];
+        assert!(!part.certain.is_empty(), "case `{name}`: certain answers must survive");
+        assert!(part.possible.is_empty(), "case `{name}`: no statistics, no possible answers");
+        match &part.outcome {
+            SourceOutcome::Degraded(d) => {
+                assert_eq!(d.knowledge_unavailable, 1, "case `{name}`");
+                assert!(d.is_degraded(), "case `{name}`");
+            }
+            other => panic!("case `{name}`: expected degraded outcome, got {other:?}"),
+        }
+        assert_eq!(cars.meter().knowledge_unavailable, 1, "case `{name}`");
+    }
+}
+
+#[test]
+fn a_healthy_snapshot_round_trips_through_the_store() {
+    let f = fixture();
+    let global = f.cars_ed.schema().clone();
+    let store = scratch_store("round-trip");
+    store.save("cars.com", &StatsSnapshot::capture(&f.cars_stats, &f.config)).unwrap();
+
+    let cars = WebSource::new("cars.com", f.cars_ed.clone());
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .add_supporting_from_store(&cars, &store);
+    assert!(network.knowledge_failures().is_empty());
+
+    let body = global.expect_attr("body_style");
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    let restored = network.answer(&q).unwrap();
+
+    // Byte-identical to a network running on the live-mined statistics.
+    let live = MediatorNetwork::new(global, QpiadConfig::default().with_k(8))
+        .add_supporting(&cars, f.cars_stats.clone());
+    let live_answer = live.answer(&q).unwrap();
+    assert_eq!(signature(&restored), signature(&live_answer));
+    assert!(restored.per_source[0].outcome.is_healthy());
+}
+
+// ---------------------------------------------------------------------------
+// 2 + 3. Detection and determinism: skewed responses fire one verdict,
+// demote the member, and re-mining restores full byte-identical service.
+// ---------------------------------------------------------------------------
+
+/// Runs the full drift lifecycle at a given thread count and returns the
+/// signatures of the four passes (pre-verdict, verdict, demoted,
+/// refreshed) for cross-thread-count comparison.
+fn drift_lifecycle(f: &Fixture, threads: usize) -> [Vec<String>; 3] {
+    par::set_thread_override(Some(threads));
+
+    let global = f.cars_ed.schema().clone();
+    let make = global.expect_attr("make");
+    let body = global.expect_attr("body_style");
+
+    // Content-keyed skew: ~90% of returned tuples report make=Monopoly.
+    // The mined sample never saw that value, so the make distribution's
+    // total-variation distance shoots toward 1.
+    let plan = SkewPlan::new(make, Value::str("Monopoly"), 0.9, 77);
+    let cars = SkewInjector::new(WebSource::new("cars.com", f.cars_ed.clone()), plan);
+
+    let registry = Arc::new(DriftRegistry::new(
+        DriftConfig::default().with_min_observations(20).with_threshold(0.35),
+    ));
+    let store = scratch_store(&format!("drift-{threads}"));
+    let mut network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry.clone())
+        .add_supporting(&cars, f.cars_stats.clone());
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // Pass 1: the skewed base response alone crosses the threshold — the
+    // verdict fires in this pass's sequential absorb phase, so the
+    // answers themselves are not yet demoted.
+    let first = network.answer(&q).unwrap();
+    assert_eq!(first.drift_verdicts.len(), 1, "threads={threads}");
+    let verdict: &DriftVerdict = &first.drift_verdicts[0];
+    assert_eq!(verdict.source, "cars.com");
+    assert!(verdict.statistic >= verdict.threshold);
+    assert!(registry.is_drifted("cars.com"));
+    assert_eq!(registry.pending_refresh(), vec!["cars.com".to_string()]);
+    assert!(cars.meter().drift_events >= 1);
+
+    // Pass 2: the sticky verdict demotes this pass up front. The verdict
+    // is not re-issued.
+    let demoted = network.answer(&q).unwrap();
+    assert!(demoted.drift_verdicts.is_empty());
+    match &demoted.per_source[0].outcome {
+        SourceOutcome::Degraded(d) => assert!(d.drift_demoted, "threads={threads}"),
+        other => panic!("expected drift-demoted outcome, got {other:?}"),
+    }
+    // Demotion scales every possible answer's precision by the factor.
+    for (before, after) in first.per_source[0].possible.iter().zip(&demoted.per_source[0].possible)
+    {
+        assert_eq!(after.query_precision.to_bits(), (before.query_precision * 0.5).to_bits());
+    }
+
+    // Re-mine from what the source returns *now* (the skewed
+    // distribution) and atomically swap it in, persisting the snapshot.
+    let skewed_rows: Vec<_> = f
+        .cars_ed
+        .tuples()
+        .iter()
+        .map(|t| {
+            if t.value(make).is_null() {
+                t.clone()
+            } else {
+                t.with_value(make, Value::str("Monopoly"))
+            }
+        })
+        .collect();
+    let skewed_ed = Relation::new(global.clone(), skewed_rows);
+    let fresh_stats =
+        SourceStats::mine(&uniform_sample(&skewed_ed, 0.10, 2), skewed_ed.len(), &f.config);
+    network
+        .refresh_member("cars.com", |_| Ok(fresh_stats.clone()), Some((&store, &f.config)))
+        .unwrap();
+    assert!(!registry.is_drifted("cars.com"), "threads={threads}");
+    assert!(registry.pending_refresh().is_empty());
+    assert!(store.load_for("cars.com", cars.schema()).is_ok());
+
+    // Pass 3: full service again on knowledge that matches the live
+    // distribution — no demotion, no new verdict.
+    let refreshed = network.answer(&q).unwrap();
+    assert!(refreshed.drift_verdicts.is_empty());
+    assert!(!refreshed.per_source[0].possible.is_empty());
+    match &refreshed.per_source[0].outcome {
+        SourceOutcome::Healthy => {}
+        SourceOutcome::Degraded(d) => {
+            assert!(!d.drift_demoted, "threads={threads}: refresh must clear the demotion")
+        }
+        other => panic!("unexpected outcome after refresh: {other:?}"),
+    }
+
+    [signature(&first), signature(&demoted), signature(&refreshed)]
+}
+
+#[test]
+fn skewed_responses_fire_one_verdict_and_refresh_restores_service() {
+    let _guard = PinnedPool::acquire();
+    let f = fixture();
+    let [first, demoted, refreshed] = drift_lifecycle(&f, 1);
+    assert_ne!(first, demoted, "demotion must change the answer");
+    assert_ne!(demoted, refreshed, "refresh must change the answer");
+}
+
+#[test]
+fn drift_lifecycle_replays_identically_at_1_and_8_threads() {
+    let _guard = PinnedPool::acquire();
+    let f = fixture();
+    let sequential = drift_lifecycle(&f, 1);
+    let parallel = drift_lifecycle(&f, 8);
+    assert_eq!(sequential, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-lifecycle network: broken knowledge, drifting knowledge, and a
+// deficient member all in one pass, replayed across thread counts.
+// ---------------------------------------------------------------------------
+
+fn mixed_network_passes(f: &Fixture, threads: usize) -> Vec<Vec<String>> {
+    par::set_thread_override(Some(threads));
+    let global = f.cars_ed.schema().clone();
+    let make = global.expect_attr("make");
+    let body = global.expect_attr("body_style");
+
+    let cars = SkewInjector::new(
+        WebSource::new("cars.com", f.cars_ed.clone()),
+        SkewPlan::new(make, Value::str("Monopoly"), 0.9, 77),
+    );
+
+    // auctions: supporting, but its snapshot is corrupt on disk.
+    let store = scratch_store(&format!("mixed-{threads}"));
+    std::fs::write(store.path_for("auctions"), "garbage").unwrap();
+    let auctions_gd = CarsConfig::default().with_rows(5_000).generate(93);
+    let (auctions_ed, _) = corrupt(&auctions_gd, &CorruptionConfig::default().with_seed(3));
+    let auctions_ed =
+        auctions_ed.project_to("auctions", &global.attr_ids().collect::<Vec<_>>());
+    let auctions = WebSource::new("auctions", auctions_ed);
+
+    // yahoo: deficient (no body_style), served through the correlated
+    // supporting member.
+    let keep: Vec<_> = global
+        .attr_ids()
+        .filter(|a| global.attr(*a).name() != "body_style")
+        .collect();
+    let yahoo_local = CarsConfig::default()
+        .with_rows(5_000)
+        .generate(92)
+        .project_to("yahoo_autos", &keep);
+    let yahoo = WebSource::new("yahoo_autos", yahoo_local);
+
+    let registry =
+        Arc::new(DriftRegistry::new(DriftConfig::default().with_min_observations(20)));
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry)
+        .add_supporting(&cars, f.cars_stats.clone())
+        .add_supporting_from_store(&auctions, &store)
+        .add_deficient(&yahoo);
+    assert_eq!(network.knowledge_failures().len(), 1);
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    (0..3).map(|_| signature(&network.answer(&q).unwrap())).collect()
+}
+
+#[test]
+fn mixed_lifecycle_network_replays_identically_across_thread_counts() {
+    let _guard = PinnedPool::acquire();
+    let f = fixture();
+    let sequential = mixed_network_passes(&f, 1);
+    let parallel = mixed_network_passes(&f, 8);
+    assert_eq!(sequential, parallel);
+
+    // The corrupt-store member keeps serving certain answers in every
+    // pass, and the drifted member's demotion shows up from pass 2 on.
+    assert!(sequential[0].iter().any(|l| l.contains("verdict cars.com")));
+    assert!(sequential[1].iter().any(|l| l.contains("drift_demoted: true")));
+    assert!(sequential[2]
+        .iter()
+        .any(|l| l.contains("source auctions") && l.contains("knowledge_unavailable: 1")));
+}

@@ -429,6 +429,247 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Knowledge lifecycle invariants: random snapshot corruption never panics,
+// the drift statistic is partition- and thread-count invariant, and a
+// save → load → refresh cycle preserves answers byte-identically.
+// ---------------------------------------------------------------------------
+
+use qpiad::core::network::{MediatorNetwork, NetworkAnswer};
+use qpiad::core::{par, QpiadConfig};
+use qpiad::db::WebSource;
+use qpiad::learn::drift::{DriftConfig, DriftDetector, DriftRegistry};
+use qpiad::learn::persist::StatsSnapshot;
+use qpiad::learn::store::{decode_snapshot, encode_snapshot, KnowledgeStore};
+
+/// A mined world plus its encoded snapshot, built once — mining is far too
+/// expensive to redo per proptest case.
+fn lifecycle_world() -> &'static (Relation, SourceStats, MiningConfig, String) {
+    static WORLD: std::sync::OnceLock<(Relation, SourceStats, MiningConfig, String)> =
+        std::sync::OnceLock::new();
+    WORLD.get_or_init(|| {
+        let ground = CarsConfig::default().with_rows(2_000).generate(41);
+        let (ed, _) = corrupt(&ground, &CorruptionConfig::default());
+        let config = MiningConfig::default();
+        let stats = SourceStats::mine(&uniform_sample(&ed, 0.15, 4), ed.len(), &config);
+        let encoded = encode_snapshot(&StatsSnapshot::capture(&stats, &config));
+        (ed, stats, config, encoded)
+    })
+}
+
+/// Everything rank- and float-sensitive about a network answer, bit-exact.
+fn net_signature(answer: &NetworkAnswer) -> Vec<String> {
+    answer
+        .per_source
+        .iter()
+        .flat_map(|part| {
+            std::iter::once(format!("source {} outcome={:?}", part.source, part.outcome))
+                .chain(part.certain.iter().map(|t| format!("certain {:?}", t.id())))
+                .chain(part.possible.iter().map(|r| {
+                    format!(
+                        "possible {:?} conf={:016x} prec={:016x} q={}",
+                        r.tuple.id(),
+                        r.confidence.to_bits(),
+                        r.query_precision.to_bits(),
+                        r.query_index
+                    )
+                }))
+                .collect::<Vec<_>>()
+        })
+        .chain(answer.drift_verdicts.iter().map(|v| {
+            format!("verdict {} stat={:016x}", v.source, v.statistic.to_bits())
+        }))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary byte edits and truncations of an encoded snapshot must
+    /// never panic the decoder: every mutation either still decodes (and
+    /// then restores to working statistics) or classifies as one of the
+    /// documented failure kinds.
+    #[test]
+    fn snapshot_corruption_never_panics(
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..6),
+        cut in any::<usize>(),
+        truncate in any::<bool>(),
+    ) {
+        let (_, _, _, encoded) = lifecycle_world();
+        let mut bytes = encoded.clone().into_bytes();
+        if truncate {
+            let keep = cut % (bytes.len() + 1);
+            bytes.truncate(keep);
+        }
+        for (at, b) in &edits {
+            if !bytes.is_empty() {
+                let i = at % bytes.len();
+                bytes[i] = *b;
+            }
+        }
+        // Mutations may produce invalid UTF-8; a real reader would see the
+        // lossy text (or an IO error, which the store classifies itself).
+        let text = String::from_utf8_lossy(&bytes);
+        match decode_snapshot(&text) {
+            // Edits that cancel out (or only touch checksummed-but-ignored
+            // bytes) can still decode; the snapshot must then be usable.
+            Ok(snapshot) => {
+                let restored = snapshot.restore();
+                prop_assert!(restored.schema().arity() > 0);
+            }
+            Err(e) => prop_assert!(
+                ["missing", "version-mismatch", "corrupt", "schema-mismatch", "malformed", "io"]
+                    .contains(&e.kind()),
+                "unclassified failure: {e}"
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The drift statistic is a function of the absorbed counts only: how
+    /// the paired observations are chunked into probes, and in what order
+    /// the probes are absorbed, must not move a single bit.
+    #[test]
+    fn drift_statistic_ignores_observation_partitioning(
+        chunk in 5usize..80,
+        live_offset in 1usize..500,
+    ) {
+        let (ed, stats, _, _) = lifecycle_world();
+        let tuples = ed.tuples();
+        // Pair each reference chunk with a rotated live chunk so the two
+        // sides genuinely differ.
+        let pairs: Vec<(&[Tuple], &[Tuple])> = tuples
+            .chunks(chunk)
+            .zip(tuples[live_offset % tuples.len()..].chunks(chunk))
+            .collect();
+
+        let one_probe = {
+            let mut d = DriftDetector::new("s", stats, DriftConfig::default());
+            let mut p = d.probe();
+            for (reference, live) in &pairs {
+                p.observe(reference, live);
+            }
+            d.absorb(p);
+            d.statistic()
+        };
+        let many_probes_reversed = {
+            let mut d = DriftDetector::new("s", stats, DriftConfig::default());
+            for (reference, live) in pairs.iter().rev() {
+                let mut p = d.probe();
+                p.observe(reference, live);
+                d.absorb(p);
+            }
+            d.statistic()
+        };
+        prop_assert_eq!(one_probe.statistic.to_bits(), many_probes_reversed.statistic.to_bits());
+        prop_assert_eq!(
+            one_probe.value_divergence.to_bits(),
+            many_probes_reversed.value_divergence.to_bits()
+        );
+        prop_assert_eq!(
+            one_probe.afd_divergence.to_bits(),
+            many_probes_reversed.afd_divergence.to_bits()
+        );
+    }
+}
+
+/// Resets the global worker-pool override when dropped, even on assert
+/// failure.
+struct PoolReset;
+impl Drop for PoolReset {
+    fn drop(&mut self) {
+        par::set_thread_override(None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A drift-watched network pass produces bit-identical answers and
+    /// drift statistics at QPIAD_THREADS=1 and at a larger pool size.
+    #[test]
+    fn drift_statistic_is_deterministic_across_thread_counts(
+        threads in 2usize..9,
+        style_idx in 0usize..8,
+    ) {
+        static STYLES: [&str; 8] = [
+            "Sedan", "Coupe", "Convt", "SUV", "Hatchback", "Truck", "Van", "Wagon",
+        ];
+        let (ed, stats, _, _) = lifecycle_world();
+        let global = ed.schema().clone();
+        let q = SelectQuery::new(vec![Predicate::eq(
+            global.expect_attr("body_style"),
+            STYLES[style_idx],
+        )]);
+
+        let _reset = PoolReset;
+        let pass = |n: usize| {
+            par::set_thread_override(Some(n));
+            let cars = WebSource::new("cars.com", ed.clone());
+            let auctions = WebSource::new("auctions", ed.clone());
+            let registry = Arc::new(DriftRegistry::new(
+                DriftConfig::default().with_min_observations(10),
+            ));
+            let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(6))
+                .with_drift(registry.clone())
+                .add_supporting(&cars, stats.clone())
+                .add_supporting(&auctions, stats.clone());
+            let sig = net_signature(&network.answer(&q).unwrap());
+            let stat = registry.statistic("cars.com").unwrap();
+            (sig, stat.statistic.to_bits(), registry.observed_rows("cars.com"))
+        };
+        let sequential = pass(1);
+        let parallel = pass(threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Persisting mined knowledge, loading it back through the store, and
+    /// atomically refreshing it with an identical re-mine are all
+    /// answer-preserving, bit for bit.
+    #[test]
+    fn save_load_refresh_preserves_answers(style_idx in 0usize..8, k in 1usize..12) {
+        static STYLES: [&str; 8] = [
+            "Sedan", "Coupe", "Convt", "SUV", "Hatchback", "Truck", "Van", "Wagon",
+        ];
+        let (ed, stats, config, _) = lifecycle_world();
+        let global = ed.schema().clone();
+        let q = SelectQuery::new(vec![Predicate::eq(
+            global.expect_attr("body_style"),
+            STYLES[style_idx],
+        )]);
+        let cars = WebSource::new("cars.com", ed.clone());
+
+        let live = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(k))
+            .add_supporting(&cars, stats.clone());
+        let from_live = net_signature(&live.answer(&q).unwrap());
+
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("target/test-properties-store");
+        let store = KnowledgeStore::open(dir).unwrap();
+        store.save("cars.com", &StatsSnapshot::capture(stats, config)).unwrap();
+        let mut network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(k))
+            .add_supporting_from_store(&cars, &store);
+        prop_assert!(network.knowledge_failures().is_empty());
+        let from_store = net_signature(&network.answer(&q).unwrap());
+
+        network
+            .refresh_member("cars.com", |_| Ok(stats.clone()), Some((&store, config)))
+            .unwrap();
+        let from_refresh = net_signature(&network.answer(&q).unwrap());
+
+        prop_assert_eq!(&from_live, &from_store);
+        prop_assert_eq!(&from_store, &from_refresh);
+        prop_assert!(store.load_for("cars.com", ed.schema()).is_ok());
+    }
+}
+
 // Silence the unused warning for Arc (used via Schema construction above).
 #[allow(dead_code)]
 fn _touch(_: Arc<Schema>) {}
