@@ -153,11 +153,17 @@ fn ablate_ordering(scale: &Scale) {
     let policies: Vec<(&str, Vec<qpiad_core::rewrite::RewrittenQuery>)> = vec![
         (
             "F-measure (a=1)",
-            order_rewrites(rewrites.clone(), &RankConfig { alpha: 1.0, k: 10 }),
+            order_rewrites(rewrites.clone(), &RankConfig { alpha: 1.0, k: 10 })
+                .into_iter()
+                .map(|s| s.rewrite)
+                .collect(),
         ),
         (
             "precision-only",
-            order_rewrites(rewrites.clone(), &RankConfig { alpha: 0.0, k: 10 }),
+            order_rewrites(rewrites.clone(), &RankConfig { alpha: 0.0, k: 10 })
+                .into_iter()
+                .map(|s| s.rewrite)
+                .collect(),
         ),
         ("selectivity-only", {
             let mut rs = rewrites.clone();

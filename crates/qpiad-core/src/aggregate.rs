@@ -12,10 +12,12 @@
 
 use std::collections::HashSet;
 
+use qpiad_db::fault::RetryPolicy;
 use qpiad_db::{AggFunc, AggregateQuery, AutonomousSource, SourceError, Tuple, TupleId};
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::mediator::value_or_predicted;
+use crate::mediator::{value_or_predicted, Degradation, QueryContext};
+use crate::plan::{self, AdmissionMode, BaseGate, EntryStatus, MediationPlan, PlanEntry};
 use crate::rank::{order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
 
@@ -55,7 +57,20 @@ pub fn answer_aggregate(
     source: &dyn AutonomousSource,
     query: &AggregateQuery,
 ) -> Result<AggregateAnswer, SourceError> {
-    let base = source.query(&query.select)?;
+    // Aggregates run unguarded (no breaker/budget of their own): the
+    // shared executor sees an unbounded context and a single-attempt
+    // policy; a rewrite the source still fails is dropped, not fatal.
+    let mut ctx = QueryContext::unbounded();
+    let mut degraded = Degradation::default();
+    let retry = RetryPolicy::none();
+    let base = plan::execute_base(
+        source,
+        &query.select,
+        &retry,
+        &mut ctx,
+        &mut degraded,
+        BaseGate::Guarded,
+    )?;
     let certain = query.evaluate(base.iter());
 
     // Accumulators for the predicted aggregate, expressed as (count, sum) so
@@ -97,18 +112,29 @@ pub fn answer_aggregate(
     let ordered = order_rewrites(rewrites, &RankConfig { alpha: config.alpha, k: config.k });
     let constrained = query.select.constrained_attrs();
 
-    for rq in ordered {
-        let result = match source.query(&rq.query) {
-            Ok(tuples) => tuples,
-            Err(SourceError::QueryLimitExceeded { .. }) => break,
-            Err(e) => return Err(e),
-        };
+    let mut agg_plan = MediationPlan::new(
+        source.name().to_string(),
+        query.select.clone(),
+        retry,
+        AdmissionMode::PlanTime,
+    );
+    for scored in ordered {
+        agg_plan.push(PlanEntry {
+            issue: scored.rewrite.query.clone(),
+            rewrite: scored.rewrite,
+            fmeasure: scored.fmeasure,
+            status: EntryStatus::Deferred,
+        });
+    }
+    agg_plan.admit(&mut ctx, &mut degraded);
+
+    plan::execute(source, &agg_plan, &mut ctx, &mut degraded, |_, entry, result, _| {
         // §4.4: accept the whole query iff the argmax completion satisfies
         // the original predicate on the target attribute. A rewrite whose
         // target is somehow unconstrained cannot be gated — skip it rather
         // than panic mid-aggregation.
-        let Some(target_pred) = query.select.predicate_on(rq.target_attr) else {
-            continue;
+        let Some(target_pred) = query.select.predicate_on(entry.rewrite.target_attr) else {
+            return;
         };
         for t in result {
             if !seen.insert(t.id()) {
@@ -120,7 +146,8 @@ pub fn answer_aggregate(
             if t.null_count_among(&constrained) > 1 {
                 continue;
             }
-            let Some((most_likely, _)) = stats.predictor().predict(rq.target_attr, &t) else {
+            let Some((most_likely, _)) = stats.predictor().predict(entry.rewrite.target_attr, &t)
+            else {
                 continue;
             };
             if !target_pred.op.matches(&most_likely) {
@@ -130,7 +157,7 @@ pub fn answer_aggregate(
                 possible_count += 1;
             }
         }
-    }
+    });
 
     let with_prediction = match query.func {
         AggFunc::Count => count,

@@ -15,12 +15,14 @@
 use std::collections::HashSet;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
-use qpiad_db::validate::query_validated;
-use qpiad_db::{AutonomousSource, SelectQuery, SourceBinding, SourceError, TupleId};
+use qpiad_db::{AutonomousSource, SelectQuery, SourceBinding, SourceError, Tuple, TupleId};
 use qpiad_learn::knowledge::SourceStats;
 
 use crate::mediator::{Degradation, QueryContext, RankedAnswer};
-use crate::rank::{f_scores, order_rewrites, RankConfig};
+use crate::plan::{
+    self, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan, PlanEntry, SkipReason,
+};
+use crate::rank::{order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
 
 /// Checks Definition 4: can `correlated_stats` (learned from a source that
@@ -86,59 +88,35 @@ pub fn answer_from_correlated(
     // Step 1 (modified): base set from the correlated source. Only the
     // budget gates it — the probe tracks the target's health, and the
     // correlated member's own breaker already vetted it this pass.
-    let Some(base_policy) = ctx.budget.admit(retry, query_fingerprint(query)) else {
-        return Err(SourceError::BudgetExhausted);
-    };
-    let base = query_validated(correlated_source, query, &base_policy)?;
-    let mut out = CorrelatedAnswers::default();
-    out.degraded.quarantined += base.quarantined_count();
-    let base = base.kept;
+    let mut degraded = Degradation::default();
+    let base = plan::execute_base(
+        correlated_source,
+        query,
+        retry,
+        ctx,
+        &mut degraded,
+        BaseGate::BudgetOnly,
+    )?;
 
-    // Step 2: rewrites from the correlated source's statistics.
-    let rewrites = generate_rewrites(query, &base, correlated_stats);
-    let ordered = order_rewrites(rewrites, config);
-    let scores = f_scores(&ordered, config.alpha);
+    // Step 2: an interleaved-admission plan — rewrites from the correlated
+    // source's statistics, translated onto the target's local schema at
+    // plan time. Deferred entries are admitted by the executor one at a
+    // time, immediately before issue (the dedup set orders this loop, so
+    // it is inherently sequential).
+    let plan = build_plan(
+        correlated_stats,
+        target_source.name(),
+        binding,
+        query,
+        config,
+        retry,
+        &base,
+    );
 
+    let mut possible: Vec<RankedAnswer> = Vec::new();
     let mut seen: HashSet<TupleId> = HashSet::new();
-    for (query_index, (rq, score)) in ordered.into_iter().zip(scores).enumerate() {
-        // The rewritten query must be expressible on the target's local
-        // schema.
-        let local = match binding.translate_query(&rq.query) {
-            Ok(q) => q,
-            Err(_) => continue,
-        };
-        // Interleaved admission: breaker first, then the budget.
-        if !ctx.probe.admits() {
-            out.degraded.record_breaker_skip(score);
-            continue;
-        }
-        let Some(policy) = ctx.budget.admit(retry, query_fingerprint(&local)) else {
-            out.degraded.record_budget_skip(score);
-            continue;
-        };
-        ctx.probe.note_issued();
-        let report = match query_validated(target_source, &local, &policy) {
-            Ok(r) => r,
-            // Budget exhausted mid-plan: degrade to what is fetched.
-            Err(SourceError::QueryLimitExceeded { .. }) => break,
-            // A failed rewrite is skipped, not fatal.
-            Err(e) => {
-                if e.is_failure() {
-                    ctx.probe.record_failure();
-                }
-                out.degraded.record(score, e);
-                continue;
-            }
-        };
-        let result = if report.is_clean() {
-            ctx.probe.record_success();
-            report.kept
-        } else {
-            out.degraded.quarantined += report.quarantined_count();
-            ctx.probe.record_failure();
-            report.kept
-        };
-        for local_tuple in result {
+    plan::execute(target_source, &plan, ctx, &mut degraded, |rank, entry, kept, _ctx| {
+        for local_tuple in kept {
             if !seen.insert(local_tuple.id()) {
                 continue;
             }
@@ -149,19 +127,93 @@ pub fn answer_from_correlated(
             if !query.possibly_matches(&tuple) {
                 continue;
             }
-            out.possible.push(RankedAnswer {
+            possible.push(RankedAnswer {
                 tuple,
-                confidence: rq.precision,
-                query_precision: rq.precision,
-                query_index,
-                explanation: rq.afd.clone(),
+                confidence: entry.rewrite.precision,
+                query_precision: entry.rewrite.precision,
+                query_index: rank,
+                explanation: entry.rewrite.afd.clone(),
             });
         }
-    }
-    if out.degraded.is_degraded() {
+    });
+    if degraded.is_degraded() {
         target_source.note_degraded();
     }
-    Ok(out)
+    Ok(CorrelatedAnswers { possible, degraded })
+}
+
+/// Builds the (unadmitted) interleaved plan for a correlated retrieval:
+/// rewrites generated from the correlated source's statistics, ordered by
+/// F-measure, and translated onto the target's local schema at plan time.
+/// An untranslatable candidate becomes a skipped entry, not an error.
+fn build_plan(
+    correlated_stats: &SourceStats,
+    target_name: &str,
+    binding: &SourceBinding,
+    query: &SelectQuery,
+    config: &RankConfig,
+    retry: &RetryPolicy,
+    base: &[Tuple],
+) -> MediationPlan {
+    let rewrites = generate_rewrites(query, base, correlated_stats);
+    let ordered = order_rewrites(rewrites, config);
+    let mut plan = MediationPlan::new(
+        target_name.to_string(),
+        query.clone(),
+        *retry,
+        AdmissionMode::Interleaved,
+    );
+    for scored in ordered {
+        let (issue, status) = match binding.translate_query(&scored.rewrite.query) {
+            Ok(local) => (local, EntryStatus::Deferred),
+            Err(_) => (
+                scored.rewrite.query.clone(),
+                EntryStatus::Skipped(SkipReason::Untranslatable),
+            ),
+        };
+        plan.push(PlanEntry {
+            rewrite: scored.rewrite,
+            issue,
+            fmeasure: scored.fmeasure,
+            status,
+        });
+    }
+    plan
+}
+
+/// A *speculative* correlated plan for EXPLAIN: the base result set is
+/// approximated by the correlated source's mined sample and admission is
+/// previewed against `ctx` without charging any degradation record. Issues
+/// zero source queries against either source.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_from_correlated_speculative(
+    correlated_stats: &SourceStats,
+    target_name: &str,
+    binding: &SourceBinding,
+    query: &SelectQuery,
+    config: &RankConfig,
+    retry: &RetryPolicy,
+    ctx: &mut QueryContext,
+) -> MediationPlan {
+    let base = plan::stats_sample_matches(correlated_stats, query);
+    let mut plan = build_plan(correlated_stats, target_name, binding, query, config, retry, &base);
+    plan.cache = CacheStatus::Speculative;
+    // The base retrieval is gated by the budget only — the probe belongs
+    // to the target source and is never consulted for the base.
+    match ctx.budget.admit(retry, query_fingerprint(query)) {
+        Some(policy) => plan.base_status = EntryStatus::Admitted(policy),
+        None => {
+            plan.base_status = EntryStatus::Skipped(SkipReason::BudgetExhausted);
+            plan.skip_all(SkipReason::BudgetExhausted);
+            return plan;
+        }
+    }
+    // Preview interleaved admission: consume the probe and budget in the
+    // same order the executor would, so a breaker-open target shows every
+    // remaining candidate as skipped.
+    let mut scratch = Degradation::default();
+    plan.admit(ctx, &mut scratch);
+    plan
 }
 
 #[cfg(test)]

@@ -11,13 +11,16 @@
 
 use std::collections::{HashMap, HashSet};
 
+use qpiad_db::fault::RetryPolicy;
 use qpiad_db::{
     AttrId, AutonomousSource, JoinQuery, PredOp, SelectQuery, SourceError, Tuple, TupleId, Value,
 };
 use qpiad_learn::knowledge::SourceStats;
 
+use crate::mediator::{Degradation, QueryContext};
+use crate::plan::{self, AdmissionMode, BaseGate, EntryStatus, MediationPlan, PlanEntry};
 use crate::rank::f_measure;
-use crate::rewrite::generate_rewrites;
+use crate::rewrite::{generate_rewrites, RewrittenQuery};
 
 /// Join processing configuration.
 #[derive(Debug, Clone, Copy)]
@@ -110,9 +113,20 @@ pub fn answer_join(
     config: &JoinConfig,
     query: &JoinQuery,
 ) -> Result<JoinAnswer, SourceError> {
-    // Step 1: base sets.
-    let base_l = left.source.query(&query.left)?;
-    let base_r = right.source.query(&query.right)?;
+    // Step 1: base sets. Joins run unguarded (no breaker/budget of their
+    // own), so the shared executor sees an unbounded context and a
+    // single-attempt policy throughout.
+    let retry = RetryPolicy::none();
+    let base_l = {
+        let mut ctx = QueryContext::unbounded();
+        let mut degraded = Degradation::default();
+        plan::execute_base(left.source, &query.left, &retry, &mut ctx, &mut degraded, BaseGate::Guarded)?
+    };
+    let base_r = {
+        let mut ctx = QueryContext::unbounded();
+        let mut degraded = Degradation::default();
+        plan::execute_base(right.source, &query.right, &retry, &mut ctx, &mut degraded, BaseGate::Guarded)?
+    };
 
     // Steps 2–3: candidate queries with join-value distributions.
     let cands_l = candidates(left, &query.left, &base_l, query.left_attr);
@@ -152,40 +166,29 @@ pub fn answer_join(
     scored.truncate(config.k_pairs);
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| (a.2, a.3).cmp(&(b.2, b.3))));
 
-    // Step 5: issue each component query once, post-filter per side.
-    let mut cache_l: HashMap<usize, Vec<Qualified>> = HashMap::new();
-    let mut cache_r: HashMap<usize, Vec<Qualified>> = HashMap::new();
+    // Step 5: issue each component query once, per side, in first-needed
+    // pair order — one batch plan per side through the shared executor, so
+    // the issue order (and any budget cutoff) is exactly what the pair
+    // loop would have produced on demand.
+    let order_l = first_needed(&scored, |s| s.2);
+    let order_r = first_needed(&scored, |s| s.3);
+    let cache_l =
+        retrieve_components(left, &query.left, query.left_attr, &base_l, &cands_l, &order_l);
+    let cache_r =
+        retrieve_components(right, &query.right, query.right_attr, &base_r, &cands_r, &order_r);
     let mut joined: Vec<JoinedTuple> = Vec::new();
     let mut seen: HashSet<(TupleId, TupleId)> = HashSet::new();
     let mut pairs_issued = 0usize;
 
     for (pair_index, (_, _, i, j)) in scored.into_iter().enumerate() {
-        let ok_l = ensure_side(
-            &mut cache_l,
-            i,
-            &cands_l[i],
-            left,
-            &query.left,
-            query.left_attr,
-            &base_l,
-        )?;
-        let ok_r = ensure_side(
-            &mut cache_r,
-            j,
-            &cands_r[j],
-            right,
-            &query.right,
-            query.right_attr,
-            &base_r,
-        )?;
-        if !(ok_l && ok_r) {
-            continue; // a side's query budget ran out
-        }
+        // A component missing from a side's cache means its query budget
+        // ran out before the component could be issued.
+        let (Some(lhs), Some(rhs)) = (cache_l.get(&i), cache_r.get(&j)) else {
+            continue;
+        };
         pairs_issued += 1;
 
         // Step 6: hash join on (actual or predicted) join values.
-        let lhs = &cache_l[&i];
-        let rhs = &cache_r[&j];
         let mut by_value: HashMap<&Value, Vec<&Qualified>> = HashMap::new();
         for q in rhs {
             by_value.entry(&q.join_value).or_default().push(q);
@@ -308,34 +311,82 @@ fn pair_selectivity(l: &Candidate, r: &Candidate) -> f64 {
         .sum()
 }
 
-/// Issues a side's component query (once) and post-filters its tuples into
-/// qualified join inputs. Returns `false` when the source's query budget is
-/// exhausted.
-#[allow(clippy::too_many_arguments)]
-fn ensure_side(
-    cache: &mut HashMap<usize, Vec<Qualified>>,
-    index: usize,
-    cand: &Candidate,
+/// The distinct candidate indices of one side, in the order the pair loop
+/// first needs them.
+fn first_needed<F>(scored: &[(f64, f64, usize, usize)], pick: F) -> Vec<usize>
+where
+    F: Fn(&(f64, f64, usize, usize)) -> usize,
+{
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut order = Vec::new();
+    for s in scored {
+        let i = pick(s);
+        if seen.insert(i) {
+            order.push(i);
+        }
+    }
+    order
+}
+
+/// Issues one side's component queries (each once, in first-needed order)
+/// through the shared executor and post-filters the results into qualified
+/// join inputs. A component the side's query budget cut off is simply
+/// absent from the returned map; index 0 (the complete query) reuses the
+/// already-retrieved base set.
+fn retrieve_components(
     side: &JoinSide<'_>,
     select: &SelectQuery,
     join_attr: AttrId,
     base: &[Tuple],
-) -> Result<bool, SourceError> {
-    if cache.contains_key(&index) {
-        return Ok(true);
-    }
-    // Index 0 is the complete query — its result is the base set, already
-    // retrieved.
-    let tuples: Vec<Tuple> = if index == 0 {
-        base.to_vec()
-    } else {
-        match side.source.query(&cand.query) {
-            Ok(ts) => ts,
-            Err(SourceError::QueryLimitExceeded { .. }) => return Ok(false),
-            Err(e) => return Err(e),
+    cands: &[Candidate],
+    order: &[usize],
+) -> HashMap<usize, Vec<Qualified>> {
+    let mut cache: HashMap<usize, Vec<Qualified>> = HashMap::new();
+    let mut ctx = QueryContext::unbounded();
+    let mut degraded = Degradation::default();
+    let retry = RetryPolicy::none();
+    let mut side_plan = MediationPlan::new(
+        side.source.name().to_string(),
+        select.clone(),
+        retry,
+        AdmissionMode::PlanTime,
+    );
+    // Plan rank → candidate index (index 0 never enters the plan).
+    let mut slots: Vec<usize> = Vec::new();
+    for &i in order {
+        if i == 0 {
+            cache.insert(0, qualify(side, select, join_attr, base.to_vec()));
+            continue;
         }
-    };
+        let cand = &cands[i];
+        side_plan.push(PlanEntry {
+            rewrite: RewrittenQuery {
+                query: cand.query.clone(),
+                target_attr: join_attr,
+                precision: cand.precision,
+                est_selectivity: cand.est_size,
+                afd: None,
+            },
+            issue: cand.query.clone(),
+            fmeasure: cand.precision,
+            status: EntryStatus::Deferred,
+        });
+        slots.push(i);
+    }
+    side_plan.admit(&mut ctx, &mut degraded);
+    plan::execute(side.source, &side_plan, &mut ctx, &mut degraded, |rank, _, tuples, _| {
+        cache.insert(slots[rank], qualify(side, select, join_attr, tuples));
+    });
+    cache
+}
 
+/// Post-filters one component query's tuples into qualified join inputs.
+fn qualify(
+    side: &JoinSide<'_>,
+    select: &SelectQuery,
+    join_attr: AttrId,
+    tuples: Vec<Tuple>,
+) -> Vec<Qualified> {
     let constrained = select.constrained_attrs();
     let mut qualified = Vec::with_capacity(tuples.len());
     for t in tuples {
@@ -385,8 +436,7 @@ fn ensure_side(
             certain: certain && join_is_stored,
         });
     }
-    cache.insert(index, qualified);
-    Ok(true)
+    qualified
 }
 
 #[cfg(test)]

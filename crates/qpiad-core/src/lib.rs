@@ -11,6 +11,12 @@
 //! * [`rank`] — orders rewritten queries by expected F-measure, selects the
 //!   top-K, and re-orders those by precision so retrieved tuples inherit
 //!   their query's rank (§4.2 steps b–d).
+//! * [`plan`] — the mediation-plan IR and the one shared executor: each
+//!   answer path builds a [`plan::MediationPlan`] (base query plus the
+//!   admitted, rank-ordered rewrite list), runs it through
+//!   [`plan::execute`], and can render it as EXPLAIN output without
+//!   issuing a single source query; candidate lists are cached per
+//!   (template, knowledge version) in a [`plan::PlanCache`].
 //! * [`mediator`] — the end-to-end engine: base set, rewriting, ordered
 //!   retrieval, post-filtering, deferred handling of multi-null tuples, and
 //!   per-answer confidence + AFD explanations (§6.1).
@@ -60,13 +66,18 @@ pub mod join;
 pub mod mediator;
 pub mod multijoin;
 pub mod network;
+pub mod plan;
 pub mod rank;
 pub mod relaxation;
 pub mod rewrite;
 
 pub use correlated::CorrelatedAnswers;
 pub use mediator::{AnswerSet, Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
+pub use plan::{
+    execute, execute_base, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan,
+    PlanCache, PlanCandidate, PlanEntry, SkipReason,
+};
 pub use qpiad_db::par;
 pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers, SourceOutcome};
-pub use rank::{order_rewrites, RankConfig};
+pub use rank::{order_rewrites, rescore, RankConfig, ScoredRewrite};
 pub use rewrite::{generate_rewrites, RewrittenQuery};

@@ -1,18 +1,21 @@
 //! The end-to-end QPIAD mediator for selection queries (§4.2).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
 use qpiad_db::health::{BreakerProbe, QueryBudget};
-use qpiad_db::par;
-use qpiad_db::validate::query_validated;
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::cache::PredictionCache;
 use qpiad_learn::drift::DriftProbe;
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::rank::{f_scores, order_rewrites, RankConfig};
+use crate::plan::{
+    self, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan, PlanCache,
+    PlanCandidate, PlanEntry, SkipReason,
+};
+use crate::rank::{order_rewrites, rescore, RankConfig};
 use crate::rewrite::{generate_rewrites, RewrittenQuery};
 
 /// Mediator configuration.
@@ -237,12 +240,26 @@ pub struct AnswerSet {
 pub struct Qpiad {
     stats: SourceStats,
     config: QpiadConfig,
+    /// Shared plan cache; `None` plans from scratch every pass.
+    plan_cache: Option<Arc<PlanCache>>,
+    /// The knowledge version the cache key is stamped with — whoever
+    /// attaches the cache must bump this whenever `stats` changes meaning
+    /// (re-mine, drift demotion), or stale plans would be served.
+    knowledge_version: u64,
 }
 
 impl Qpiad {
     /// Creates a mediator from mined statistics.
     pub fn new(stats: SourceStats, config: QpiadConfig) -> Self {
-        Qpiad { stats, config }
+        Qpiad { stats, config, plan_cache: None, knowledge_version: 0 }
+    }
+
+    /// Attaches a shared plan cache, stamping this mediator's entries with
+    /// `version` (the source's current knowledge version).
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>, version: u64) -> Self {
+        self.plan_cache = Some(cache);
+        self.knowledge_version = version;
+        self
     }
 
     /// The mined statistics.
@@ -268,7 +285,7 @@ impl Qpiad {
     /// *base* query (no certain answers at all) propagates as an error.
     ///
     /// Against a budget-free source the rewritten queries are issued
-    /// concurrently over the [`par`] worker pool; the results are then
+    /// concurrently over the [`crate::par`] worker pool; the results are then
     /// merged sequentially in rank order, which makes the answer set
     /// byte-identical to single-threaded retrieval. Budgeted sources are
     /// always served sequentially, because which queries fit under the
@@ -301,49 +318,19 @@ impl Qpiad {
         ctx: &mut QueryContext,
     ) -> Result<AnswerSet, SourceError> {
         // Step 1: base result set (certain answers), under admission.
-        if !ctx.probe.admits() {
-            return Err(SourceError::CircuitOpen);
-        }
-        let Some(base_policy) = ctx.budget.admit(&self.config.retry, query_fingerprint(query))
-        else {
-            return Err(SourceError::BudgetExhausted);
-        };
-        ctx.probe.note_issued();
         let mut degraded = Degradation::default();
-        let base = match query_validated(source, query, &base_policy) {
-            Ok(report) => report,
-            Err(e) => {
-                if e.is_failure() {
-                    ctx.probe.record_failure();
-                }
-                return Err(e);
-            }
-        };
-        if base.is_clean() {
-            ctx.probe.record_success();
-        } else {
-            degraded.quarantined += base.quarantined_count();
-            ctx.probe.record_failure();
-        }
+        let certain =
+            plan::execute_base(source, query, &self.config.retry, ctx, &mut degraded, BaseGate::Guarded)?;
         if let Some(dp) = &mut ctx.drift {
-            dp.observe(&self.sample_matches(query), &base.kept);
+            dp.observe(&self.sample_matches(query), &certain);
         }
-        let certain = base.kept;
 
-        // Step 2a–2c: generate, select and order rewritten queries. A
-        // rewritten query can constrain attributes the source's web form
-        // does not expose (the determining set came from global
-        // statistics); such queries are skipped, not fatal.
-        let rewrites = generate_rewrites(query, &certain, &self.stats);
-        let candidates: Vec<RewrittenQuery> = order_rewrites(
-            rewrites,
-            &RankConfig { alpha: self.config.alpha, k: self.config.k },
-        )
-        .into_iter()
-        .filter(|rq| rq.query.predicates().iter().all(|p| source.supports(p.attr)))
-        .collect();
+        // Steps 2a–2c: build the plan — candidate rewrites (served from
+        // the plan cache when the template and knowledge version match)
+        // plus plan-time admission in rank order.
+        let plan = self.plan(source, query, &certain, ctx, &mut degraded);
 
-        // Step 2d–2e: retrieve the extended result set, post-filter, rank.
+        // Steps 2d–2e: execute the plan and merge results in rank order.
         // The classifier memo lives for exactly this query (§5.3 cost: one
         // classification per distinct determining-set combination).
         let cache = PredictionCache::new();
@@ -354,73 +341,12 @@ impl Qpiad {
             deferred: Vec::new(),
             issued: Vec::new(),
         };
-
-        // Per-candidate F-measure mass, so dropped queries can report how
-        // much of the plan they carried.
-        let scores = f_scores(&candidates, self.config.alpha);
-
-        // Plan-time admission, in rank order: breaker first (a skipped
-        // query must not charge the budget), then the budget, which clamps
-        // the retry policy so the whole admitted plan fits the deadline.
-        let mut plan: Vec<(RewrittenQuery, RetryPolicy)> = Vec::with_capacity(candidates.len());
-        let mut plan_scores: Vec<f64> = Vec::with_capacity(candidates.len());
-        for (rq, score) in candidates.into_iter().zip(scores) {
-            if !ctx.probe.admits() {
-                degraded.record_breaker_skip(score);
-                continue;
+        plan::execute(source, &plan, ctx, &mut degraded, |_, entry, kept, ctx| {
+            if let Some(dp) = &mut ctx.drift {
+                dp.observe(&self.sample_matches(&entry.rewrite.query), &kept);
             }
-            match ctx.budget.admit(&self.config.retry, query_fingerprint(&rq.query)) {
-                Some(policy) => {
-                    ctx.probe.note_issued();
-                    plan.push((rq, policy));
-                    plan_scores.push(score);
-                }
-                None => degraded.record_budget_skip(score),
-            }
-        }
-
-        let concurrent = !source.has_query_budget() && plan.len() > 1 && par::num_threads() > 1;
-        if concurrent {
-            // Fan the admitted retrievals out (each worker retries its own
-            // query under its clamped policy), then merge in rank order.
-            // Probe outcomes are recorded in the merge phase, so the
-            // observation log is identical to a sequential run.
-            let results = par::parallel_map(&plan, |(rq, policy)| {
-                query_validated(source, &rq.query, policy)
-            });
-            for (((rq, _), result), score) in plan.into_iter().zip(results).zip(plan_scores) {
-                match result {
-                    Ok(report) => {
-                        self.merge_validated(query, rq, report, ctx, &mut degraded, &mut merge, &cache)
-                    }
-                    // Budget exhausted mid-plan: degrade to what is fetched.
-                    Err(SourceError::QueryLimitExceeded { .. }) => break,
-                    // A rewrite that failed after retries is skipped, not
-                    // fatal: record what the plan lost and move on.
-                    Err(e) => {
-                        if e.is_failure() {
-                            ctx.probe.record_failure();
-                        }
-                        degraded.record(score, e);
-                    }
-                }
-            }
-        } else {
-            for ((rq, policy), score) in plan.into_iter().zip(plan_scores) {
-                match query_validated(source, &rq.query, &policy) {
-                    Ok(report) => {
-                        self.merge_validated(query, rq, report, ctx, &mut degraded, &mut merge, &cache)
-                    }
-                    Err(SourceError::QueryLimitExceeded { .. }) => break,
-                    Err(e) => {
-                        if e.is_failure() {
-                            ctx.probe.record_failure();
-                        }
-                        degraded.record(score, e);
-                    }
-                }
-            }
-        }
+            self.merge_retrieval(query, &entry.rewrite, kept, &mut merge, &cache);
+        });
         if degraded.is_degraded() {
             source.note_degraded();
         }
@@ -439,45 +365,201 @@ impl Qpiad {
         })
     }
 
+    /// Builds the admitted [`MediationPlan`] for `query`: candidate
+    /// rewrites (from the plan cache when the (template, knowledge
+    /// version) key matches, re-planned and cached otherwise) followed by
+    /// plan-time admission against the context's probe and budget.
+    pub fn plan(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        certain: &[Tuple],
+        ctx: &mut QueryContext,
+        degraded: &mut Degradation,
+    ) -> MediationPlan {
+        let (candidates, cache_status) = self.candidate_set(source, query, certain);
+        let mut plan = self.plan_from_candidates(source, query, &candidates);
+        plan.cache = cache_status;
+        plan.admit(ctx, degraded);
+        plan
+    }
+
+    /// A *speculative* plan for EXPLAIN: the base result set is
+    /// approximated by the mined sample's certain matches, the plan cache
+    /// is deliberately bypassed (a sample-based candidate list must never
+    /// be served to a real pass), and admission runs against the given
+    /// context without charging any degradation record. Issues zero
+    /// source queries.
+    pub fn plan_speculative(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        ctx: &mut QueryContext,
+    ) -> MediationPlan {
+        let certain = self.sample_matches(query);
+        let candidates = self.compute_candidates(source, query, &certain);
+        let mut plan = self.plan_from_candidates(source, query, &candidates);
+        plan.cache = CacheStatus::Speculative;
+        // Base admission is simulated first, mirroring the real pass: a
+        // base the breaker or budget refuses means nothing at all runs.
+        if !ctx.probe.admits() {
+            plan.base_status = EntryStatus::Skipped(SkipReason::BreakerOpen);
+            plan.skip_all(SkipReason::BreakerOpen);
+            return plan;
+        }
+        match ctx.budget.admit(&self.config.retry, query_fingerprint(query)) {
+            Some(policy) => {
+                ctx.probe.note_issued();
+                plan.base_status = EntryStatus::Admitted(policy);
+            }
+            None => {
+                plan.base_status = EntryStatus::Skipped(SkipReason::BudgetExhausted);
+                plan.skip_all(SkipReason::BudgetExhausted);
+                return plan;
+            }
+        }
+        let mut scratch = Degradation::default();
+        plan.admit(ctx, &mut scratch);
+        plan
+    }
+
+    /// Renders the admitted plan for `query` against `source` without
+    /// issuing a single source query (EXPLAIN).
+    pub fn explain(&self, source: &dyn AutonomousSource, query: &SelectQuery) -> String {
+        self.explain_in(source, query, &mut QueryContext::unbounded())
+    }
+
+    /// [`Self::explain`] under an explicit availability context, so breaker
+    /// and budget refusals show up as skip reasons.
+    pub fn explain_in(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        ctx: &mut QueryContext,
+    ) -> String {
+        self.plan_speculative(source, query, ctx).render(source.schema())
+    }
+
+    /// Wraps a candidate list as an unadmitted plan (all supported entries
+    /// deferred, unsupported ones skipped).
+    fn plan_from_candidates(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        candidates: &[PlanCandidate],
+    ) -> MediationPlan {
+        let mut plan = MediationPlan::new(
+            source.name().to_string(),
+            query.clone(),
+            self.config.retry,
+            AdmissionMode::PlanTime,
+        );
+        if self.plan_cache.is_some() {
+            plan.knowledge_version = Some(self.knowledge_version);
+        }
+        for c in candidates {
+            plan.push(PlanEntry {
+                issue: c.scored.rewrite.query.clone(),
+                rewrite: c.scored.rewrite.clone(),
+                fmeasure: c.scored.fmeasure,
+                status: if c.supported {
+                    EntryStatus::Deferred
+                } else {
+                    EntryStatus::Skipped(SkipReason::Unsupported)
+                },
+            });
+        }
+        plan
+    }
+
+    /// The candidate rewrites for `query`, served from the plan cache when
+    /// one is attached and the (source, template, knowledge version, α, k)
+    /// key matches; planned from scratch (and inserted) otherwise. Hits
+    /// and misses are metered on the source.
+    fn candidate_set(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        certain: &[Tuple],
+    ) -> (Arc<Vec<PlanCandidate>>, CacheStatus) {
+        if let Some(cache) = &self.plan_cache {
+            if let Some(hit) = cache.lookup(
+                source.name(),
+                query,
+                self.knowledge_version,
+                self.config.alpha,
+                self.config.k,
+            ) {
+                source.note_plan_cache_hit();
+                return (hit, CacheStatus::Hit);
+            }
+            source.note_plan_cache_miss();
+            let computed = self.compute_candidates(source, query, certain);
+            let arc = cache.insert(
+                source.name(),
+                query,
+                self.knowledge_version,
+                self.config.alpha,
+                self.config.k,
+                computed,
+            );
+            (arc, CacheStatus::Miss)
+        } else {
+            (
+                Arc::new(self.compute_candidates(source, query, certain)),
+                CacheStatus::Bypassed,
+            )
+        }
+    }
+
+    /// The planning half proper: generate rewrites from the certain
+    /// answers, select and order the top K (step 2a–2c), mark candidates
+    /// the source's web form cannot answer (the determining set came from
+    /// global statistics, so such queries exist; they are skipped, not
+    /// fatal), and normalize the issuable candidates' F-measure masses
+    /// over the supported subset.
+    fn compute_candidates(
+        &self,
+        source: &dyn AutonomousSource,
+        query: &SelectQuery,
+        certain: &[Tuple],
+    ) -> Vec<PlanCandidate> {
+        let rewrites = generate_rewrites(query, certain, &self.stats);
+        let selected = order_rewrites(
+            rewrites,
+            &RankConfig { alpha: self.config.alpha, k: self.config.k },
+        );
+        let mut candidates: Vec<PlanCandidate> = selected
+            .into_iter()
+            .map(|scored| {
+                let supported = scored
+                    .rewrite
+                    .query
+                    .predicates()
+                    .iter()
+                    .all(|p| source.supports(p.attr));
+                PlanCandidate { scored, supported }
+            })
+            .collect();
+        let mut issuable: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.supported)
+            .map(|c| c.scored.clone())
+            .collect();
+        rescore(&mut issuable, self.config.alpha);
+        let mut rescored = issuable.into_iter();
+        for c in candidates.iter_mut().filter(|c| c.supported) {
+            c.scored = rescored.next().expect("one rescored entry per supported candidate");
+        }
+        candidates
+    }
+
     /// The mined-sample tuples certainly matching `query` — the reference
     /// side of a paired drift observation. Filtering the sample by the
     /// same query the live response answered gives both sides identical
     /// conditioning, so a selective query does not read as drift.
     fn sample_matches(&self, query: &SelectQuery) -> Vec<Tuple> {
-        self.stats
-            .selectivity()
-            .sample()
-            .tuples()
-            .iter()
-            .filter(|t| query.matches(t))
-            .cloned()
-            .collect()
-    }
-
-    /// Folds one validated response into the answer: quarantined tuples
-    /// feed the degradation record and the breaker probe (repeated drift
-    /// eventually opens the source's breaker), kept tuples merge as usual.
-    #[allow(clippy::too_many_arguments)]
-    fn merge_validated(
-        &self,
-        query: &SelectQuery,
-        rq: RewrittenQuery,
-        report: qpiad_db::ValidationReport,
-        ctx: &mut QueryContext,
-        degraded: &mut Degradation,
-        merge: &mut AnswerMerge,
-        cache: &PredictionCache,
-    ) {
-        if report.is_clean() {
-            ctx.probe.record_success();
-        } else {
-            degraded.quarantined += report.quarantined_count();
-            ctx.probe.record_failure();
-        }
-        if let Some(dp) = &mut ctx.drift {
-            dp.observe(&self.sample_matches(&rq.query), &report.kept);
-        }
-        self.merge_retrieval(query, rq, report.kept, merge, cache);
+        plan::stats_sample_matches(&self.stats, query)
     }
 
     /// Folds one rewritten query's result into the answer under
@@ -488,7 +570,7 @@ impl Qpiad {
     fn merge_retrieval(
         &self,
         query: &SelectQuery,
-        rq: RewrittenQuery,
+        rq: &RewrittenQuery,
         tuples: Vec<Tuple>,
         merge: &mut AnswerMerge,
         cache: &PredictionCache,
@@ -521,7 +603,7 @@ impl Qpiad {
                 explanation: rq.afd.clone(),
             });
         }
-        merge.issued.push(rq);
+        merge.issued.push(rq.clone());
     }
 
     /// The assessed relevance of a possible answer: the product, over every

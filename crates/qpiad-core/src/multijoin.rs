@@ -14,9 +14,12 @@
 
 use std::collections::HashMap;
 
+use qpiad_db::fault::RetryPolicy;
 use qpiad_db::{AttrId, PredOp, SelectQuery, SourceError, Tuple, TupleId, Value};
 
 use crate::join::JoinSide;
+use crate::mediator::{Degradation, QueryContext};
+use crate::plan::{self, AdmissionMode, BaseGate, EntryStatus, MediationPlan, PlanEntry};
 use crate::rank::{order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
 
@@ -80,7 +83,14 @@ fn retrieve_side(
     select: &SelectQuery,
     config: &ChainJoinConfig,
 ) -> Result<Vec<SideTuple>, SourceError> {
-    let base = side.source.query(select)?;
+    // Chain joins run unguarded (no breaker/budget of their own), so the
+    // shared executor sees an unbounded context and a single-attempt
+    // policy; a rewrite the source still fails is degraded, not fatal.
+    let mut ctx = QueryContext::unbounded();
+    let mut degraded = Degradation::default();
+    let retry = RetryPolicy::none();
+    let base =
+        plan::execute_base(side.source, select, &retry, &mut ctx, &mut degraded, BaseGate::Guarded)?;
     let mut seen: HashMap<TupleId, ()> = base.iter().map(|t| (t.id(), ())).collect();
     let mut out: Vec<SideTuple> = base
         .into_iter()
@@ -92,13 +102,24 @@ fn retrieve_side(
         rewrites,
         &RankConfig { alpha: config.alpha, k: config.k_per_side },
     );
+    let mut plan = MediationPlan::new(
+        side.source.name().to_string(),
+        select.clone(),
+        retry,
+        AdmissionMode::PlanTime,
+    );
+    for scored in ordered {
+        plan.push(PlanEntry {
+            issue: scored.rewrite.query.clone(),
+            rewrite: scored.rewrite,
+            fmeasure: scored.fmeasure,
+            status: EntryStatus::Deferred,
+        });
+    }
+    plan.admit(&mut ctx, &mut degraded);
+
     let constrained = select.constrained_attrs();
-    for rq in ordered {
-        let result = match side.source.query(&rq.query) {
-            Ok(ts) => ts,
-            Err(SourceError::QueryLimitExceeded { .. }) => break,
-            Err(e) => return Err(e),
-        };
+    plan::execute(side.source, &plan, &mut ctx, &mut degraded, |_, _, result, _| {
         for t in result {
             if seen.insert(t.id(), ()).is_some() {
                 continue;
@@ -118,7 +139,7 @@ fn retrieve_side(
             }
             out.push(SideTuple { tuple: t, confidence, certain: false });
         }
-    }
+    });
     Ok(out)
 }
 

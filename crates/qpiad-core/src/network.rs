@@ -48,14 +48,13 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use qpiad_db::fault::query_fingerprint;
 use qpiad_db::health::{
     BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation, QueryBudget,
 };
 use qpiad_db::par;
-use qpiad_db::validate::query_validated;
 use qpiad_db::{
-    AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, SourceMeter, Tuple,
+    AttrId, AutonomousSource, KnowledgeVersionClock, Schema, SelectQuery, SourceBinding,
+    SourceError, SourceMeter, Tuple,
 };
 use qpiad_learn::afd::AfdSet;
 use qpiad_learn::drift::{DriftProbe, DriftRegistry, DriftVerdict};
@@ -63,8 +62,13 @@ use qpiad_learn::knowledge::{MiningConfig, SourceStats};
 use qpiad_learn::persist::{PersistError, StatsSnapshot};
 use qpiad_learn::store::KnowledgeStore;
 
-use crate::correlated::{answer_from_correlated, is_correlated_source_usable};
+use crate::correlated::{
+    answer_from_correlated, is_correlated_source_usable, plan_from_correlated_speculative,
+};
 use crate::mediator::{Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
+use crate::plan::{
+    self, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan, PlanCache, SkipReason,
+};
 use crate::rank::RankConfig;
 
 /// One registered source.
@@ -221,6 +225,15 @@ pub struct MediatorNetwork<'a> {
     drift: Option<Arc<DriftRegistry>>,
     /// Whether slow / recovering members get their rewrites hedged.
     hedging: bool,
+    /// Shared mediation-plan cache: each supporting member's candidate
+    /// rewrites are memoized per (query template, knowledge version).
+    /// `None` disables plan caching.
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Network-local knowledge versions, bumped on every successful
+    /// [`Self::refresh_member`]; combined with the drift registry's clock
+    /// (which also counts drift demotions) for the cache key, so a re-mine
+    /// or a drift verdict silently orphans the member's cached plans.
+    versions: KnowledgeVersionClock,
 }
 
 impl<'a> MediatorNetwork<'a> {
@@ -233,6 +246,8 @@ impl<'a> MediatorNetwork<'a> {
             health: None,
             drift: None,
             hedging: true,
+            plan_cache: None,
+            versions: KnowledgeVersionClock::new(),
         }
     }
 
@@ -259,6 +274,32 @@ impl<'a> MediatorNetwork<'a> {
     pub fn with_drift(mut self, drift: Arc<DriftRegistry>) -> Self {
         self.drift = Some(drift);
         self
+    }
+
+    /// Attaches a shared plan cache: repeated query templates against a
+    /// member skip rewrite generation and ranking until the member's
+    /// knowledge version moves ([`Self::refresh_member`] or a drift
+    /// verdict). Hits and misses are counted on each source's
+    /// [`SourceMeter`].
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// The knowledge version a member's cached plans are keyed by: the sum
+    /// of the drift registry's counter (bumped on registration, drift
+    /// verdicts, and refreshes) and the network-local counter (bumped on
+    /// every successful [`Self::refresh_member`], so refreshes invalidate
+    /// even without a drift registry attached). Monotonic — any bump on
+    /// either clock orphans the member's cached plans.
+    pub fn member_knowledge_version(&self, name: &str) -> u64 {
+        let drift = self.drift.as_ref().map(|d| d.knowledge_version(name)).unwrap_or(0);
+        drift + self.versions.current(name)
     }
 
     /// The attached health registry, if any.
@@ -474,6 +515,10 @@ impl<'a> MediatorNetwork<'a> {
                 member.stale = false;
                 member.knowledge_unavailable = false;
                 member.knowledge_error = None;
+                // The member now plans from different knowledge: advance
+                // its version so cached plans built on the old statistics
+                // can never be served again.
+                self.versions.bump(name);
                 Ok(())
             }
             Err(e) => {
@@ -696,6 +741,20 @@ impl<'a> MediatorNetwork<'a> {
         (result, observations, drift_probe)
     }
 
+    /// The per-member mediator for one pass: the member's statistics under
+    /// the network config, with the shared plan cache (if any) attached at
+    /// the member's current knowledge version.
+    fn member_qpiad(&self, member: &Member<'a>, stats: &SourceStats) -> Qpiad {
+        let qpiad = Qpiad::new(stats.clone(), self.config);
+        match &self.plan_cache {
+            Some(cache) => qpiad.with_plan_cache(
+                Arc::clone(cache),
+                self.member_knowledge_version(member.source.name()),
+            ),
+            None => qpiad,
+        }
+    }
+
     /// The pre-availability-layer body of `answer_member`: serves one
     /// member directly or through a correlated source, under the context's
     /// probe and budget.
@@ -713,7 +772,7 @@ impl<'a> MediatorNetwork<'a> {
                 // schema; supporting members map attributes 1:1. A hedged
                 // member's queries are doubled to the partner source.
                 let local = member.binding.translate_query(query)?;
-                let qpiad = Qpiad::new(stats.clone(), self.config);
+                let qpiad = self.member_qpiad(member, stats);
                 let set = match hedge {
                     Some(j) => {
                         let hedged = HedgedSource {
@@ -740,36 +799,21 @@ impl<'a> MediatorNetwork<'a> {
                 }
             } else {
                 // Supports the attributes but has no statistics: certain
-                // answers only, still under admission and validation.
+                // answers only, still under admission and validation —
+                // the same base gate the direct pipeline runs through.
                 let local = member.binding.translate_query(query)?;
-                if !ctx.probe.admits() {
-                    return Err(SourceError::CircuitOpen);
-                }
-                let Some(policy) =
-                    ctx.budget.admit(&self.config.retry, query_fingerprint(&local))
-                else {
-                    return Err(SourceError::BudgetExhausted);
-                };
-                ctx.probe.note_issued();
-                let report = match query_validated(member.source, &local, &policy) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        if e.is_failure() {
-                            ctx.probe.record_failure();
-                        }
-                        return Err(e);
-                    }
-                };
                 let mut d = Degradation::default();
-                if report.is_clean() {
-                    ctx.probe.record_success();
-                } else {
-                    d.quarantined = report.quarantined_count();
-                    ctx.probe.record_failure();
-                }
+                let kept = plan::execute_base(
+                    member.source,
+                    &local,
+                    &self.config.retry,
+                    ctx,
+                    &mut d,
+                    BaseGate::Guarded,
+                )?;
                 SourceAnswers {
                     source: member.source.name().to_string(),
-                    certain: report.kept.iter().map(|t| member.binding.lift_tuple(t)).collect(),
+                    certain: kept.iter().map(|t| member.binding.lift_tuple(t)).collect(),
                     possible: Vec::new(),
                     via_correlated: None,
                     outcome: SourceOutcome::from_degradation(d),
@@ -948,6 +992,125 @@ impl<'a> MediatorNetwork<'a> {
         }
         Ok(out)
     }
+
+    /// Renders the network's full mediation plan for `query` — EXPLAIN —
+    /// without issuing a single source query.
+    ///
+    /// Mirrors one [`Self::answer`] pass: the same breaker snapshot (read
+    /// without ticking the pass clock, so explaining is side-effect-free),
+    /// the same hedge-partner selection, and per member either the direct
+    /// QPIAD plan (speculative: the base set is approximated from the
+    /// mined sample, and the plan cache is bypassed), a
+    /// certain-answers-only plan, or the plan a deficient member would be
+    /// served through its best correlated source. Breaker refusals show up
+    /// as per-entry skip reasons.
+    pub fn explain(&self, query: &SelectQuery) -> String {
+        use std::fmt::Write as _;
+        let views: Vec<BreakerView> = self
+            .members
+            .iter()
+            .map(|m| match &self.health {
+                Some(h) => h.view(m.source.name()),
+                None => BreakerView::disabled(),
+            })
+            .collect();
+        let hedges = self.hedge_partners(query, &views);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "EXPLAIN over {} member(s) — query {}",
+            self.members.len(),
+            query.display(&self.global)
+        );
+        for (i, member) in self.members.iter().enumerate() {
+            let _ = writeln!(out);
+            out.push_str(&self.explain_member(member, query, views[i], hedges[i]));
+        }
+        out
+    }
+
+    /// One member's section of [`Self::explain`].
+    fn explain_member(
+        &self,
+        member: &Member<'a>,
+        query: &SelectQuery,
+        view: BreakerView,
+        hedge: Option<usize>,
+    ) -> String {
+        use std::fmt::Write as _;
+        let name = member.source.name();
+        if Self::member_supports_all(member, query) {
+            let Ok(local) = member.binding.translate_query(query) else {
+                return format!(
+                    "plan for source `{name}` — query untranslatable to local schema\n"
+                );
+            };
+            if let Some(stats) = &member.stats {
+                let qpiad = self.member_qpiad(member, stats);
+                let mut ctx = QueryContext::unbounded().with_probe(BreakerProbe::new(view));
+                let mut plan = qpiad.plan_speculative(member.source, &local, &mut ctx);
+                plan.hedge = hedge.map(|j| self.members[j].source.name().to_string());
+                let mut out = plan.render(member.source.schema());
+                if member.stale {
+                    let _ = writeln!(
+                        out,
+                        "  note: statistics restored from a snapshot (stale knowledge)"
+                    );
+                }
+                return out;
+            }
+            // No mined statistics: certain answers only — render the
+            // base-only plan with the same admission preview.
+            let mut base_plan =
+                MediationPlan::new(name, local, self.config.retry, AdmissionMode::PlanTime);
+            base_plan.cache = CacheStatus::Speculative;
+            base_plan.base_status = if view.state() == BreakerState::Open {
+                EntryStatus::Skipped(SkipReason::BreakerOpen)
+            } else {
+                EntryStatus::Admitted(self.config.retry)
+            };
+            let mut out = base_plan.render(member.source.schema());
+            let why = if member.knowledge_unavailable {
+                "knowledge unavailable"
+            } else {
+                "no mined statistics"
+            };
+            let _ = writeln!(out, "  note: certain answers only ({why}; nothing to rewrite with)");
+            return out;
+        }
+        // Deficient for this query: the plan lives on the correlated
+        // source's statistics; rewrites are issued to this member.
+        match self.correlated_for(member, query) {
+            Some(correlated) => {
+                let Some(stats) = &correlated.stats else {
+                    return format!(
+                        "plan for source `{name}` — correlated member `{}` has no statistics\n",
+                        correlated.source.name()
+                    );
+                };
+                let mut ctx = QueryContext::unbounded().with_probe(BreakerProbe::new(view));
+                let plan = plan_from_correlated_speculative(
+                    stats,
+                    name,
+                    &member.binding,
+                    query,
+                    &RankConfig { alpha: self.config.alpha, k: self.config.k },
+                    &self.config.retry,
+                    &mut ctx,
+                );
+                let mut out = format!(
+                    "(member `{name}` cannot bind the query — plan built from correlated \
+                     source `{}`'s statistics)\n",
+                    correlated.source.name()
+                );
+                out.push_str(&plan.render(&self.global));
+                out
+            }
+            None => format!(
+                "plan for source `{name}` — no usable correlated source; empty contribution\n"
+            ),
+        }
+    }
 }
 
 /// Applies a degradation tag to an outcome: a Healthy outcome becomes
@@ -1087,6 +1250,14 @@ impl AutonomousSource for HedgedSource<'_> {
 
     fn note_knowledge_unavailable(&self) {
         self.primary.note_knowledge_unavailable();
+    }
+
+    fn note_plan_cache_hit(&self) {
+        self.primary.note_plan_cache_hit();
+    }
+
+    fn note_plan_cache_miss(&self) {
+        self.primary.note_plan_cache_miss();
     }
 
     fn note_drift(&self) {

@@ -16,6 +16,14 @@
 //! After the top-K queries are selected by F-measure they are **re-ordered
 //! by precision**, so that every tuple a query retrieves can inherit the
 //! query's rank without further sorting (§4.2 step 2c).
+//!
+//! [`order_rewrites`] returns [`ScoredRewrite`]s: each selected query
+//! carries its F-measure mass, recomputed over the selected plan's own
+//! cumulative throughput. Rank and mass come from the same pass, so the
+//! planner and the degradation accounting can never disagree about what a
+//! dropped query was worth. If a caller filters the selected list further
+//! (e.g. dropping rewrites the source cannot answer), [`rescore`]
+//! re-normalizes the masses over the surviving queries.
 
 use crate::rewrite::RewrittenQuery;
 
@@ -34,6 +42,18 @@ impl Default for RankConfig {
     }
 }
 
+/// A rewritten query selected for a mediation plan, carrying the F-measure
+/// mass it was selected with. The mass is the query's share of the plan's
+/// expected value; degraded answers report the mass of whatever they drop.
+#[derive(Debug, Clone)]
+pub struct ScoredRewrite {
+    /// The selected rewritten query.
+    pub rewrite: RewrittenQuery,
+    /// The query's F-measure over the selected list's own cumulative
+    /// throughput (precision itself when throughput degenerates to zero).
+    pub fmeasure: f64,
+}
+
 /// The F-measure of one query given the cumulative throughput of all
 /// candidates. Returns 0 when either component is 0.
 pub fn f_measure(precision: f64, recall: f64, alpha: f64) -> f64 {
@@ -44,9 +64,23 @@ pub fn f_measure(precision: f64, recall: f64, alpha: f64) -> f64 {
     (1.0 + alpha) * precision * recall / denom
 }
 
+/// The scoring rule shared by selection and re-scoring: F-measure against
+/// the given cumulative throughput, precision fallback when throughput is
+/// degenerate.
+fn score(r: &RewrittenQuery, total_throughput: f64, alpha: f64) -> f64 {
+    if total_throughput > 0.0 {
+        let recall = r.precision * r.est_selectivity / total_throughput;
+        f_measure(r.precision, recall, alpha)
+    } else {
+        r.precision
+    }
+}
+
 /// Selects the top-K rewritten queries by F-measure and returns them in
-/// decreasing expected-precision order.
-pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec<RewrittenQuery> {
+/// decreasing expected-precision order, each carrying its F-measure mass
+/// over the *selected* list's cumulative throughput.
+pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec<ScoredRewrite> {
+    // Selection scores are computed against the full candidate pool …
     let total_throughput: f64 = rewrites
         .iter()
         .map(|r| r.precision * r.est_selectivity)
@@ -54,21 +88,7 @@ pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec
 
     let mut scored: Vec<(f64, RewrittenQuery)> = rewrites
         .into_iter()
-        .map(|r| {
-            let recall = if total_throughput > 0.0 {
-                r.precision * r.est_selectivity / total_throughput
-            } else {
-                0.0
-            };
-            // With a zero α and a degenerate recall estimate fall back to
-            // precision so the ordering stays meaningful.
-            let f = if total_throughput > 0.0 {
-                f_measure(r.precision, recall, config.alpha)
-            } else {
-                r.precision
-            };
-            (f, r)
-        })
+        .map(|r| (score(&r, total_throughput, config.alpha), r))
         .collect();
 
     // Deterministic order: F desc, precision desc, then query structure.
@@ -79,36 +99,34 @@ pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec
     });
     scored.truncate(config.k);
 
-    let mut selected: Vec<RewrittenQuery> = scored.into_iter().map(|(_, r)| r).collect();
+    let mut selected: Vec<ScoredRewrite> = scored
+        .into_iter()
+        .map(|(_, rewrite)| ScoredRewrite { rewrite, fmeasure: 0.0 })
+        .collect();
     selected.sort_by(|a, b| {
-        b.precision
-            .total_cmp(&a.precision)
-            .then_with(|| format!("{:?}", a.query).cmp(&format!("{:?}", b.query)))
+        b.rewrite
+            .precision
+            .total_cmp(&a.rewrite.precision)
+            .then_with(|| format!("{:?}", a.rewrite.query).cmp(&format!("{:?}", b.rewrite.query)))
     });
+    // … but the attached masses are normalized over the selected plan, so
+    // they sum to the plan's own expected value.
+    rescore(&mut selected, config.alpha);
     selected
 }
 
-/// The F-measure score of each query in `rewrites` against that list's own
-/// cumulative throughput — the same scoring rule [`order_rewrites`] ranks
-/// by, recomputed over an already-selected plan. The fault-tolerant
-/// retrieval loops use this to report the F-measure mass of rewritten
-/// queries they had to drop, so a degraded answer quantifies what it lost.
-pub fn f_scores(rewrites: &[RewrittenQuery], alpha: f64) -> Vec<f64> {
-    let total_throughput: f64 = rewrites
+/// Recomputes each entry's F-measure mass over the current list's own
+/// cumulative throughput. Call after filtering a selected plan (e.g.
+/// dropping rewrites the source cannot answer) so the surviving masses
+/// stay normalized over what will actually be issued.
+pub fn rescore(selected: &mut [ScoredRewrite], alpha: f64) {
+    let total_throughput: f64 = selected
         .iter()
-        .map(|r| r.precision * r.est_selectivity)
+        .map(|s| s.rewrite.precision * s.rewrite.est_selectivity)
         .sum();
-    rewrites
-        .iter()
-        .map(|r| {
-            if total_throughput > 0.0 {
-                let recall = r.precision * r.est_selectivity / total_throughput;
-                f_measure(r.precision, recall, alpha)
-            } else {
-                r.precision
-            }
-        })
-        .collect()
+    for s in selected.iter_mut() {
+        s.fmeasure = score(&s.rewrite, total_throughput, alpha);
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +160,7 @@ mod tests {
     fn alpha_zero_orders_by_precision() {
         let rewrites = vec![rq(1, 0.9, 1.0), rq(2, 0.5, 100.0), rq(3, 0.7, 50.0)];
         let ordered = order_rewrites(rewrites, &RankConfig { alpha: 0.0, k: 10 });
-        let precisions: Vec<f64> = ordered.iter().map(|r| r.precision).collect();
+        let precisions: Vec<f64> = ordered.iter().map(|r| r.rewrite.precision).collect();
         assert_eq!(precisions, vec![0.9, 0.7, 0.5]);
     }
 
@@ -152,9 +170,9 @@ mod tests {
         // high-selectivity one.
         let rewrites = vec![rq(1, 0.95, 1.0), rq(2, 0.6, 500.0)];
         let precise = order_rewrites(rewrites.clone(), &RankConfig { alpha: 0.0, k: 1 });
-        assert!((precise[0].precision - 0.95).abs() < 1e-12);
+        assert!((precise[0].rewrite.precision - 0.95).abs() < 1e-12);
         let recallful = order_rewrites(rewrites, &RankConfig { alpha: 2.0, k: 1 });
-        assert!((recallful[0].precision - 0.6).abs() < 1e-12);
+        assert!((recallful[0].rewrite.precision - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -168,7 +186,7 @@ mod tests {
         let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 2 });
         assert_eq!(ordered.len(), 2);
         // Whatever was selected, the output is precision-descending.
-        assert!(ordered[0].precision >= ordered[1].precision);
+        assert!(ordered[0].rewrite.precision >= ordered[1].rewrite.precision);
     }
 
     #[test]
@@ -176,7 +194,10 @@ mod tests {
         let rewrites = vec![rq(1, 0.9, 0.0), rq(2, 0.5, 0.0)];
         let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 10 });
         assert_eq!(ordered.len(), 2);
-        assert!((ordered[0].precision - 0.9).abs() < 1e-12);
+        assert!((ordered[0].rewrite.precision - 0.9).abs() < 1e-12);
+        // Degenerate throughput: the attached mass is the precision itself.
+        assert!((ordered[0].fmeasure - 0.9).abs() < 1e-12);
+        assert!((ordered[1].fmeasure - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -186,15 +207,51 @@ mod tests {
     }
 
     #[test]
-    fn f_scores_match_the_ordering_rule() {
+    fn attached_masses_match_the_ordering_rule() {
         let rewrites = vec![rq(1, 0.9, 10.0), rq(2, 0.5, 100.0)];
-        let scores = f_scores(&rewrites, 0.0);
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 0.0, k: 10 });
         // α = 0 degenerates to precision (recall > 0 for both).
-        assert!((scores[0] - 0.9).abs() < 1e-12);
-        assert!((scores[1] - 0.5).abs() < 1e-12);
-        // Zero throughput falls back to precision, like order_rewrites.
-        let degenerate = vec![rq(1, 0.7, 0.0)];
-        assert_eq!(f_scores(&degenerate, 1.0), vec![0.7]);
+        assert!((ordered[0].fmeasure - 0.9).abs() < 1e-12);
+        assert!((ordered[1].fmeasure - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masses_are_normalized_over_the_selected_plan() {
+        // Selection sees three candidates; only two survive the cut. The
+        // attached masses must be recalls over the *selected* pair's
+        // throughput, exactly as if scored on that pair alone.
+        let rewrites = vec![rq(1, 0.9, 10.0), rq(2, 0.8, 20.0), rq(3, 0.2, 1.0)];
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 2 });
+        let total: f64 = ordered
+            .iter()
+            .map(|s| s.rewrite.precision * s.rewrite.est_selectivity)
+            .sum();
+        for s in &ordered {
+            let recall = s.rewrite.precision * s.rewrite.est_selectivity / total;
+            let expect = f_measure(s.rewrite.precision, recall, 1.0);
+            assert!((s.fmeasure - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rescore_renormalizes_after_filtering() {
+        let rewrites = vec![rq(1, 0.9, 10.0), rq(2, 0.8, 20.0), rq(3, 0.7, 5.0)];
+        let ordered = order_rewrites(rewrites, &RankConfig { alpha: 1.0, k: 10 });
+        // Drop the middle query (as an unsupported-attribute filter would)
+        // and re-normalize: masses must match scoring the survivors alone.
+        let mut filtered: Vec<ScoredRewrite> = ordered
+            .iter()
+            .filter(|s| (s.rewrite.precision - 0.8).abs() > 1e-12)
+            .cloned()
+            .collect();
+        rescore(&mut filtered, 1.0);
+        let alone = order_rewrites(
+            filtered.iter().map(|s| s.rewrite.clone()).collect(),
+            &RankConfig { alpha: 1.0, k: 10 },
+        );
+        for (f, a) in filtered.iter().zip(&alone) {
+            assert!((f.fmeasure - a.fmeasure).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -202,8 +259,8 @@ mod tests {
         let rewrites = vec![rq(2, 0.5, 10.0), rq(1, 0.5, 10.0)];
         let a = order_rewrites(rewrites.clone(), &RankConfig::default());
         let b = order_rewrites(rewrites, &RankConfig::default());
-        let qa: Vec<String> = a.iter().map(|r| format!("{:?}", r.query)).collect();
-        let qb: Vec<String> = b.iter().map(|r| format!("{:?}", r.query)).collect();
+        let qa: Vec<String> = a.iter().map(|r| format!("{:?}", r.rewrite.query)).collect();
+        let qb: Vec<String> = b.iter().map(|r| format!("{:?}", r.rewrite.query)).collect();
         assert_eq!(qa, qb);
     }
 }

@@ -1,5 +1,5 @@
 //! Imprecise queries via data-driven relaxation (the paper's §7 pointer to
-//! QUIC [16] / AIMQ [25]).
+//! QUIC \[16\] / AIMQ \[25\]).
 //!
 //! QPIAD handles *data* incompleteness; its sibling problem is *query*
 //! imprecision: a user asking for `Model = Z4` would usually accept other
@@ -13,8 +13,13 @@
 
 use std::collections::HashMap;
 
+use qpiad_db::fault::RetryPolicy;
 use qpiad_db::{AttrId, AutonomousSource, Predicate, Relation, SelectQuery, SourceError, Tuple, Value};
 use qpiad_learn::knowledge::SourceStats;
+
+use crate::mediator::{Degradation, QueryContext};
+use crate::plan::{self, AdmissionMode, BaseGate, EntryStatus, MediationPlan, PlanEntry};
+use crate::rewrite::RewrittenQuery;
 
 /// Learned value-similarity model for one attribute.
 #[derive(Debug, Clone)]
@@ -163,29 +168,58 @@ pub fn answer_imprecise(
     let model = SimilarityModel::from_stats(stats, attr);
     let mut out = Vec::new();
 
-    let exact = source.query(&SelectQuery::new(vec![Predicate::eq(attr, value.clone())]))?;
+    // Relaxation runs unguarded; the shared executor sees an unbounded
+    // context and a single-attempt policy. The exact query plays the role
+    // of the base retrieval, the neighbor queries form a hand-built plan
+    // in best-first neighbor order (their "F-measure mass" is the value
+    // similarity the plan would lose by dropping them).
+    let mut ctx = QueryContext::unbounded();
+    let mut degraded = Degradation::default();
+    let retry = RetryPolicy::none();
+    let exact_query = SelectQuery::new(vec![Predicate::eq(attr, value.clone())]);
+    let exact =
+        plan::execute_base(source, &exact_query, &retry, &mut ctx, &mut degraded, BaseGate::Guarded)?;
     for tuple in exact {
         out.push(RelaxedAnswer { tuple, relevance: 1.0, matched_value: value.clone() });
     }
 
-    for (neighbor, similarity) in model.neighbors(value, k_neighbors) {
-        if similarity <= 0.0 {
-            break;
-        }
-        let result =
-            match source.query(&SelectQuery::new(vec![Predicate::eq(attr, neighbor.clone())])) {
-                Ok(ts) => ts,
-                Err(SourceError::QueryLimitExceeded { .. }) => break,
-                Err(e) => return Err(e),
-            };
+    let neighbors: Vec<(Value, f64)> = model
+        .neighbors(value, k_neighbors)
+        .into_iter()
+        .take_while(|(_, similarity)| *similarity > 0.0)
+        .collect();
+    let mut relax_plan = MediationPlan::new(
+        source.name().to_string(),
+        exact_query,
+        retry,
+        AdmissionMode::PlanTime,
+    );
+    for (neighbor, similarity) in &neighbors {
+        let query = SelectQuery::new(vec![Predicate::eq(attr, neighbor.clone())]);
+        relax_plan.push(PlanEntry {
+            rewrite: RewrittenQuery {
+                query: query.clone(),
+                target_attr: attr,
+                precision: *similarity,
+                est_selectivity: 0.0,
+                afd: None,
+            },
+            issue: query,
+            fmeasure: *similarity,
+            status: EntryStatus::Deferred,
+        });
+    }
+    relax_plan.admit(&mut ctx, &mut degraded);
+    plan::execute(source, &relax_plan, &mut ctx, &mut degraded, |rank, _, result, _| {
+        let (neighbor, similarity) = &neighbors[rank];
         for tuple in result {
             out.push(RelaxedAnswer {
                 tuple,
-                relevance: similarity,
+                relevance: *similarity,
                 matched_value: neighbor.clone(),
             });
         }
-    }
+    });
     // Neighbors were visited best-first, so the list is already in
     // non-increasing relevance order; make it explicit for robustness.
     out.sort_by(|a, b| b.relevance.total_cmp(&a.relevance));

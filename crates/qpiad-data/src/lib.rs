@@ -16,7 +16,7 @@
 //!   that `Cars ⋈_Model Complaints` join experiments (§4.5, Figure 13) have
 //!   a meaningful join attribute, and `Detailed Component → General
 //!   Component` provides a high-confidence AFD.
-//! * [`corrupt`] — ground truth → experimental dataset conversion: randomly
+//! * [`mod@corrupt`] — ground truth → experimental dataset conversion: randomly
 //!   select a fraction of tuples and null one randomly chosen attribute,
 //!   remembering the true value as *provenance* for the evaluation oracle
 //!   (§6.2).

@@ -298,6 +298,14 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
     fn note_latency(&self, d: Duration) {
         self.inner.note_latency(d);
     }
+
+    fn note_plan_cache_hit(&self) {
+        self.inner.note_plan_cache_hit();
+    }
+
+    fn note_plan_cache_miss(&self) {
+        self.inner.note_plan_cache_miss();
+    }
 }
 
 /// A deterministic *semantic* mutation of live responses: where
@@ -456,6 +464,14 @@ impl<S: AutonomousSource> AutonomousSource for SkewInjector<S> {
 
     fn note_latency(&self, d: Duration) {
         self.inner.note_latency(d);
+    }
+
+    fn note_plan_cache_hit(&self) {
+        self.inner.note_plan_cache_hit();
+    }
+
+    fn note_plan_cache_miss(&self) {
+        self.inner.note_plan_cache_miss();
     }
 }
 

@@ -17,7 +17,7 @@
 //!   half-opens and admits [`BreakerConfig::probe_limit`] probe queries.
 //! * [`QueryBudget`] — a **deadline + attempt budget** for one mediation
 //!   pass, decremented through the rewrite loop and clamped onto each
-//!   query's [`RetryPolicy`](crate::fault::RetryPolicy) so backoff never
+//!   query's [`RetryPolicy`] so backoff never
 //!   overshoots the caller's deadline.
 //! * [`sleep`] / [`set_logical_time`] — an injectable **logical clock**.
 //!   Backoff and injected latency sleep through [`sleep`]; with logical
@@ -254,7 +254,7 @@ impl BreakerView {
 /// 1. [`BreakerProbe::admits`] — may another query be issued?
 /// 2. [`BreakerProbe::note_issued`] — the caller committed to issuing one
 ///    (consumes a HalfOpen probe slot);
-/// 3. [`BreakerProbe::record_success`] / [`record_failure`]
+/// 3. [`BreakerProbe::record_success`] / [`BreakerProbe::record_failure`]
 ///    (`BreakerProbe::record_failure`) — the outcome, which both evolves
 ///    the local state (tripping mid-plan after `failure_threshold`
 ///    consecutive failures) and appends to the observation log the
@@ -362,7 +362,7 @@ impl BreakerProbe {
     }
 }
 
-/// The process-visible breaker registry: one [`BreakerCore`] per source
+/// The process-visible breaker registry: one `BreakerCore` per source
 /// name, plus the pass clock. All mutation happens at sequential points
 /// (see the module docs), so a mutex suffices and no decision ever races.
 #[derive(Debug)]

@@ -4,7 +4,7 @@
 //!
 //! * [`value`] — nullable attribute values with a total order,
 //! * [`schema`] — typed relation schemas and attribute identifiers,
-//! * [`tuple`] / [`relation`] — incomplete tuples and in-memory relations,
+//! * [`mod@tuple`] / [`relation`] — incomplete tuples and in-memory relations,
 //! * [`query`] — conjunctive selection, aggregate, and join query ASTs with
 //!   *certain-answer* evaluation semantics over incomplete tuples,
 //! * [`source`] — autonomous-source access layers: a [`source::WebSource`]
@@ -32,7 +32,11 @@
 //!   answer set,
 //! * [`par`] — deterministic fork–join helpers; the mediator and the miner
 //!   use them to spread independent work over `QPIAD_THREADS` workers
-//!   without changing any result.
+//!   without changing any result,
+//! * [`version`] — per-source monotonic knowledge-version counters
+//!   ([`version::KnowledgeVersionClock`]); the learn layer bumps them on
+//!   re-mine and drift demotion so knowledge-derived caches (the mediation
+//!   plan cache) can never serve stale plans.
 //!
 //! The design goal is to reproduce the *access-pattern constraints* that
 //! motivate QPIAD: a mediator can only issue bound conjunctive selection
@@ -52,6 +56,7 @@ pub mod source;
 pub mod tuple;
 pub mod validate;
 pub mod value;
+pub mod version;
 
 pub use catalog::{GlobalCatalog, SourceBinding};
 pub use error::SourceError;
@@ -68,3 +73,4 @@ pub use source::{AutonomousSource, DirectSource, SourceMeter, WebSource};
 pub use tuple::{Tuple, TupleId};
 pub use validate::{query_validated, QuarantineReason, ResponseValidator, ValidationReport};
 pub use value::Value;
+pub use version::KnowledgeVersionClock;

@@ -75,6 +75,13 @@ pub struct SourceMeter {
     /// Cumulative observed (or injected) query latency, in nanoseconds.
     /// Feeds the hedging layer's slow-source detection.
     pub latency_ns: u64,
+    /// Mediation plans served from the plan cache: the candidate-rewrite
+    /// list for this (source, query template, knowledge version) was reused
+    /// without re-running rewrite generation and ranking.
+    pub plan_cache_hits: usize,
+    /// Mediation plans planned from scratch because no cached candidate
+    /// list matched the (source, query template, knowledge version) key.
+    pub plan_cache_misses: usize,
 }
 
 /// The query interface every autonomous source exposes to the mediator.
@@ -158,6 +165,14 @@ pub trait AutonomousSource: Sync {
     fn note_latency(&self, d: std::time::Duration) {
         let _ = d;
     }
+
+    /// Records one mediation plan served from the plan cache for this
+    /// source (candidate rewrites reused, no re-planning).
+    fn note_plan_cache_hit(&self) {}
+
+    /// Records one mediation plan planned from scratch because the plan
+    /// cache held no entry for this source's (template, version) key.
+    fn note_plan_cache_miss(&self) {}
 }
 
 fn validate(
@@ -342,6 +357,14 @@ impl AutonomousSource for WebSource {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
     }
+
+    fn note_plan_cache_hit(&self) {
+        self.inner.note(|m| m.plan_cache_hits += 1);
+    }
+
+    fn note_plan_cache_miss(&self) {
+        self.inner.note(|m| m.plan_cache_misses += 1);
+    }
 }
 
 /// A source with unrestricted access patterns, including null binding.
@@ -440,6 +463,14 @@ impl AutonomousSource for DirectSource {
     fn note_latency(&self, d: std::time::Duration) {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
+    }
+
+    fn note_plan_cache_hit(&self) {
+        self.inner.note(|m| m.plan_cache_hits += 1);
+    }
+
+    fn note_plan_cache_miss(&self) {
+        self.inner.note(|m| m.plan_cache_misses += 1);
     }
 }
 

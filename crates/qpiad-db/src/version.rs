@@ -1,0 +1,83 @@
+//! Per-source knowledge version counters.
+//!
+//! A mediation plan is only as good as the mined knowledge it was built
+//! from: the candidate rewrites, their precision estimates, and the
+//! F-measure masses all derive from a source's AFDs and classifiers. When
+//! that knowledge changes — a re-mine swaps in fresh statistics, or drift
+//! detection demotes the source's estimates — any plan derived from the old
+//! knowledge is stale and must not be served from a cache.
+//!
+//! [`KnowledgeVersionClock`] is the invalidation primitive: a thread-safe,
+//! monotonic counter per source name. The learn layer bumps it on re-mine
+//! and on drift demotion; the plan cache folds the current version into its
+//! key, so a bump silently orphans every cached plan for that source
+//! without any explicit eviction.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Monotonic per-source version counters keyed by source name.
+///
+/// Cheap to share (`Arc`), safe to bump from any thread. Versions start at
+/// zero for names that have never been bumped; they only ever increase.
+#[derive(Debug, Default)]
+pub struct KnowledgeVersionClock {
+    inner: Mutex<BTreeMap<String, u64>>,
+}
+
+impl KnowledgeVersionClock {
+    /// An empty clock: every source is at version zero.
+    pub fn new() -> Self {
+        KnowledgeVersionClock::default()
+    }
+
+    /// Advances `source`'s version by one and returns the new value.
+    pub fn bump(&self, source: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        let v = inner.entry(source.to_string()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// The current version of `source` (zero if never bumped).
+    pub fn current(&self, source: &str) -> u64 {
+        self.inner.lock().get(source).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_start_at_zero_and_bump_monotonically() {
+        let clock = KnowledgeVersionClock::new();
+        assert_eq!(clock.current("cars.com"), 0);
+        assert_eq!(clock.bump("cars.com"), 1);
+        assert_eq!(clock.bump("cars.com"), 2);
+        assert_eq!(clock.current("cars.com"), 2);
+        // Independent per name.
+        assert_eq!(clock.current("yahoo_autos"), 0);
+        assert_eq!(clock.bump("yahoo_autos"), 1);
+        assert_eq!(clock.current("cars.com"), 2);
+    }
+
+    #[test]
+    fn clock_is_safely_shareable_across_threads() {
+        let clock = std::sync::Arc::new(KnowledgeVersionClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let clock = std::sync::Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    clock.bump("cars.com");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.current("cars.com"), 800);
+    }
+}

@@ -25,7 +25,7 @@ pub fn run(scale: &Scale) -> Report {
     run_on(scale, &world, query, "figure10", "Cars, body_style=Convt")
 }
 
-/// The census variant the paper reports "a similar result" for ([17]).
+/// The census variant the paper reports "a similar result" for (\[17\]).
 pub fn run_census(scale: &Scale) -> Report {
     let world = super::common::census_world(scale);
     let rel = world.ed.schema().expect_attr("relationship");

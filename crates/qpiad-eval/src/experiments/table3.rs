@@ -5,7 +5,7 @@
 //! injected null from the remaining attribute values, and report the
 //! fraction predicted exactly right. We add the Ensemble strategy (the
 //! paper discusses it but tabulates only three columns) and the
-//! association-rule baseline of [31] (§6.5's comparison).
+//! association-rule baseline of \[31\] (§6.5's comparison).
 
 use qpiad_data::cars::CarsConfig;
 use qpiad_data::census::CensusConfig;

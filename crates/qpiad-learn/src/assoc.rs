@@ -1,4 +1,4 @@
-//! Association-rule missing-value imputation (the baseline of [31], §6.5).
+//! Association-rule missing-value imputation (the baseline of \[31\], §6.5).
 //!
 //! Mines single-antecedent rules `(Ai = v) ⇒ (Am = u)` with minimum support
 //! and confidence from the sample, and imputes a missing `Am` by the

@@ -51,6 +51,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
+use qpiad_db::version::KnowledgeVersionClock;
 use qpiad_db::{AttrId, Tuple, Value};
 
 use crate::knowledge::SourceStats;
@@ -422,16 +423,29 @@ impl DriftDetector {
 
 /// A shared registry of per-source drift detectors, following the same
 /// snapshot/probe/absorb discipline as `qpiad_db::health::HealthRegistry`.
+///
+/// The registry doubles as the authority on *knowledge versions*: every
+/// event that changes what the mediator believes about a source — initial
+/// registration, a drift verdict demoting the source's estimates, a
+/// re-mine swapping in fresh statistics — bumps that source's counter on
+/// an internal [`KnowledgeVersionClock`]. Knowledge-derived caches (the
+/// mediation plan cache) fold [`DriftRegistry::knowledge_version`] into
+/// their keys, so stale plans are orphaned the moment knowledge moves.
 #[derive(Debug)]
 pub struct DriftRegistry {
     config: DriftConfig,
     inner: Mutex<BTreeMap<String, DriftDetector>>,
+    versions: KnowledgeVersionClock,
 }
 
 impl DriftRegistry {
     /// A registry with the given configuration.
     pub fn new(config: DriftConfig) -> Self {
-        DriftRegistry { config, inner: Mutex::new(BTreeMap::new()) }
+        DriftRegistry {
+            config,
+            inner: Mutex::new(BTreeMap::new()),
+            versions: KnowledgeVersionClock::new(),
+        }
     }
 
     /// The registry's configuration.
@@ -439,11 +453,14 @@ impl DriftRegistry {
         self.config
     }
 
-    /// Registers (or re-registers, resetting) a source's detector.
+    /// Registers (or re-registers, resetting) a source's detector. Bumps
+    /// the source's knowledge version: registration installs the statistics
+    /// every plan for this source derives from.
     pub fn register(&self, source: &str, stats: &SourceStats) {
         self.inner
             .lock()
             .insert(source.to_string(), DriftDetector::new(source, stats, self.config));
+        self.versions.bump(source);
     }
 
     /// An empty pass-local probe for a registered source.
@@ -453,8 +470,16 @@ impl DriftRegistry {
 
     /// Absorbs a pass-local probe; returns the verdict if this absorption
     /// crossed the threshold. Call sequentially, in registration order.
+    ///
+    /// A fired verdict demotes the source's knowledge, so it also bumps the
+    /// source's knowledge version — cached plans built from the now-demoted
+    /// estimates must not be served again.
     pub fn absorb(&self, source: &str, probe: DriftProbe) -> Option<DriftVerdict> {
-        self.inner.lock().get_mut(source).and_then(|d| d.absorb(probe))
+        let verdict = self.inner.lock().get_mut(source).and_then(|d| d.absorb(probe));
+        if verdict.is_some() {
+            self.versions.bump(source);
+        }
+        verdict
     }
 
     /// Whether the source's verdict has fired.
@@ -494,11 +519,21 @@ impl DriftRegistry {
     }
 
     /// Resets a source's detector against freshly mined statistics —
-    /// called by the re-mining path after an atomic snapshot swap.
+    /// called by the re-mining path after an atomic snapshot swap. Bumps
+    /// the source's knowledge version: plans built from the replaced
+    /// statistics are stale.
     pub fn note_refreshed(&self, source: &str, stats: &SourceStats) {
         if let Some(d) = self.inner.lock().get_mut(source) {
             d.reset(stats);
         }
+        self.versions.bump(source);
+    }
+
+    /// The source's current knowledge version. Monotonic; moves on
+    /// registration, on a fired [`DriftVerdict`], and on re-mine
+    /// ([`DriftRegistry::note_refreshed`]).
+    pub fn knowledge_version(&self, source: &str) -> u64 {
+        self.versions.current(source)
     }
 }
 

@@ -4,7 +4,7 @@
 //! feature set (typically `dtrSet(Am)` from the best AFD), the classifier
 //! estimates `P(Am = v | x) ∝ P(Am = v) · Π_i P(x_i | Am = v)` with
 //! per-feature m-estimates `P(x|c) = (n_xc + m·p) / (n_c + m)`, `p = 1/|V|`
-//! (Mitchell [23]). Null feature values are skipped at prediction time —
+//! (Mitchell \[23\]). Null feature values are skipped at prediction time —
 //! they carry no evidence.
 
 use std::collections::HashMap;

@@ -13,6 +13,12 @@
 //! front* — the outage stops costing probe attempts at all until the
 //! cooldown elapses and a half-open probe checks whether it came back.
 //!
+//! `network.explain(&query)` renders the whole mediation plan — every
+//! member's admitted and skipped rewrites with their F-measure mass —
+//! without issuing a single source query. The example prints it twice:
+//! before any pass (all breakers closed) and after the outage trips
+//! `carsdirect`'s breaker, where the skips show up as per-entry reasons.
+//!
 //! ```text
 //! cargo run --release --example multi_source_network
 //! ```
@@ -77,6 +83,13 @@ fn main() {
 
     let body = global.expect_attr("body_style");
     let model = global.expect_attr("model");
+
+    // EXPLAIN before any query runs: every breaker is closed, so the plan
+    // shows what a healthy pass would admit — and issues zero queries.
+    let convt = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    println!("=== EXPLAIN (before any pass — all breakers closed) ===\n");
+    println!("{}", network.explain(&convt));
+
     // body_style queries reach the deficient sources via correlated
     // rewriting (the downed member degrades: its rewrites are dropped); the
     // model query binds on every source directly, so the downed member
@@ -134,6 +147,13 @@ fn main() {
             registry.state("carsdirect"),
         );
     }
+    // EXPLAIN again, now that the outage tripped carsdirect's breaker:
+    // the same plan renders with the member skipped up front — every one
+    // of its entries carries a "breaker open" skip reason, and still not
+    // one probing query is issued.
+    println!("\n=== EXPLAIN (after the outage — carsdirect's breaker is open) ===\n");
+    println!("{}", network.explain(&convt));
+
     println!(
         "\nmeters: yahoo_autos {} retries / {} failures; carsdirect {} failures, \
          {} breaker skips, degraded {}",

@@ -7,14 +7,14 @@
 //! thread override is process-global, so the tests serialize on a mutex and
 //! always restore the default before releasing it.
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use qpiad::core::network::MediatorNetwork;
-use qpiad::core::{par, AnswerSet, Qpiad, QpiadConfig};
+use qpiad::core::{par, AnswerSet, PlanCache, Qpiad, QpiadConfig};
 use qpiad::data::cars::CarsConfig;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
 use qpiad::data::sample::uniform_sample;
-use qpiad::db::{Predicate, Relation, SelectQuery, WebSource};
+use qpiad::db::{AutonomousSource, Predicate, Relation, SelectQuery, WebSource};
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 use qpiad::learn::tane::{discover, TaneConfig};
 
@@ -88,6 +88,33 @@ fn mediator_answers_identically_at_any_thread_count() {
         assert!(!answer.possible.is_empty(), "fixture must exercise rewriting");
         signatures.push(answer_signature(&answer));
     }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
+fn cached_plans_replay_identically_at_any_thread_count() {
+    let _pin = PinnedPool::acquire();
+    let (ed, stats) = cars_fixture();
+    let body = ed.schema().expect_attr("body_style");
+    let query = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let source = WebSource::new("cars.com", ed.clone());
+        let cache = Arc::new(PlanCache::new());
+        let qpiad = Qpiad::new(stats.clone(), QpiadConfig::default().with_k(10))
+            .with_plan_cache(Arc::clone(&cache), 0);
+        let cold = qpiad.answer(&source, &query).expect("source accepts rewrites");
+        let warm = qpiad.answer(&source, &query).expect("source accepts rewrites");
+        assert_eq!(source.meter().plan_cache_misses, 1);
+        assert_eq!(source.meter().plan_cache_hits, 1);
+        assert!(!warm.possible.is_empty(), "fixture must exercise rewriting");
+        // Serving from the cache must not change the answer …
+        assert_eq!(answer_signature(&cold), answer_signature(&warm));
+        signatures.push(answer_signature(&warm));
+    }
+    // … and a cached-plan run replays byte-identically across thread counts.
     assert_eq!(signatures[0], signatures[1]);
 }
 

@@ -170,7 +170,7 @@ proptest! {
         let ordered = order_rewrites(rewrites, &RankConfig { alpha, k });
         prop_assert!(ordered.len() <= k.min(n));
         for w in ordered.windows(2) {
-            prop_assert!(w[0].precision >= w[1].precision - 1e-12);
+            prop_assert!(w[0].rewrite.precision >= w[1].rewrite.precision - 1e-12);
         }
     }
 }
