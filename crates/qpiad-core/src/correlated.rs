@@ -12,15 +12,16 @@
 //! answer (the source simply has no value for the attribute), ranked by the
 //! retrieving query's precision.
 
-use std::collections::HashSet;
+use qpiad_db::hash::FastHashSet;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
 use qpiad_db::{AutonomousSource, SelectQuery, SourceBinding, SourceError, Tuple, TupleId};
 use qpiad_learn::knowledge::SourceStats;
 
-use crate::mediator::{Degradation, QueryContext, RankedAnswer};
+use crate::mediator::{Degradation, Qpiad, QueryContext, RankedAnswer};
 use crate::plan::{
-    self, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan, PlanEntry, SkipReason,
+    self, AdmissionMode, BaseGate, CacheStatus, EntryStatus, MediationPlan, PlanCandidate,
+    PlanEntry, SkipReason,
 };
 use crate::rank::{order_rewrites, RankConfig};
 use crate::rewrite::generate_rewrites;
@@ -112,10 +113,52 @@ pub fn answer_from_correlated(
         retry,
         &base,
     );
+    Ok(collect_possible(target_source, binding, query, &plan, ctx, degraded))
+}
 
+/// [`answer_from_correlated`] with the planning half served through the
+/// correlated member's own mediator (and therefore through its plan cache,
+/// when one is attached). A network pass that already planned the same
+/// query for the correlated source — the supporting member's direct pass —
+/// reuses that candidate list instead of regenerating and re-ordering the
+/// rewrites from scratch. Budget semantics are unchanged: the base
+/// retrieval is still issued here, charged to *this* member's context.
+pub(crate) fn answer_from_correlated_planned(
+    correlated_source: &dyn AutonomousSource,
+    planner: &Qpiad,
+    target_source: &dyn AutonomousSource,
+    binding: &SourceBinding,
+    query: &SelectQuery,
+    retry: &RetryPolicy,
+    ctx: &mut QueryContext,
+) -> Result<CorrelatedAnswers, SourceError> {
+    let mut degraded = Degradation::default();
+    let base = plan::execute_base(
+        correlated_source,
+        query,
+        retry,
+        ctx,
+        &mut degraded,
+        BaseGate::BudgetOnly,
+    )?;
+    let (candidates, _cache) = planner.candidate_set(correlated_source, query, &base);
+    let plan = plan_from_shared_candidates(target_source.name(), binding, query, retry, &candidates);
+    Ok(collect_possible(target_source, binding, query, &plan, ctx, degraded))
+}
+
+/// Executes a correlated plan against the target source and lifts every
+/// kept tuple into the global schema as a possible answer.
+fn collect_possible(
+    target_source: &dyn AutonomousSource,
+    binding: &SourceBinding,
+    query: &SelectQuery,
+    plan: &MediationPlan,
+    ctx: &mut QueryContext,
+    mut degraded: Degradation,
+) -> CorrelatedAnswers {
     let mut possible: Vec<RankedAnswer> = Vec::new();
-    let mut seen: HashSet<TupleId> = HashSet::new();
-    plan::execute(target_source, &plan, ctx, &mut degraded, |rank, entry, kept, _ctx| {
+    let mut seen: FastHashSet<TupleId> = FastHashSet::default();
+    plan::execute(target_source, plan, ctx, &mut degraded, |rank, entry, kept, _ctx| {
         for local_tuple in kept {
             if !seen.insert(local_tuple.id()) {
                 continue;
@@ -139,7 +182,43 @@ pub fn answer_from_correlated(
     if degraded.is_degraded() {
         target_source.note_degraded();
     }
-    Ok(CorrelatedAnswers { possible, degraded })
+    CorrelatedAnswers { possible, degraded }
+}
+
+/// Wraps a shared candidate list (the supporting pass's planning output)
+/// as an interleaved correlated plan. The `supported` flag is ignored — it
+/// describes the *correlated* source's web form, while these queries go to
+/// the target — and each candidate is admitted or skipped purely on
+/// whether the target's binding can translate it.
+fn plan_from_shared_candidates(
+    target_name: &str,
+    binding: &SourceBinding,
+    query: &SelectQuery,
+    retry: &RetryPolicy,
+    candidates: &[PlanCandidate],
+) -> MediationPlan {
+    let mut plan = MediationPlan::new(
+        target_name.to_string(),
+        query.clone(),
+        *retry,
+        AdmissionMode::Interleaved,
+    );
+    for c in candidates {
+        let (issue, status) = match binding.translate_query(&c.scored.rewrite.query) {
+            Ok(local) => (local, EntryStatus::Deferred),
+            Err(_) => (
+                c.scored.rewrite.query.clone(),
+                EntryStatus::Skipped(SkipReason::Untranslatable),
+            ),
+        };
+        plan.push(PlanEntry {
+            rewrite: c.scored.rewrite.clone(),
+            issue,
+            fmeasure: c.scored.fmeasure,
+            status,
+        });
+    }
+    plan
 }
 
 /// Builds the (unadmitted) interleaved plan for a correlated retrieval:

@@ -1,6 +1,6 @@
 //! The end-to-end QPIAD mediator for selection queries (§4.2).
 
-use std::collections::HashSet;
+use qpiad_db::hash::FastHashSet;
 use std::sync::Arc;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
@@ -476,7 +476,11 @@ impl Qpiad {
     /// one is attached and the (source, template, knowledge version, α, k)
     /// key matches; planned from scratch (and inserted) otherwise. Hits
     /// and misses are metered on the source.
-    fn candidate_set(
+    ///
+    /// `pub(crate)`: the correlated-retrieval path plans through the
+    /// correlated member's mediator so a network pass computes each
+    /// (source, template) candidate list at most once.
+    pub(crate) fn candidate_set(
         &self,
         source: &dyn AutonomousSource,
         query: &SelectQuery,
@@ -644,7 +648,7 @@ impl Qpiad {
 /// Working state of an answer merge, fed one rewritten query at a time in
 /// rank order.
 struct AnswerMerge {
-    seen: HashSet<TupleId>,
+    seen: FastHashSet<TupleId>,
     constrained: Vec<qpiad_db::AttrId>,
     possible: Vec<RankedAnswer>,
     deferred: Vec<Tuple>,

@@ -63,7 +63,7 @@ use qpiad_learn::persist::{PersistError, StatsSnapshot};
 use qpiad_learn::store::KnowledgeStore;
 
 use crate::correlated::{
-    answer_from_correlated, is_correlated_source_usable, plan_from_correlated_speculative,
+    answer_from_correlated_planned, is_correlated_source_usable, plan_from_correlated_speculative,
 };
 use crate::mediator::{Degradation, Qpiad, QpiadConfig, QueryContext, RankedAnswer};
 use crate::plan::{
@@ -680,6 +680,7 @@ impl<'a> MediatorNetwork<'a> {
     /// copy of the budget gate every query. Returns the answer plus the
     /// probe's observation log and the drift probe's accumulated
     /// observations, both for the sequential absorb phase.
+    #[allow(clippy::too_many_arguments)] // one call site, all args are per-pass state
     fn answer_member(
         &self,
         index: usize,
@@ -688,6 +689,7 @@ impl<'a> MediatorNetwork<'a> {
         hedge: Option<usize>,
         budget: QueryBudget,
         drift: MemberDrift,
+        pass_cache: &Arc<PlanCache>,
     ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>) {
         let MemberDrift { probe: drift_probe, demoted: drifted } = drift;
         let member = &self.members[index];
@@ -712,7 +714,7 @@ impl<'a> MediatorNetwork<'a> {
         if let Some(probe) = drift_probe {
             ctx = ctx.with_drift(probe);
         }
-        let result = self.answer_member_in(member, query, hedge, &mut ctx);
+        let result = self.answer_member_in(member, query, hedge, &mut ctx, pass_cache);
         let observations = ctx.probe.take_observations();
         let drift_probe = ctx.drift.take();
         let result = result.map(|mut answers| {
@@ -755,6 +757,23 @@ impl<'a> MediatorNetwork<'a> {
         }
     }
 
+    /// [`Self::member_qpiad`] with the *pass-local* plan cache attached.
+    /// When the network has no configured cache, the pass cache is an
+    /// ephemeral one created per `answer` call, so a supporting member and
+    /// a deficient member served through it still plan each (source,
+    /// template) pair exactly once within the pass.
+    fn member_qpiad_in_pass(
+        &self,
+        member: &Member<'a>,
+        stats: &SourceStats,
+        pass_cache: &Arc<PlanCache>,
+    ) -> Qpiad {
+        Qpiad::new(stats.clone(), self.config).with_plan_cache(
+            Arc::clone(pass_cache),
+            self.member_knowledge_version(member.source.name()),
+        )
+    }
+
     /// The pre-availability-layer body of `answer_member`: serves one
     /// member directly or through a correlated source, under the context's
     /// probe and budget.
@@ -764,6 +783,7 @@ impl<'a> MediatorNetwork<'a> {
         query: &SelectQuery,
         hedge: Option<usize>,
         ctx: &mut QueryContext,
+        pass_cache: &Arc<PlanCache>,
     ) -> Result<SourceAnswers, SourceError> {
         let supports_all = Self::member_supports_all(member, query);
         let answers = if supports_all {
@@ -772,7 +792,7 @@ impl<'a> MediatorNetwork<'a> {
                 // schema; supporting members map attributes 1:1. A hedged
                 // member's queries are doubled to the partner source.
                 let local = member.binding.translate_query(query)?;
-                let qpiad = self.member_qpiad(member, stats);
+                let qpiad = self.member_qpiad_in_pass(member, stats, pass_cache);
                 let set = match hedge {
                     Some(j) => {
                         let hedged = HedgedSource {
@@ -836,13 +856,17 @@ impl<'a> MediatorNetwork<'a> {
                             ),
                         }
                     })?;
-                    let mut result = answer_from_correlated(
+                    // Plan through the correlated member's own mediator:
+                    // if the supporting pass already planned this template
+                    // for the correlated source, the pass cache serves the
+                    // candidate list instead of regenerating it.
+                    let planner = self.member_qpiad_in_pass(correlated, stats, pass_cache);
+                    let mut result = answer_from_correlated_planned(
                         correlated.source,
-                        stats,
+                        &planner,
                         member.source,
                         &member.binding,
                         query,
-                        &RankConfig { alpha: self.config.alpha, k: self.config.k },
                         &self.config.retry,
                         ctx,
                     )?;
@@ -936,18 +960,38 @@ impl<'a> MediatorNetwork<'a> {
             })
             .collect();
 
+        // The pass-local plan cache: the configured cache when one is
+        // attached, an ephemeral one otherwise. Either way, a supporting
+        // member and a deficient member served through it plan each
+        // (source, template) pair at most once per pass. Races only cost a
+        // duplicate computation — the cached artifact is a pure function
+        // of (query, base, knowledge, α, k), so answers stay
+        // thread-count-independent.
+        let pass_cache: Arc<PlanCache> = match &self.plan_cache {
+            Some(cache) => Arc::clone(cache),
+            None => Arc::new(PlanCache::new()),
+        };
+
         let n = self.members.len();
         type MemberResult =
             (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>);
         let results: Vec<MemberResult> = if n > 1 && par::num_threads() > 1 {
             par::parallel_map_indexed(n, |i| {
-                self.answer_member(i, query, views[i], hedges[i], budget, drift_states[i].clone())
+                self.answer_member(
+                    i,
+                    query,
+                    views[i],
+                    hedges[i],
+                    budget,
+                    drift_states[i].clone(),
+                    &pass_cache,
+                )
             })
         } else {
             (0..n)
                 .zip(drift_states)
                 .map(|(i, drift)| {
-                    self.answer_member(i, query, views[i], hedges[i], budget, drift)
+                    self.answer_member(i, query, views[i], hedges[i], budget, drift, &pass_cache)
                 })
                 .collect()
         };

@@ -424,6 +424,12 @@ fn settle(ctx: &mut QueryContext, degraded: &mut Degradation, report: &qpiad_db:
 ///
 /// `absorb` receives the entry's rank index, the entry, the validated
 /// tuples, and the live context (for per-response drift observation).
+///
+/// The tuples flowing through fan-in, dedup-against-base, and rank merge
+/// are shared-slice handles (`Tuple` wraps `Arc<[Value]>`): retrieval
+/// resolves row ids against the source's columnar store once, and every
+/// subsequent move or clone up to the answer boundary is a reference-count
+/// bump, never a per-value copy.
 pub fn execute<F>(
     source: &dyn AutonomousSource,
     plan: &MediationPlan,
@@ -640,16 +646,11 @@ impl PlanCache {
 
 /// The mined-sample tuples certainly matching `query` — the planner's
 /// zero-query stand-in for a base result set (speculative EXPLAIN plans)
-/// and the reference side of paired drift observations.
+/// and the reference side of paired drift observations. Served through the
+/// estimator's posting-list index; the returned tuples are shared-slice
+/// handles, so this materializes nothing beyond the `Vec` itself.
 pub(crate) fn stats_sample_matches(stats: &SourceStats, query: &SelectQuery) -> Vec<Tuple> {
-    stats
-        .selectivity()
-        .sample()
-        .tuples()
-        .iter()
-        .filter(|t| query.matches(t))
-        .cloned()
-        .collect()
+    stats.selectivity().sample_matches(query)
 }
 
 #[cfg(test)]

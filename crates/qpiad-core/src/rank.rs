@@ -91,11 +91,13 @@ pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec
         .map(|r| (score(&r, total_throughput, config.alpha), r))
         .collect();
 
-    // Deterministic order: F desc, precision desc, then query structure.
+    // Deterministic order: F desc, precision desc, then structural
+    // query order (allocation-free — the old Debug-string tiebreak
+    // formatted both queries on every comparison).
     scored.sort_by(|a, b| {
         b.0.total_cmp(&a.0)
             .then_with(|| b.1.precision.total_cmp(&a.1.precision))
-            .then_with(|| format!("{:?}", a.1.query).cmp(&format!("{:?}", b.1.query)))
+            .then_with(|| a.1.query.structural_cmp(&b.1.query))
     });
     scored.truncate(config.k);
 
@@ -107,7 +109,7 @@ pub fn order_rewrites(rewrites: Vec<RewrittenQuery>, config: &RankConfig) -> Vec
         b.rewrite
             .precision
             .total_cmp(&a.rewrite.precision)
-            .then_with(|| format!("{:?}", a.rewrite.query).cmp(&format!("{:?}", b.rewrite.query)))
+            .then_with(|| a.rewrite.query.structural_cmp(&b.rewrite.query))
     });
     // … but the attached masses are normalized over the selected plan, so
     // they sum to the plan's own expected value.

@@ -16,9 +16,9 @@
 //! `Ai` satisfying the original predicate — and its estimated
 //! **selectivity** (expected number of incomplete tuples it retrieves).
 
-use std::collections::HashMap;
+use qpiad_db::hash::FastHashMap;
 
-use qpiad_db::{AttrId, Predicate, Relation, SelectQuery, Tuple, TupleId, Value};
+use qpiad_db::{AttrId, Predicate, Relation, SelectQuery, Tuple, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::knowledge::SourceStats;
 
@@ -69,10 +69,15 @@ pub fn generate_rewrites(
 ) -> Vec<RewrittenQuery> {
     let mut out: Vec<RewrittenQuery> = Vec::new();
     // Dedup across iterations: a structurally identical rewritten query can
-    // arise from different constrained attributes.
-    let mut seen: HashMap<SelectQuery, usize> = HashMap::new();
+    // arise from different constrained attributes. With a single
+    // constrained attribute distinct combinations already yield distinct
+    // queries (each differs in at least one determining-set equality), so
+    // the map — and its per-candidate query hashing — is skipped.
+    let targets = query.constrained_attrs();
+    let needs_dedup = targets.len() > 1;
+    let mut seen: FastHashMap<SelectQuery, usize> = FastHashMap::default();
 
-    for target in query.constrained_attrs() {
+    for target in targets {
         let Some(dtr) = stats.determining_set(target) else {
             continue;
         };
@@ -107,6 +112,11 @@ pub fn generate_rewrites(
             }
         }
 
+        // Reusable scorer seeded with the evidence template. Every
+        // combination overwrites every determining-set slot, so state never
+        // carries over; only the touched feature re-resolves its
+        // log-likelihood table instead of re-hashing the whole row.
+        let mut scorer = stats.predictor().row_matcher(target, &evidence);
         for combo in Relation::distinct_projections(base_set, &dtr) {
             // Build the rewritten predicate list.
             let mut preds = kept_preds.clone();
@@ -118,61 +128,34 @@ pub fn generate_rewrites(
                 continue;
             }
 
-            let precision = combo_precision(stats, target, &dtr, &combo, &evidence, &target_pred);
+            for (ax, vx) in dtr.iter().zip(combo.iter()) {
+                scorer.set(*ax, vx);
+            }
+            let precision = scorer.prob_matching(&target_pred.op);
             let est_selectivity = stats.selectivity().estimate_smoothed(&rewritten);
 
-            match seen.get(&rewritten) {
-                Some(&idx) => {
+            if needs_dedup {
+                if let Some(&idx) = seen.get(&rewritten) {
                     // Keep the higher-precision interpretation.
                     if precision > out[idx].precision {
                         out[idx].precision = precision;
                         out[idx].target_attr = target;
                         out[idx].afd = afd.clone();
                     }
+                    continue;
                 }
-                None => {
-                    seen.insert(rewritten.clone(), out.len());
-                    out.push(RewrittenQuery {
-                        query: rewritten,
-                        target_attr: target,
-                        precision,
-                        est_selectivity,
-                        afd: afd.clone(),
-                    });
-                }
+                seen.insert(rewritten.clone(), out.len());
             }
+            out.push(RewrittenQuery {
+                query: rewritten,
+                target_attr: target,
+                precision,
+                est_selectivity,
+                afd: afd.clone(),
+            });
         }
     }
     out
-}
-
-/// The expected precision of a rewritten query: the probability that the
-/// *missing* target value satisfies the original predicate, given the
-/// determining-set combination (plus any other equality constraints of the
-/// original query, which every retrieved tuple also satisfies).
-///
-/// `evidence` is the caller-prepared template holding the original query's
-/// equality constraints (nulls elsewhere); only the determining-set slots
-/// are filled in per combination.
-fn combo_precision(
-    stats: &SourceStats,
-    target: AttrId,
-    dtr: &[AttrId],
-    combo: &[Value],
-    evidence: &[Value],
-    target_pred: &Predicate,
-) -> f64 {
-    // Assemble a pseudo-tuple carrying all evidence a retrieved tuple is
-    // known to have: the determining-set values and the original equality
-    // constraints on other attributes.
-    let mut values = evidence.to_vec();
-    for (ax, vx) in dtr.iter().zip(combo.iter()) {
-        values[ax.index()] = vx.clone();
-    }
-    let pseudo = Tuple::new(TupleId(u32::MAX), values);
-    stats
-        .predictor()
-        .prob_matching(target, &pseudo, &target_pred.op)
 }
 
 #[cfg(test)]

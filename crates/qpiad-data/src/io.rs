@@ -217,7 +217,14 @@ pub fn relation_from_csv(text: &str, options: &CsvOptions) -> Result<Relation, C
             Tuple::new(TupleId(i as u32), values)
         })
         .collect();
-    Ok(Relation::new(schema, tuples))
+    // The per-row arity pre-check above guarantees this cannot fail, but
+    // ingestion must never abort on malformed input: route through the
+    // fallible constructor so a future logic bug degrades to an error.
+    Relation::try_new(schema, tuples).map_err(|_| CsvError::ArityMismatch {
+        line: 0,
+        found: 0,
+        expected: arity,
+    })
 }
 
 fn escape(field: &str) -> String {

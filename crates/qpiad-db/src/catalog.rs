@@ -21,21 +21,30 @@ pub struct SourceBinding {
     /// `mapping[g]` is the local attribute carrying global attribute `g`.
     mapping: Vec<Option<AttrId>>,
     local_arity: usize,
+    /// `true` iff the local schema is attribute-for-attribute the global
+    /// one, so lifting a tuple is the identity.
+    is_identity: bool,
 }
 
 impl SourceBinding {
     /// Builds a binding by matching attribute names between the global and
     /// local schemas.
     pub fn by_name(source_name: impl Into<String>, global: &Schema, local: &Schema) -> Self {
-        let mapping = global
+        let mapping: Vec<Option<AttrId>> = global
             .attributes()
             .iter()
             .map(|ga| local.attr_id(ga.name()))
             .collect();
+        let is_identity = local.arity() == mapping.len()
+            && mapping
+                .iter()
+                .enumerate()
+                .all(|(g, m)| *m == Some(AttrId(g)));
         SourceBinding {
             source_name: source_name.into(),
             mapping,
             local_arity: local.arity(),
+            is_identity,
         }
     }
 
@@ -73,6 +82,11 @@ impl SourceBinding {
     /// attributes the source does not carry become null.
     pub fn lift_tuple(&self, local: &Tuple) -> Tuple {
         debug_assert_eq!(local.arity(), self.local_arity);
+        if self.is_identity {
+            // Full-schema source: the lift is the identity, and tuples hold
+            // their values behind a shared handle — clone is a refcount bump.
+            return local.clone();
+        }
         let values = self
             .mapping
             .iter()

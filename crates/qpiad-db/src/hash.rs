@@ -1,0 +1,112 @@
+//! Fast, deterministic hashing for the storage engine's hot paths.
+//!
+//! The standard library's default hasher (SipHash with a per-process random
+//! seed) costs tens of nanoseconds per short string — measurable when
+//! dictionary interning, rewrite dedup, and classifier lookups hash
+//! millions of values. [`FxHasher`] is the multiply-rotate hash used by
+//! rustc: not DoS-resistant (irrelevant here — keys come from the mediator
+//! itself, not an adversary), several times faster on short keys, and
+//! *seedless*, so map iteration order is a pure function of the insertion
+//! sequence. Nothing may rely on that order for output determinism, but it
+//! makes accidental order-dependence reproducible instead of flaky.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style Fx multiply-rotate hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" cannot collide by
+            // construction of the tail padding.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FastHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&"body_style"), hash_of(&"body_style"));
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(&"Convt"), hash_of(&"Coupe"));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut m: FastHashMap<String, usize> = FastHashMap::default();
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            m.insert(k.to_string(), i);
+        }
+        assert_eq!(m.get("b"), Some(&1));
+        let mut s: FastHashSet<u32> = FastHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

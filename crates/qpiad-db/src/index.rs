@@ -1,69 +1,93 @@
-//! Equality indexes and index-backed selection.
+//! Posting-list indexes and index-backed selection.
 //!
 //! A QPIAD workload hammers a source with conjunctive equality queries (one
 //! per rewritten query, per probe, per aggregate gate). Scanning the whole
 //! relation for each is O(n·queries); [`SelectionEngine`] lazily builds one
-//! hash index per touched attribute — `value → row positions` plus a null
-//! list — picks the most selective indexed predicate as the access path,
-//! and verifies the remaining predicates only on the candidates.
+//! posting-list index per touched attribute over the relation's interned
+//! [`ColumnarRelation`] — one sorted `Vec<u32>` of row ids per
+//! (attribute, value-id), stored exactly once, with the reserved null id 0
+//! doubling as the null list — and answers each query as a k-way sorted-list
+//! intersection (galloping for skewed list pairs, a bitset probe above a
+//! density threshold) instead of a scan-plus-verify.
 //!
 //! The engine is internally synchronized so sources can stay `&self` in
 //! their query path.
 
-use std::collections::{BTreeMap, HashMap};
+use std::borrow::Cow;
+use crate::hash::FastHashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::columnar::ColumnarRelation;
+use crate::dict::ValueId;
 use crate::query::{PredOp, SelectQuery};
 use crate::relation::Relation;
 use crate::schema::AttrId;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// An equality + range index over one attribute: a hash table for point
-/// lookups and a sorted map for `BETWEEN` ranges.
+/// When the larger list of an intersection pair holds more than this
+/// fraction of all rows, membership is probed through a bitset instead of
+/// merged or galloped.
+const DENSE_THRESHOLD: f64 = 0.125;
+
+/// When the larger list is at least this many times the smaller, the
+/// intersection gallops (exponential probing) instead of merging linearly.
+const GALLOP_RATIO: usize = 16;
+
+/// A posting-list index over one attribute of an interned relation.
+///
+/// `postings[vid]` holds the ascending row ids whose value interned to
+/// `vid`; `postings[0]` (the reserved null id) is the null list. Every row
+/// id appears in exactly one list, so the index stores each posting once —
+/// there is no duplicate hash/tree copy.
 #[derive(Debug)]
 pub struct AttrIndex {
-    /// Rows per non-null value, in relation order.
-    by_value: HashMap<Value, Vec<u32>>,
-    /// The same postings in value order, for range predicates.
-    sorted: BTreeMap<Value, Vec<u32>>,
-    /// Rows whose value is null, in relation order.
-    nulls: Vec<u32>,
+    columnar: Arc<ColumnarRelation>,
+    /// Row ids per value id, ascending; `[0]` is the null list.
+    postings: Vec<Vec<u32>>,
+    /// The value ids appearing in this column, sorted by their resolved
+    /// [`Value`] — the access path for `BETWEEN` ranges.
+    value_order: Vec<ValueId>,
 }
 
 impl AttrIndex {
     /// Builds the index for `attr` over a relation.
     pub fn build(relation: &Relation, attr: AttrId) -> Self {
-        let mut by_value: HashMap<Value, Vec<u32>> = HashMap::new();
-        let mut nulls = Vec::new();
-        for (row, t) in relation.tuples().iter().enumerate() {
-            let v = t.value(attr);
-            if v.is_null() {
-                nulls.push(row as u32);
-            } else {
-                by_value.entry(v.clone()).or_default().push(row as u32);
-            }
+        let columnar = Arc::clone(relation.columnar());
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); columnar.dict().len()];
+        for (row, vid) in columnar.column(attr).iter().enumerate() {
+            postings[vid.index()].push(row as u32);
         }
-        let sorted = by_value
-            .iter()
-            .map(|(v, rows)| (v.clone(), rows.clone()))
+        let mut value_order: Vec<ValueId> = (1..postings.len() as u32)
+            .map(ValueId)
+            .filter(|vid| !postings[vid.index()].is_empty())
             .collect();
-        AttrIndex { by_value, sorted, nulls }
+        value_order.sort_by(|a, b| columnar.dict().resolve(*a).cmp(columnar.dict().resolve(*b)));
+        AttrIndex { columnar, postings, value_order }
     }
 
-    /// Rows with exactly this value.
+    /// Rows with exactly this value (empty for null: a null cell never
+    /// certainly satisfies an equality).
     pub fn rows_eq(&self, v: &Value) -> &[u32] {
-        self.by_value.get(v).map(Vec::as_slice).unwrap_or(&[])
+        if v.is_null() {
+            return &[];
+        }
+        match self.columnar.dict().lookup(v) {
+            Some(vid) => &self.postings[vid.index()],
+            None => &[],
+        }
     }
 
     /// Rows with `lo ≤ value ≤ hi`, in relation order.
     pub fn rows_between(&self, lo: &Value, hi: &Value) -> Vec<u32> {
-        let mut rows: Vec<u32> = self
-            .sorted
-            .range(lo.clone()..=hi.clone())
-            .flat_map(|(_, rs)| rs.iter().copied())
+        let dict = self.columnar.dict();
+        let start = self.value_order.partition_point(|vid| dict.resolve(*vid) < lo);
+        let end = self.value_order.partition_point(|vid| dict.resolve(*vid) <= hi);
+        let mut rows: Vec<u32> = self.value_order[start..end]
+            .iter()
+            .flat_map(|vid| self.postings[vid.index()].iter().copied())
             .collect();
         rows.sort_unstable();
         rows
@@ -71,19 +95,82 @@ impl AttrIndex {
 
     /// Rows with a null value.
     pub fn null_rows(&self) -> &[u32] {
-        &self.nulls
+        &self.postings[0]
     }
 
-    /// Number of distinct non-null values.
+    /// Number of distinct non-null values in this column.
     pub fn distinct_values(&self) -> usize {
-        self.by_value.len()
+        self.value_order.len()
     }
+
+    /// Total row ids stored across all posting lists. Equal to the relation's
+    /// row count: every row sits in exactly one list, proving postings are
+    /// stored once (the old index kept a duplicate `BTreeMap` copy).
+    pub fn posting_entries(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+}
+
+/// Intersects two ascending row-id lists (`a` no longer than `b`), picking
+/// merge, gallop, or bitset by the lists' shapes. Output stays ascending.
+fn intersect_pair(a: &[u32], b: &[u32], n_rows: usize) -> Vec<u32> {
+    debug_assert!(a.len() <= b.len());
+    let mut out = Vec::with_capacity(a.len());
+    if b.len() >= GALLOP_RATIO * a.len().max(1) {
+        // Skewed pair: gallop each element of the small list through the
+        // large one.
+        let mut lo = 0usize;
+        for &x in a {
+            let mut step = 1usize;
+            let mut hi = lo;
+            while hi < b.len() && b[hi] < x {
+                lo = hi + 1;
+                hi += step;
+                step *= 2;
+            }
+            let hi = hi.min(b.len());
+            lo += b[lo..hi].partition_point(|&y| y < x);
+            if lo < b.len() && b[lo] == x {
+                out.push(x);
+                lo += 1;
+            }
+            if lo >= b.len() {
+                break;
+            }
+        }
+    } else if n_rows > 0 && b.len() as f64 > DENSE_THRESHOLD * n_rows as f64 {
+        // Dense larger list: one bit per row, O(1) membership probes.
+        let mut bits = vec![0u64; n_rows.div_ceil(64)];
+        for &y in b {
+            bits[(y / 64) as usize] |= 1 << (y % 64);
+        }
+        for &x in a {
+            if bits[(x / 64) as usize] & (1 << (x % 64)) != 0 {
+                out.push(x);
+            }
+        }
+    } else {
+        // Comparable sizes: linear merge.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Lazily indexed selection over a fixed relation.
 #[derive(Debug, Default)]
 pub struct SelectionEngine {
-    indexes: RwLock<HashMap<AttrId, Arc<AttrIndex>>>,
+    indexes: RwLock<FastHashMap<AttrId, Arc<AttrIndex>>>,
 }
 
 impl SelectionEngine {
@@ -97,6 +184,12 @@ impl SelectionEngine {
         self.indexes.read().len()
     }
 
+    /// Total posting entries across built indexes (memory-footprint
+    /// diagnostics: must equal built indexes × relation rows).
+    pub fn posting_entries(&self) -> usize {
+        self.indexes.read().values().map(|i| i.posting_entries()).sum()
+    }
+
     fn index_for(&self, relation: &Relation, attr: AttrId) -> Arc<AttrIndex> {
         if let Some(idx) = self.indexes.read().get(&attr) {
             return Arc::clone(idx);
@@ -106,39 +199,56 @@ impl SelectionEngine {
         Arc::clone(write.entry(attr).or_insert(built))
     }
 
-    /// Picks the indexable predicate with the fewest candidate rows.
-    fn best_candidates(&self, relation: &Relation, query: &SelectQuery) -> Option<Vec<u32>> {
-        let mut best: Option<(usize, Vec<u32>)> = None;
-        for p in query.predicates() {
-            let candidates: Vec<u32> = match &p.op {
-                PredOp::Eq(v) => self.index_for(relation, p.attr).rows_eq(v).to_vec(),
-                PredOp::IsNull => self.index_for(relation, p.attr).null_rows().to_vec(),
-                PredOp::Between(lo, hi) => {
-                    self.index_for(relation, p.attr).rows_between(lo, hi)
-                }
-            };
-            if best.as_ref().map(|(n, _)| candidates.len() < *n).unwrap_or(true) {
-                let n = candidates.len();
-                best = Some((n, candidates));
-                if n == 0 {
-                    break;
-                }
-            }
+    /// Resolves the query to its matching row ids, ascending (= relation
+    /// order), by intersecting one posting list per predicate. Returns
+    /// `None` for predicate-free queries (nothing to index).
+    fn matching_rows(&self, relation: &Relation, query: &SelectQuery) -> Option<Vec<u32>> {
+        let preds = query.predicates();
+        if preds.is_empty() {
+            return None;
         }
-        best.map(|(_, candidates)| candidates)
+        let indexes: Vec<Arc<AttrIndex>> =
+            preds.iter().map(|p| self.index_for(relation, p.attr)).collect();
+        let mut lists: Vec<Cow<'_, [u32]>> = Vec::with_capacity(preds.len());
+        for (p, idx) in preds.iter().zip(&indexes) {
+            let list: Cow<'_, [u32]> = match &p.op {
+                PredOp::Eq(v) => Cow::Borrowed(idx.rows_eq(v)),
+                PredOp::IsNull => Cow::Borrowed(idx.null_rows()),
+                PredOp::Between(lo, hi) => Cow::Owned(idx.rows_between(lo, hi)),
+            };
+            if list.is_empty() {
+                return Some(Vec::new());
+            }
+            lists.push(list);
+        }
+        // Intersect smallest-first: the running result can only shrink.
+        lists.sort_by_key(|l| l.len());
+        let n_rows = relation.len();
+        let mut acc: Vec<u32> = lists[0].to_vec();
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = if acc.len() <= list.len() {
+                intersect_pair(&acc, list, n_rows)
+            } else {
+                intersect_pair(list, &acc, n_rows)
+            };
+        }
+        Some(acc)
     }
 
     /// Answers a selection with certain-answer semantics, equivalent to
-    /// [`Relation::select`] but using the most selective available index as
-    /// the access path (hash postings for `Eq`/`IsNull`, sorted postings
-    /// for `Between`).
+    /// [`Relation::select`]: the posting lists fully decide every predicate
+    /// (`Eq`/`IsNull` are single lists, `Between` a run of lists in value
+    /// order), so the intersection *is* the answer — no re-verification.
+    /// Tuples materialize only here, at the answer boundary, as shared-slice
+    /// handle clones.
     pub fn select(&self, relation: &Relation, query: &SelectQuery) -> Vec<Tuple> {
-        match self.best_candidates(relation, query) {
-            Some(candidates) => candidates
+        match self.matching_rows(relation, query) {
+            Some(rows) => rows
                 .into_iter()
-                .map(|row| &relation.tuples()[row as usize])
-                .filter(|t| query.matches(t))
-                .cloned()
+                .map(|row| relation.tuples()[row as usize].clone())
                 .collect(),
             None => relation.select(query),
         }
@@ -147,11 +257,8 @@ impl SelectionEngine {
     /// Counts the certain answers using the same access path as
     /// [`Self::select`], without materializing tuples.
     pub fn count(&self, relation: &Relation, query: &SelectQuery) -> usize {
-        match self.best_candidates(relation, query) {
-            Some(candidates) => candidates
-                .into_iter()
-                .filter(|row| query.matches(&relation.tuples()[*row as usize]))
-                .count(),
+        match self.matching_rows(relation, query) {
+            Some(rows) => rows.len(),
             None => relation.count(query),
         }
     }
@@ -205,8 +312,18 @@ mod tests {
         assert_eq!(idx.rows_eq(&Value::str("Z4")), &[1, 2]);
         assert_eq!(idx.rows_eq(&Value::str("A4")), &[0, 4]);
         assert_eq!(idx.rows_eq(&Value::str("F150")), &[] as &[u32]);
+        assert_eq!(idx.rows_eq(&Value::Null), &[] as &[u32]);
         assert_eq!(idx.null_rows(), &[3]);
         assert_eq!(idx.distinct_values(), 3);
+    }
+
+    #[test]
+    fn postings_are_stored_once() {
+        let r = relation();
+        for a in 0..3 {
+            let idx = AttrIndex::build(&r, AttrId(a));
+            assert_eq!(idx.posting_entries(), r.len());
+        }
     }
 
     #[test]
@@ -256,20 +373,46 @@ mod tests {
         // Unindexable queries (no predicates) build nothing further.
         engine.select(&r, &SelectQuery::all());
         assert_eq!(engine.built_indexes(), 3);
+        // Built postings hold each row exactly once per attribute.
+        assert_eq!(engine.posting_entries(), 3 * r.len());
     }
 
     #[test]
-    fn picks_most_selective_candidate_list() {
-        // With both predicates indexed, the result must still be exact even
-        // though only one candidate list is verified in full.
+    fn conjunctions_intersect_exactly() {
+        // Disjoint predicate lists must produce the empty result even
+        // though each list alone is non-empty: the Civic row has year 2004.
         let r = relation();
         let engine = SelectionEngine::new();
         let q = SelectQuery::new(vec![
             Predicate::eq(AttrId(0), "Civic"),
             Predicate::eq(AttrId(1), 2002i64),
         ]);
-        // Civic has 1 row, year 2002 has 3: results must be empty because
-        // the Civic row has year 2004.
         assert!(engine.select(&r, &q).is_empty());
+    }
+
+    #[test]
+    fn intersection_strategies_agree() {
+        // Exercise merge, gallop, and bitset paths against a brute-force
+        // intersection on deterministic pseudo-random lists.
+        let n_rows = 4_096usize;
+        let mut state = 0x9_1AD_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut make_list = |len: usize| {
+            let mut v: Vec<u32> = (0..len).map(|_| next() % n_rows as u32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for (la, lb) in [(5, 3_000), (200, 260), (40, 2_000), (1, 4_000), (800, 900)] {
+            let a = make_list(la);
+            let b = make_list(lb);
+            let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            let expect: Vec<u32> =
+                small.iter().copied().filter(|x| large.binary_search(x).is_ok()).collect();
+            assert_eq!(intersect_pair(small, large, n_rows), expect, "{la}x{lb}");
+        }
     }
 }

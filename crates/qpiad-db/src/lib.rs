@@ -3,6 +3,12 @@
 //! This crate implements everything QPIAD needs *below* the mediator:
 //!
 //! * [`value`] — nullable attribute values with a total order,
+//! * [`dict`] / [`columnar`] — the storage core: per-relation value
+//!   interning ([`dict::Dictionary`], null = reserved id 0) and the
+//!   dictionary-encoded columnar image ([`columnar::ColumnarRelation`])
+//!   every relation builds at construction; posting-list indexes,
+//!   classifier training, and partition refinement all run over these
+//!   dense `u32` ids,
 //! * [`schema`] — typed relation schemas and attribute identifiers,
 //! * [`mod@tuple`] / [`relation`] — incomplete tuples and in-memory relations,
 //! * [`query`] — conjunctive selection, aggregate, and join query ASTs with
@@ -44,8 +50,11 @@
 //! form for "tuples where attribute X is null".
 
 pub mod catalog;
+pub mod columnar;
+pub mod dict;
 pub mod error;
 pub mod fault;
+pub mod hash;
 pub mod health;
 pub mod index;
 pub mod par;
@@ -59,7 +68,10 @@ pub mod value;
 pub mod version;
 
 pub use catalog::{GlobalCatalog, SourceBinding};
+pub use columnar::ColumnarRelation;
+pub use dict::{Dictionary, ValueId};
 pub use error::SourceError;
+pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy, SkewInjector, SkewPlan};
 pub use health::{
     BreakerConfig, BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation,

@@ -118,6 +118,28 @@ pub struct SelectQuery {
     predicates: Vec<Predicate>,
 }
 
+/// The canonical predicate order: attribute, then operator kind, then
+/// comparison values.
+fn predicate_cmp(a: &Predicate, b: &Predicate) -> std::cmp::Ordering {
+    fn op_rank(op: &PredOp) -> u8 {
+        match op {
+            PredOp::Between(..) => 0,
+            PredOp::Eq(_) => 1,
+            PredOp::IsNull => 2,
+        }
+    }
+    a.attr
+        .cmp(&b.attr)
+        .then_with(|| op_rank(&a.op).cmp(&op_rank(&b.op)))
+        .then_with(|| match (&a.op, &b.op) {
+            (PredOp::Eq(x), PredOp::Eq(y)) => x.cmp(y),
+            (PredOp::Between(xl, xh), PredOp::Between(yl, yh)) => {
+                xl.cmp(yl).then_with(|| xh.cmp(yh))
+            }
+            _ => std::cmp::Ordering::Equal,
+        })
+}
+
 impl SelectQuery {
     /// The empty query (matches every tuple).
     pub fn all() -> Self {
@@ -125,15 +147,27 @@ impl SelectQuery {
     }
 
     /// Builds a query from predicates. Predicates are stored in a canonical
-    /// order (by attribute, then operator) so that structurally equal
-    /// queries compare and hash equal regardless of construction order.
+    /// order (by attribute, then operator kind, then comparison values) so
+    /// that structurally equal queries compare and hash equal regardless of
+    /// construction order. The order is structural — no per-comparison
+    /// string formatting, since every rewritten query and plan-cache key
+    /// passes through here.
     pub fn new(mut predicates: Vec<Predicate>) -> Self {
-        predicates.sort_by(|a, b| {
-            a.attr
-                .cmp(&b.attr)
-                .then_with(|| format!("{:?}", a.op).cmp(&format!("{:?}", b.op)))
-        });
+        predicates.sort_by(predicate_cmp);
         SelectQuery { predicates }
+    }
+
+    /// Total structural order over queries: lexicographic over the
+    /// canonical predicate lists, shorter query first on a shared prefix.
+    /// Used as a deterministic tiebreak by the rewrite ranker — consistent
+    /// with `Eq` (equal queries compare `Equal`) and allocation-free.
+    pub fn structural_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let mut ab = self.predicates.iter().zip(other.predicates.iter());
+        ab.find_map(|(a, b)| match predicate_cmp(a, b) {
+            std::cmp::Ordering::Equal => None,
+            ord => Some(ord),
+        })
+        .unwrap_or_else(|| self.predicates.len().cmp(&other.predicates.len()))
     }
 
     /// Adds a predicate, returning the extended query.

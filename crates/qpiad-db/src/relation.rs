@@ -1,19 +1,26 @@
 //! In-memory relations.
 
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::columnar::ColumnarRelation;
+use crate::error::SourceError;
 use crate::query::SelectQuery;
 use crate::schema::{AttrId, Schema};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 
 /// An in-memory relation: a schema plus a vector of (possibly incomplete)
-/// tuples.
+/// tuples, mirrored by a dictionary-interned columnar image.
+///
+/// The columnar image is built once at construction and shared by clones
+/// (cloning copies the `Arc`, not the columns). Mutating the tuples through
+/// [`Relation::tuples_mut`] invalidates it; the next access rebuilds.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<Schema>,
     tuples: Vec<Tuple>,
+    columnar: OnceLock<Arc<ColumnarRelation>>,
 }
 
 /// Summary statistics mirroring the paper's Table 1: how incomplete a
@@ -36,20 +43,57 @@ impl Relation {
     ///
     /// Panics if a tuple's arity does not match the schema.
     pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        Self::try_new(schema, tuples).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Relation::new`]: a tuple whose arity does not
+    /// match the schema yields an error instead of aborting, so ingestion
+    /// paths (`qpiad_data::io`) can degrade gracefully on malformed rows.
+    pub fn try_new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self, SourceError> {
         for t in &tuples {
-            assert_eq!(
-                t.arity(),
-                schema.arity(),
-                "tuple arity does not match schema `{}`",
-                schema.name()
-            );
+            if t.arity() != schema.arity() {
+                return Err(SourceError::Internal {
+                    message: format!(
+                        "tuple {:?} arity {} does not match schema `{}` arity {}",
+                        t.id(),
+                        t.arity(),
+                        schema.name(),
+                        schema.arity()
+                    ),
+                });
+            }
         }
-        Relation { schema, tuples }
+        let columnar = Arc::new(ColumnarRelation::build(schema.arity(), &tuples));
+        // Canonicalize every cell through the dictionary: equal values then
+        // share one allocation relation-wide, so downstream dedup can prove
+        // equality by pointer identity instead of re-hashing string bytes.
+        let dict = columnar.dict();
+        let tuples: Vec<Tuple> = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(row, t)| {
+                let values: Vec<Value> = (0..schema.arity())
+                    .map(|a| dict.resolve(columnar.vid_at(row, AttrId(a))).clone())
+                    .collect();
+                Tuple::new(t.id(), values)
+            })
+            .collect();
+        let cell = OnceLock::new();
+        let _ = cell.set(columnar);
+        Ok(Relation { schema, tuples, columnar: cell })
     }
 
     /// An empty relation over the schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation { schema, tuples: Vec::new(), columnar: OnceLock::new() }
+    }
+
+    /// The dictionary-interned columnar image of this relation, building it
+    /// if a mutation invalidated the one made at construction.
+    pub fn columnar(&self) -> &Arc<ColumnarRelation> {
+        self.columnar.get_or_init(|| {
+            Arc::new(ColumnarRelation::build(self.schema.arity(), &self.tuples))
+        })
     }
 
     /// The relation's schema.
@@ -72,8 +116,10 @@ impl Relation {
         &self.tuples
     }
 
-    /// Mutable access, used by corruption injection.
+    /// Mutable access, used by corruption injection. Invalidates the
+    /// columnar image; the next [`Relation::columnar`] call rebuilds it.
     pub fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
+        self.columnar = OnceLock::new();
         &mut self.tuples
     }
 
@@ -105,10 +151,43 @@ impl Relation {
     /// value cannot be used to build a rewritten query). Combinations are
     /// returned in first-appearance order.
     pub fn distinct_projections(tuples: &[Tuple], attrs: &[AttrId]) -> Vec<Vec<Value>> {
+        // Single-attribute determining sets are the common case (§5.2's
+        // best-AFD feature selection usually lands on one attribute):
+        // dedup on the bare value, skipping the per-tuple `Vec` wrapper
+        // the general path hashes.
+        if let [attr] = attrs {
+            let mut seen: crate::hash::FastHashSet<&Value> = crate::hash::FastHashSet::default();
+            // Pointer front-cache: tuples materialized from one
+            // dictionary-interned relation share the `Arc` for equal
+            // strings, so a repeated pointer proves a repeated value
+            // without re-hashing the string bytes. A distinct pointer
+            // still goes through the value set, so the result is exact
+            // even for equal-but-separately-allocated values.
+            let mut seen_ptrs: crate::hash::FastHashSet<usize> =
+                crate::hash::FastHashSet::default();
+            let mut out = Vec::new();
+            for t in tuples {
+                let v = t.value(*attr);
+                match v {
+                    Value::Null => continue,
+                    Value::Str(s) => {
+                        let ptr = std::sync::Arc::as_ptr(s) as *const u8 as usize;
+                        if !seen_ptrs.insert(ptr) {
+                            continue;
+                        }
+                    }
+                    Value::Int(_) => {}
+                }
+                if seen.insert(v) {
+                    out.push(vec![v.clone()]);
+                }
+            }
+            return out;
+        }
         // Dedup on borrowed projections: cloning values (and their interned
         // strings' refcounts) only for the few first appearances, not for
         // every tuple of a large base set.
-        let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
+        let mut seen: crate::hash::FastHashSet<Vec<&Value>> = crate::hash::FastHashSet::default();
         let mut out = Vec::new();
         let mut combo: Vec<&Value> = Vec::with_capacity(attrs.len());
         for t in tuples {
@@ -165,10 +244,10 @@ impl Relation {
     /// Returns a new relation containing only tuples complete on *all*
     /// attributes (used to build ground-truth datasets, §6.2).
     pub fn complete_only(&self) -> Relation {
-        Relation {
-            schema: Arc::clone(&self.schema),
-            tuples: self.tuples.iter().filter(|t| t.is_complete()).cloned().collect(),
-        }
+        Relation::new(
+            Arc::clone(&self.schema),
+            self.tuples.iter().filter(|t| t.is_complete()).cloned().collect(),
+        )
     }
 
     /// Projects the relation onto a subset of attributes, producing a new
@@ -184,7 +263,7 @@ impl Relation {
             .iter()
             .map(|t| Tuple::new(t.id(), t.project(attrs)))
             .collect();
-        Relation { schema, tuples }
+        Relation::new(schema, tuples)
     }
 }
 
@@ -312,5 +391,32 @@ mod tests {
     fn rejects_wrong_arity() {
         let schema = Schema::of("one", &[("a", AttrType::Integer)]);
         Relation::new(schema, vec![Tuple::new(TupleId(0), vec![Value::int(1), Value::int(2)])]);
+    }
+
+    #[test]
+    fn try_new_degrades_instead_of_aborting() {
+        let schema = Schema::of("one", &[("a", AttrType::Integer)]);
+        let bad = Relation::try_new(
+            schema.clone(),
+            vec![Tuple::new(TupleId(0), vec![Value::int(1), Value::int(2)])],
+        );
+        assert!(matches!(bad, Err(crate::error::SourceError::Internal { .. })));
+        let good = Relation::try_new(schema, vec![Tuple::new(TupleId(0), vec![Value::int(1)])]);
+        assert_eq!(good.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn columnar_image_tracks_mutation() {
+        let mut r = fixture();
+        let make = r.schema().expect_attr("make");
+        let before = Arc::clone(r.columnar());
+        assert_eq!(before.n_rows(), r.len());
+        // Clones share the image.
+        assert!(Arc::ptr_eq(r.clone().columnar(), &before));
+        // Mutation invalidates; the rebuilt image reflects the new cells.
+        r.tuples_mut()[0] = r.tuples()[0].with_value(make, Value::Null);
+        let after = r.columnar();
+        assert!(!Arc::ptr_eq(after, &before));
+        assert!(after.vid_at(0, make).is_null());
     }
 }

@@ -208,29 +208,41 @@ struct SourceInner {
 
 impl SourceInner {
     fn answer(&self, q: &SelectQuery) -> Result<Vec<Tuple>, SourceError> {
-        let mut meter = self.meter.lock();
         let check = validate(
             q,
             &|a: AttrId| a.index() < self.queryable.len() && self.queryable[a.index()],
             self.allow_null_binding,
         );
         if let Err(e) = check {
-            meter.rejected += 1;
+            self.meter.lock().rejected += 1;
             return Err(e);
         }
+        // Certain-answer semantics over the stored (incomplete) relation,
+        // served through the lazily built posting-list indexes. For a
+        // DirectSource, IsNull predicates resolve to the null posting list.
         if let Some(limit) = self.query_limit {
+            // Budgeted: the limit check and the answer must be atomic, so
+            // the meter stays locked across the select. Budgeted sources
+            // are queried strictly sequentially by contract, so the held
+            // lock is uncontended.
+            let mut meter = self.meter.lock();
             if meter.queries >= limit {
                 meter.rejected += 1;
                 return Err(SourceError::QueryLimitExceeded { limit });
             }
+            let result: Vec<Tuple> = self.engine.select(&self.relation, q);
+            meter.queries += 1;
+            meter.tuples_returned += result.len();
+            Ok(result)
+        } else {
+            // Budget-free: select outside the lock so concurrent queries
+            // only serialize on the counter bump, not the retrieval.
+            let result: Vec<Tuple> = self.engine.select(&self.relation, q);
+            let mut meter = self.meter.lock();
+            meter.queries += 1;
+            meter.tuples_returned += result.len();
+            Ok(result)
         }
-        // Certain-answer semantics over the stored (incomplete) relation,
-        // served through the lazily built equality indexes. For a
-        // DirectSource, IsNull predicates participate via `PredOp::matches`.
-        let result: Vec<Tuple> = self.engine.select(&self.relation, q);
-        meter.queries += 1;
-        meter.tuples_returned += result.len();
-        Ok(result)
     }
 
     fn note(&self, apply: impl FnOnce(&mut SourceMeter)) {

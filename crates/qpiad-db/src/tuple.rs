@@ -15,16 +15,22 @@ use crate::value::Value;
 pub struct TupleId(pub u32);
 
 /// A (possibly incomplete) tuple: one value per schema attribute.
+///
+/// The value slice is shared (`Arc<[Value]>`), so cloning a tuple — the
+/// operation the mediation executor performs when fanning retrieval results
+/// into answer sets — is a reference-count bump, not a per-value copy.
+/// Answers materialize by cloning these shared handles at the answer
+/// boundary; nothing re-allocates the values themselves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     id: TupleId,
-    values: Box<[Value]>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
     /// Creates a tuple with the given id and values.
     pub fn new(id: TupleId, values: Vec<Value>) -> Self {
-        Tuple { id, values: values.into_boxed_slice() }
+        Tuple { id, values: values.into() }
     }
 
     /// The tuple's stable identifier.
@@ -79,7 +85,7 @@ impl Tuple {
     pub fn with_value(&self, attr: AttrId, value: Value) -> Tuple {
         let mut values = self.values.to_vec();
         values[attr.0] = value;
-        Tuple { id: self.id, values: values.into_boxed_slice() }
+        Tuple { id: self.id, values: values.into() }
     }
 
     /// `true` iff `completion` agrees with this tuple on every non-null

@@ -15,7 +15,7 @@
 //! cache is thread-safe so the mediator's concurrent rewritten-query
 //! execution can share one instance.
 
-use std::collections::HashMap;
+use qpiad_db::FastHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ type Posterior = Arc<[(Value, f64)]>;
 /// A per-query memo of posterior distributions.
 #[derive(Debug, Default)]
 pub struct PredictionCache {
-    entries: Mutex<HashMap<CacheKey, Posterior>>,
+    entries: Mutex<FastHashMap<CacheKey, Posterior>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }

@@ -58,8 +58,18 @@ impl MiningConfig {
 }
 
 /// Everything QPIAD learned about one source.
+///
+/// The mined artifacts live behind one shared [`Arc`], so cloning a
+/// bundle — which the mediator does on construction and the network does
+/// per member — is a reference-count bump rather than a deep copy of the
+/// classifiers and the retained sample.
 #[derive(Debug, Clone)]
 pub struct SourceStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug)]
+struct StatsInner {
     schema: Arc<Schema>,
     afds: AfdSet,
     akeys: Vec<AKey>,
@@ -101,11 +111,13 @@ impl SourceStats {
         let afds = AfdSet::new(pruned);
         let predictor = ValuePredictor::train(sample, &afds, config.strategy, config.m_estimate);
         SourceStats {
-            schema: sample.schema().clone(),
-            afds,
-            akeys: tane_result.akeys,
-            predictor,
-            selectivity,
+            inner: Arc::new(StatsInner {
+                schema: sample.schema().clone(),
+                afds,
+                akeys: tane_result.akeys,
+                predictor,
+                selectivity,
+            }),
         }
     }
 
@@ -129,7 +141,7 @@ impl SourceStats {
         per_inc: f64,
         config: &MiningConfig,
     ) -> SourceStats {
-        let old = self.selectivity.sample();
+        let old = self.selectivity().sample();
         assert_eq!(
             fresh.schema().arity(),
             old.schema().arity(),
@@ -153,32 +165,32 @@ impl SourceStats {
 
     /// The source's schema.
     pub fn schema(&self) -> &Arc<Schema> {
-        &self.schema
+        &self.inner.schema
     }
 
     /// The pruned AFD set.
     pub fn afds(&self) -> &AfdSet {
-        &self.afds
+        &self.inner.afds
     }
 
     /// Discovered approximate keys.
     pub fn akeys(&self) -> &[AKey] {
-        &self.akeys
+        &self.inner.akeys
     }
 
     /// The per-attribute value predictors.
     pub fn predictor(&self) -> &ValuePredictor {
-        &self.predictor
+        &self.inner.predictor
     }
 
     /// The selectivity estimator.
     pub fn selectivity(&self) -> &SelectivityEstimator {
-        &self.selectivity
+        &self.inner.selectivity
     }
 
     /// The determining set for an attribute, from its best (pruned) AFD.
     pub fn determining_set(&self, attr: AttrId) -> Option<&[AttrId]> {
-        self.afds.best(attr).map(|afd| afd.lhs.as_slice())
+        self.inner.afds.best(attr).map(|afd| afd.lhs.as_slice())
     }
 }
 

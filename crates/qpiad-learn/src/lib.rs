@@ -62,7 +62,7 @@ pub use drift::{DriftConfig, DriftDetector, DriftProbe, DriftRegistry, DriftVerd
 pub use knowledge::{MiningConfig, SourceStats};
 pub use persist::{PersistError, StatsSnapshot};
 pub use qpiad_db::par;
-pub use nbc::NaiveBayes;
+pub use nbc::{NaiveBayes, RowScorer};
 pub use selectivity::SelectivityEstimator;
 pub use store::KnowledgeStore;
-pub use strategy::{FeatureStrategy, ValuePredictor};
+pub use strategy::{FeatureStrategy, RowMatcher, ValuePredictor};

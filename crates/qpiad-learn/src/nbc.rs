@@ -7,7 +7,7 @@
 //! (Mitchell \[23\]). Null feature values are skipped at prediction time —
 //! they carry no evidence.
 
-use std::collections::HashMap;
+use qpiad_db::FastHashMap;
 
 use qpiad_db::{AttrId, PredOp, Relation, Tuple, Value};
 
@@ -41,67 +41,136 @@ pub struct NaiveBayes {
     features: Vec<AttrId>,
     /// Class values, in a stable order.
     classes: Vec<Value>,
-    class_index: HashMap<Value, usize>,
-    /// `n_c` per class.
-    class_counts: Vec<f64>,
+    class_index: FastHashMap<Value, usize>,
+    /// Total non-null training examples.
     total: f64,
-    /// Per feature: value → per-class counts `n_xc`.
-    cond: Vec<HashMap<Value, Vec<f64>>>,
-    /// Per feature: observed domain size `|V|`.
-    domain_size: Vec<usize>,
-    /// The m-estimate weight.
-    m: f64,
+    /// `ln` of the smoothed class prior, precomputed at training time so a
+    /// posterior evaluation is pure table adds plus one log-sum-exp.
+    log_prior: Vec<f64>,
+    /// Per feature: value → per-class `ln P(x|c)` (m-estimate smoothed).
+    log_cond: Vec<FastHashMap<Value, Vec<f64>>>,
+    /// Per feature: per-class `ln P(x|c)` for values never seen in training.
+    log_unseen: Vec<Vec<f64>>,
 }
 
 impl NaiveBayes {
     /// Trains a classifier for `target` using `features`, from all sample
     /// tuples whose target value is non-null.
+    ///
+    /// Counting runs over the relation's interned columns: class and
+    /// feature occurrences accumulate into dense `u32`-indexed tables (no
+    /// per-row `Value` hashing), which are converted back to the value-keyed
+    /// tables prediction uses. All counts are exact integer sums of `1.0`,
+    /// so the trained model is bit-identical to row-at-a-time counting.
     pub fn train(sample: &Relation, target: AttrId, features: Vec<AttrId>, m: f64) -> Self {
         assert!(m >= 0.0, "m-estimate weight must be non-negative");
         assert!(!features.contains(&target), "target cannot be a feature");
 
+        let columnar = sample.columnar();
+        let dict = columnar.dict();
+        let n_ids = dict.len();
+        let target_col = columnar.column(target);
+        let feature_cols: Vec<&[qpiad_db::ValueId]> =
+            features.iter().map(|f| columnar.column(*f)).collect();
+
+        // Classes in first-appearance order of non-null target values.
+        const UNSEEN: u32 = u32::MAX;
+        let mut vid_to_class = vec![UNSEEN; n_ids];
         let mut classes: Vec<Value> = Vec::new();
-        let mut class_index: HashMap<Value, usize> = HashMap::new();
-        for t in sample.tuples() {
-            let v = t.value(target);
-            if !v.is_null() && !class_index.contains_key(v) {
-                class_index.insert(v.clone(), classes.len());
-                classes.push(v.clone());
+        for &vid in target_col {
+            if !vid.is_null() && vid_to_class[vid.index()] == UNSEEN {
+                vid_to_class[vid.index()] = classes.len() as u32;
+                classes.push(dict.resolve(vid).clone());
+            }
+        }
+        let k = classes.len();
+        let class_index: FastHashMap<Value, usize> =
+            classes.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+
+        let mut class_counts = vec![0f64; k];
+        let mut total = 0f64;
+        // Per feature: per-class counts keyed by value id, allocated on
+        // first occurrence (same footprint as the value-keyed table, minus
+        // the hashing).
+        let mut by_vid: Vec<Vec<Option<Vec<f64>>>> =
+            features.iter().map(|_| vec![None; n_ids]).collect();
+        for (row, &tvid) in target_col.iter().enumerate() {
+            if tvid.is_null() {
+                continue; // null target: not a training example
+            }
+            let c = vid_to_class[tvid.index()] as usize;
+            total += 1.0;
+            class_counts[c] += 1.0;
+            for (fi, col) in feature_cols.iter().enumerate() {
+                let fvid = col[row];
+                if fvid.is_null() {
+                    continue;
+                }
+                by_vid[fi][fvid.index()].get_or_insert_with(|| vec![0f64; k])[c] += 1.0;
             }
         }
 
-        let mut class_counts = vec![0f64; classes.len()];
-        let mut cond: Vec<HashMap<Value, Vec<f64>>> =
-            features.iter().map(|_| HashMap::new()).collect();
-        let mut total = 0f64;
-        for t in sample.tuples() {
-            let target_v = t.value(target);
-            let Some(&c) = class_index.get(target_v) else {
-                continue; // null target: not a training example
-            };
-            total += 1.0;
-            class_counts[c] += 1.0;
-            for (fi, f) in features.iter().enumerate() {
-                let fv = t.value(*f);
-                if fv.is_null() {
-                    continue;
-                }
-                cond[fi]
-                    .entry(fv.clone())
-                    .or_insert_with(|| vec![0f64; classes.len()])[c] += 1.0;
-            }
-        }
-        let domain_size = cond.iter().map(|map| map.len().max(1)).collect();
+        // Re-key onto values: a (feature value, class) row exists iff the
+        // value co-occurred with a non-null target at least once — exactly
+        // the entries the row-at-a-time counter would have created.
+        let cond: Vec<FastHashMap<Value, Vec<f64>>> = by_vid
+            .into_iter()
+            .map(|counts| {
+                counts
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(vid, row)| {
+                        row.map(|r| (dict.resolve(qpiad_db::ValueId(vid as u32)).clone(), r))
+                    })
+                    .collect()
+            })
+            .collect();
+        let domain_size: Vec<usize> = cond.iter().map(|map| map.len().max(1)).collect();
+
+        // Precompute the log-space tables the posterior walks. The smoothed
+        // probabilities below are the exact expressions `posterior_of` used
+        // to evaluate per call, so the posteriors are bit-identical — the
+        // `ln` calls just move from prediction time to training time.
+        let log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|n_c| ((n_c + 1.0) / (total + k as f64)).ln())
+            .collect();
+        let smoothed = |n_xc: f64, c: usize, p_uniform: f64| -> f64 {
+            let p = (n_xc + m * p_uniform) / (class_counts[c] + m);
+            // With m = 0 and unseen pairs the likelihood is 0; clamp to
+            // keep log-space finite and let normalization handle it.
+            p.max(1e-300).ln()
+        };
+        let log_cond: Vec<FastHashMap<Value, Vec<f64>>> = cond
+            .iter()
+            .enumerate()
+            .map(|(fi, map)| {
+                let p_uniform = 1.0 / domain_size[fi] as f64;
+                map.iter()
+                    .map(|(v, counts)| {
+                        let logs = (0..k).map(|c| smoothed(counts[c], c, p_uniform)).collect();
+                        (v.clone(), logs)
+                    })
+                    .collect()
+            })
+            .collect();
+        let log_unseen: Vec<Vec<f64>> = domain_size
+            .iter()
+            .map(|ds| {
+                let p_uniform = 1.0 / *ds as f64;
+                (0..k).map(|c| smoothed(0.0, c, p_uniform)).collect()
+            })
+            .collect();
+
         NaiveBayes {
             target,
             features,
             classes,
             class_index,
-            class_counts,
             total,
-            cond,
-            domain_size,
-            m,
+            log_prior,
+            log_cond,
+            log_unseen,
         }
     }
 
@@ -132,47 +201,47 @@ impl NaiveBayes {
     /// Posterior distribution from explicit feature values (in the order of
     /// [`Self::features`]).
     pub fn distribution_of(&self, feature_values: &[&Value]) -> Vec<(Value, f64)> {
+        self.classes
+            .iter()
+            .cloned()
+            .zip(self.posterior_of(feature_values))
+            .collect()
+    }
+
+    /// Class-indexed posterior (aligned with [`Self::classes`]) — the
+    /// allocation-light core of every prediction: no per-class `Value`
+    /// clones, which matters when the rewrite generator scores hundreds of
+    /// determining-set combinations per plan.
+    pub fn posterior_of(&self, feature_values: &[&Value]) -> Vec<f64> {
         assert_eq!(feature_values.len(), self.features.len());
         let k = self.classes.len();
         if k == 0 {
             return Vec::new();
         }
         if self.total == 0.0 {
-            let u = 1.0 / k as f64;
-            return self.classes.iter().map(|c| (c.clone(), u)).collect();
+            return vec![1.0 / k as f64; k];
         }
 
-        let mut log_scores = vec![0f64; k];
-        for (c, score) in log_scores.iter_mut().enumerate() {
-            // Smoothed prior.
-            *score = ((self.class_counts[c] + 1.0) / (self.total + k as f64)).ln();
-        }
+        let mut log_scores = self.log_prior.clone();
         for (fi, fv) in feature_values.iter().enumerate() {
             if fv.is_null() {
                 continue;
             }
-            let p_uniform = 1.0 / self.domain_size[fi] as f64;
-            let counts = self.cond[fi].get(*fv);
-            for (c, score) in log_scores.iter_mut().enumerate() {
-                let n_xc = counts.map(|v| v[c]).unwrap_or(0.0);
-                let p = (n_xc + self.m * p_uniform) / (self.class_counts[c] + self.m);
-                // With m = 0 and unseen pairs the likelihood is 0; clamp to
-                // keep log-space finite and let normalization handle it.
-                *score += p.max(1e-300).ln();
+            let logs = self.log_cond[fi].get(*fv).unwrap_or(&self.log_unseen[fi]);
+            for (score, lp) in log_scores.iter_mut().zip(logs) {
+                *score += lp;
             }
         }
         // Normalize via log-sum-exp.
         let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut exp: Vec<f64> = log_scores.iter().map(|s| (s - max).exp()).collect();
-        let sum: f64 = exp.iter().sum();
-        for e in &mut exp {
+        for s in &mut log_scores {
+            *s = (*s - max).exp();
+        }
+        let sum: f64 = log_scores.iter().sum();
+        for e in &mut log_scores {
             *e /= sum;
         }
-        self.classes
-            .iter()
-            .cloned()
-            .zip(exp)
-            .collect()
+        log_scores
     }
 
     /// The most likely class for a tuple, with its probability.
@@ -185,24 +254,125 @@ impl NaiveBayes {
     /// Probability that the (missing) target value satisfies the given
     /// predicate operator: `Σ_{v ⊨ op} P(Am = v | tuple)`.
     pub fn prob_matching(&self, tuple: &Tuple, op: &PredOp) -> f64 {
-        self.distribution(tuple)
+        let feature_values: Vec<&Value> =
+            self.features.iter().map(|f| tuple.value(*f)).collect();
+        self.posterior_of(&feature_values)
             .into_iter()
-            .filter(|(v, _)| op.matches(v))
-            .map(|(_, p)| p)
+            .zip(self.classes.iter())
+            .filter(|(_, v)| op.matches(v))
+            .map(|(p, _)| p)
             .sum()
+    }
+
+    /// Like [`Self::prob_matching`], reading evidence from a full-arity row
+    /// of values (indexed by attribute) without materializing a tuple —
+    /// the rewrite generator scores hundreds of determining-set
+    /// combinations per plan through this path.
+    pub fn prob_matching_row(&self, row: &[Value], op: &PredOp) -> f64 {
+        let feature_values: Vec<&Value> =
+            self.features.iter().map(|f| &row[f.index()]).collect();
+        self.posterior_of(&feature_values)
+            .into_iter()
+            .zip(self.classes.iter())
+            .filter(|(_, v)| op.matches(v))
+            .map(|(p, _)| p)
+            .sum()
+    }
+
+    /// A reusable scorer over one evidence row for repeated
+    /// [`Self::prob_matching_row`]-style evaluations that differ in only a
+    /// few feature slots — the rewrite generator re-scores one evidence
+    /// template per determining-set combination. Fixed features resolve
+    /// their log-likelihood table once here; [`RowScorer::set`] re-resolves
+    /// just the overwritten slot.
+    pub fn row_scorer(&self, row: &[Value]) -> RowScorer<'_> {
+        let tables = self
+            .features
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| self.table_for(fi, &row[f.index()]))
+            .collect();
+        RowScorer { nbc: self, tables, scratch: Vec::with_capacity(self.classes.len()) }
+    }
+
+    /// The per-class log-likelihood row feature `fi` contributes for value
+    /// `v`: `None` for null (no evidence), the unseen-value row when the
+    /// value never co-occurred with a non-null target in training.
+    fn table_for(&self, fi: usize, v: &Value) -> Option<&[f64]> {
+        if v.is_null() {
+            None
+        } else {
+            Some(self.log_cond[fi].get(v).unwrap_or(&self.log_unseen[fi]).as_slice())
+        }
     }
 
     /// `P(Am = value | tuple)` (0 for classes never observed).
     pub fn prob_of(&self, tuple: &Tuple, value: &Value) -> f64 {
         match self.class_index.get(value) {
-            Some(_) => self
-                .distribution(tuple)
-                .into_iter()
-                .find(|(v, _)| v == value)
-                .map(|(_, p)| p)
-                .unwrap_or(0.0),
+            Some(&c) => {
+                let feature_values: Vec<&Value> =
+                    self.features.iter().map(|f| tuple.value(*f)).collect();
+                self.posterior_of(&feature_values).get(c).copied().unwrap_or(0.0)
+            }
             None => 0.0,
         }
+    }
+}
+
+/// See [`NaiveBayes::row_scorer`]. Evaluation walks the same resolved
+/// tables in the same feature order as [`NaiveBayes::posterior_of`], so a
+/// scorer whose slots hold the values of a row produces bit-identical
+/// probabilities to [`NaiveBayes::prob_matching_row`] on that row.
+pub struct RowScorer<'a> {
+    nbc: &'a NaiveBayes,
+    /// Per feature: the resolved per-class log-likelihood row, `None` when
+    /// the feature value is null (no evidence).
+    tables: Vec<Option<&'a [f64]>>,
+    /// Reused accumulator — no allocation per evaluation.
+    scratch: Vec<f64>,
+}
+
+impl RowScorer<'_> {
+    /// Overwrites the evidence slot of the feature carrying `attr` (no-op
+    /// when `attr` is not a feature of this classifier).
+    pub fn set(&mut self, attr: AttrId, v: &Value) {
+        for fi in 0..self.nbc.features.len() {
+            if self.nbc.features[fi] == attr {
+                self.tables[fi] = self.nbc.table_for(fi, v);
+            }
+        }
+    }
+
+    /// Probability that the missing target value satisfies `op` given the
+    /// current evidence slots.
+    pub fn prob_matching(&mut self, op: &PredOp) -> f64 {
+        let nbc = self.nbc;
+        let k = nbc.classes.len();
+        if k == 0 {
+            return 0.0;
+        }
+        if nbc.total == 0.0 {
+            let uniform = 1.0 / k as f64;
+            return nbc.classes.iter().filter(|v| op.matches(v)).map(|_| uniform).sum();
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&nbc.log_prior);
+        for table in self.tables.iter().flatten() {
+            for (score, lp) in self.scratch.iter_mut().zip(*table) {
+                *score += lp;
+            }
+        }
+        let max = self.scratch.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for s in &mut self.scratch {
+            *s = (*s - max).exp();
+        }
+        let sum: f64 = self.scratch.iter().sum();
+        self.scratch
+            .iter()
+            .zip(nbc.classes.iter())
+            .filter(|(_, v)| op.matches(v))
+            .map(|(e, _)| *e / sum)
+            .sum()
     }
 }
 

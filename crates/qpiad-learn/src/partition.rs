@@ -28,20 +28,21 @@ pub struct StrippedPartition {
 impl StrippedPartition {
     /// Builds the partition induced by a single attribute's column.
     ///
-    /// Rows with null values become (stripped) singletons.
+    /// Rows with null values become (stripped) singletons. Grouping runs
+    /// over the relation's interned column — rows bucket by dense value id,
+    /// no value hashing — with the same output as value-keyed grouping
+    /// (classes ascending within, sorted by first row).
     pub fn from_column(relation: &Relation, attr: AttrId) -> Self {
-        let mut groups: HashMap<&qpiad_db::Value, Vec<u32>> = HashMap::new();
-        for (row, t) in relation.tuples().iter().enumerate() {
-            let v = t.value(attr);
-            if v.is_null() {
+        let columnar = relation.columnar();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); columnar.dict().len()];
+        for (row, vid) in columnar.column(attr).iter().enumerate() {
+            if vid.is_null() {
                 continue;
             }
-            groups.entry(v).or_default().push(row as u32);
+            buckets[vid.index()].push(row as u32);
         }
-        let mut classes: Vec<Vec<u32>> = groups
-            .into_values()
-            .filter(|c| c.len() >= 2)
-            .collect();
+        let mut classes: Vec<Vec<u32>> =
+            buckets.into_iter().filter(|c| c.len() >= 2).collect();
         classes.sort_by_key(|c| c[0]);
         StrippedPartition { n_rows: relation.len(), classes }
     }

@@ -13,12 +13,20 @@
 //! the fraction of incomplete tuples — only incomplete tuples can become
 //! possible answers after the post-filter.
 
-use qpiad_db::{Relation, SelectQuery};
+use std::sync::Arc;
+
+use qpiad_db::{Relation, SelectQuery, SelectionEngine};
 
 /// Selectivity estimator for one source.
+///
+/// Rewrite generation probes the sample with one cardinality query per
+/// candidate rewrite — the single hottest loop of cold planning — so the
+/// estimator answers through a shared posting-list [`SelectionEngine`]
+/// instead of scanning the sample per probe.
 #[derive(Debug, Clone)]
 pub struct SelectivityEstimator {
     sample: Relation,
+    engine: Arc<SelectionEngine>,
     smpl_ratio: f64,
     per_inc: f64,
 }
@@ -28,7 +36,12 @@ impl SelectivityEstimator {
     pub fn new(sample: Relation, smpl_ratio: f64, per_inc: f64) -> Self {
         assert!(smpl_ratio > 0.0, "sample ratio must be positive");
         assert!((0.0..=1.0).contains(&per_inc), "PerInc must be a fraction");
-        SelectivityEstimator { sample, smpl_ratio, per_inc }
+        SelectivityEstimator {
+            sample,
+            engine: Arc::new(SelectionEngine::new()),
+            smpl_ratio,
+            per_inc,
+        }
     }
 
     /// Builds an estimator when the database size is known exactly (the
@@ -58,9 +71,17 @@ impl SelectivityEstimator {
         self.per_inc
     }
 
-    /// `SmplSel(Q)` — the query's cardinality on the sample.
+    /// `SmplSel(Q)` — the query's cardinality on the sample, answered
+    /// through the shared posting-list index (identical to
+    /// [`Relation::count`] by the engine's scan-equivalence contract).
     pub fn sample_cardinality(&self, q: &SelectQuery) -> usize {
-        self.sample.count(q)
+        self.engine.count(&self.sample, q)
+    }
+
+    /// The sample tuples certainly matching `q`, in sample order, served
+    /// through the same posting-list index as [`Self::sample_cardinality`].
+    pub fn sample_matches(&self, q: &SelectQuery) -> Vec<qpiad_db::Tuple> {
+        self.engine.select(&self.sample, q)
     }
 
     /// Estimated number of tuples `Q` returns from the full database.

@@ -199,11 +199,85 @@ impl ValuePredictor {
     /// Probability that the missing value of `attr` satisfies the predicate
     /// operator.
     pub fn prob_matching(&self, attr: AttrId, tuple: &Tuple, op: &PredOp) -> f64 {
-        self.distribution(attr, tuple)
-            .into_iter()
-            .filter(|(v, _)| op.matches(v))
-            .map(|(_, p)| p)
-            .sum()
+        match self.per_attr.get(&attr) {
+            None => 0.0,
+            // Same classes summed in the same order as the distribution
+            // path, minus its per-class `Value` clones.
+            Some(AttrPredictor::Single { nbc, .. }) => nbc.prob_matching(tuple, op),
+            Some(AttrPredictor::Ensemble(_)) => self
+                .distribution(attr, tuple)
+                .into_iter()
+                .filter(|(v, _)| op.matches(v))
+                .map(|(_, p)| p)
+                .sum(),
+        }
+    }
+
+    /// Like [`Self::prob_matching`], reading evidence from a full-arity row
+    /// of values (indexed by attribute) without materializing a tuple.
+    pub fn prob_matching_row(&self, attr: AttrId, row: &[Value], op: &PredOp) -> f64 {
+        match self.per_attr.get(&attr) {
+            None => 0.0,
+            Some(AttrPredictor::Single { nbc, .. }) => nbc.prob_matching_row(row, op),
+            Some(AttrPredictor::Ensemble(_)) => {
+                let tuple = Tuple::new(qpiad_db::TupleId(u32::MAX), row.to_vec());
+                self.prob_matching(attr, &tuple, op)
+            }
+        }
+    }
+
+    /// A reusable scorer for `attr`, seeded with `row` as evidence. Call
+    /// [`RowMatcher::set`] to overwrite one evidence slot, then
+    /// [`RowMatcher::prob_matching`] — probabilities are bit-identical to
+    /// [`Self::prob_matching_row`] on the equivalent row, but a `set` only
+    /// re-resolves the one feature it touched instead of every feature.
+    pub fn row_matcher(&self, attr: AttrId, row: &[Value]) -> RowMatcher<'_> {
+        match self.per_attr.get(&attr) {
+            None => RowMatcher::None,
+            Some(AttrPredictor::Single { nbc, .. }) => RowMatcher::Single(nbc.row_scorer(row)),
+            Some(AttrPredictor::Ensemble(_)) => RowMatcher::Ensemble {
+                predictor: self,
+                attr,
+                row: row.to_vec(),
+            },
+        }
+    }
+}
+
+/// See [`ValuePredictor::row_matcher`].
+pub enum RowMatcher<'a> {
+    /// No predictor trained for the attribute.
+    None,
+    /// Single-NBC fast path with cached log-likelihood tables.
+    Single(crate::nbc::RowScorer<'a>),
+    /// Ensemble predictors keep the materialized row and re-evaluate fully.
+    Ensemble {
+        predictor: &'a ValuePredictor,
+        attr: AttrId,
+        row: Vec<Value>,
+    },
+}
+
+impl RowMatcher<'_> {
+    /// Overwrites the evidence value of one attribute.
+    pub fn set(&mut self, attr: AttrId, v: &Value) {
+        match self {
+            RowMatcher::None => {}
+            RowMatcher::Single(scorer) => scorer.set(attr, v),
+            RowMatcher::Ensemble { row, .. } => row[attr.index()] = v.clone(),
+        }
+    }
+
+    /// Probability that the missing target value satisfies `op` under the
+    /// current evidence.
+    pub fn prob_matching(&mut self, op: &PredOp) -> f64 {
+        match self {
+            RowMatcher::None => 0.0,
+            RowMatcher::Single(scorer) => scorer.prob_matching(op),
+            RowMatcher::Ensemble { predictor, attr, row } => {
+                predictor.prob_matching_row(*attr, row, op)
+            }
+        }
     }
 }
 

@@ -171,6 +171,50 @@ fn network_answers_identically_at_any_thread_count() {
 }
 
 #[test]
+fn interned_retrieval_replays_identically_at_any_thread_count() {
+    // A query mix that drives every posting-list regime of the interned
+    // storage engine: a selective equality (sparse lists — gallop), a broad
+    // equality (dense lists — bitset), a range over the numeric dictionary,
+    // and a conjunction that intersects across regimes. Answers must replay
+    // byte-identically whatever the worker-pool size.
+    let _pin = PinnedPool::acquire();
+    let (ed, stats) = cars_fixture();
+    let schema = ed.schema();
+    let body = schema.expect_attr("body_style");
+    let model = schema.expect_attr("model");
+    let year = schema.expect_attr("year");
+    let price = schema.expect_attr("price");
+    let queries = [
+        SelectQuery::new(vec![Predicate::eq(model, "Solara")]),
+        SelectQuery::new(vec![Predicate::eq(body, "Sedan")]),
+        SelectQuery::new(vec![Predicate::between(price, 10_000i64, 25_000i64)]),
+        SelectQuery::new(vec![
+            Predicate::eq(body, "Coupe"),
+            Predicate::between(year, 2000i64, 2004i64),
+        ]),
+    ];
+
+    let mut signatures = Vec::new();
+    for threads in [1usize, 8] {
+        par::set_thread_override(Some(threads));
+        let source = WebSource::new("cars.com", ed.clone());
+        let qpiad = Qpiad::new(stats.clone(), QpiadConfig::default().with_k(10));
+        let mut sig: Vec<String> = Vec::new();
+        for query in &queries {
+            let answer = qpiad.answer(&source, query).expect("source accepts rewrites");
+            sig.push(format!("{query:?}"));
+            sig.extend(answer_signature(&answer));
+        }
+        assert!(
+            sig.iter().any(|s| s.starts_with("possible")),
+            "fixture must exercise rewriting"
+        );
+        signatures.push(sig);
+    }
+    assert_eq!(signatures[0], signatures[1]);
+}
+
+#[test]
 fn tane_discovers_identical_afds_at_any_thread_count() {
     let _pin = PinnedPool::acquire();
     let ground = CarsConfig::default().with_rows(4_000).generate(61);

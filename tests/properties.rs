@@ -348,6 +348,107 @@ proptest! {
     }
 }
 
+/// A two-column relation mixing a categorical and a numeric column, with
+/// nulls in both — the shape `Between` and conjunctive predicates see.
+fn mixed_relation() -> impl Strategy<Value = Relation> {
+    let cat = prop_oneof![
+        3 => (0u8..4).prop_map(|v| Value::str(format!("x{v}"))),
+        1 => Just(Value::Null),
+    ];
+    let num = prop_oneof![
+        3 => (0i64..40).prop_map(Value::int),
+        1 => Just(Value::Null),
+    ];
+    proptest::collection::vec((cat, num), 1..60).prop_map(|rows| {
+        let schema = Schema::of(
+            "m",
+            &[("cat", AttrType::Categorical), ("num", AttrType::Integer)],
+        );
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| Tuple::new(TupleId(i as u32), vec![a, b]))
+            .collect();
+        Relation::new(schema, tuples)
+    })
+}
+
+proptest! {
+    /// Posting-list retrieval over the interned columns must agree with the
+    /// naive tuple scan for every operator the planner emits — ranges and
+    /// conjunctions included, across the dense-bitset/gallop/merge regimes
+    /// the list sizes happen to select.
+    #[test]
+    fn selection_engine_equals_scan_with_ranges(
+        r in mixed_relation(),
+        a in 0u8..4,
+        lo in 0i64..40,
+        width in 0i64..20,
+    ) {
+        let engine = qpiad::db::SelectionEngine::new();
+        let queries = [
+            SelectQuery::new(vec![Predicate::between(AttrId(1), lo, lo + width)]),
+            SelectQuery::new(vec![
+                Predicate::eq(AttrId(0), Value::str(format!("x{a}"))),
+                Predicate::between(AttrId(1), lo, lo + width),
+            ]),
+            SelectQuery::new(vec![
+                Predicate::is_null(AttrId(0)),
+                Predicate::between(AttrId(1), lo, lo + width),
+            ]),
+        ];
+        for q in &queries {
+            prop_assert_eq!(engine.select(&r, q), r.select(q));
+            prop_assert_eq!(engine.count(&r, q), r.count(q));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary interning laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Interning any value sequence round-trips through `resolve`, nulls
+    /// always land on the reserved id 0, equal values share one id, and a
+    /// relation's columnar image agrees cell-for-cell with its tuples.
+    #[test]
+    fn dictionary_intern_resolve_round_trips(
+        values in proptest::collection::vec(arb_value(), 0..80)
+    ) {
+        use qpiad::db::{Dictionary, ValueId};
+        let mut dict = Dictionary::new();
+        let ids: Vec<ValueId> = values.iter().map(|v| dict.intern(v)).collect();
+        let mut first_id: std::collections::HashMap<&Value, ValueId> =
+            std::collections::HashMap::new();
+        for (v, id) in values.iter().zip(&ids) {
+            prop_assert_eq!(dict.resolve(*id), v);
+            prop_assert_eq!(id.is_null(), v.is_null());
+            if v.is_null() {
+                prop_assert_eq!(*id, ValueId::NULL);
+            }
+            // One id per distinct value, stable across re-interning.
+            prop_assert_eq!(*first_id.entry(v).or_insert(*id), *id);
+            prop_assert_eq!(dict.lookup(v), Some(*id));
+        }
+    }
+
+    /// The columnar image built at relation construction resolves back to
+    /// exactly the row-major tuple values.
+    #[test]
+    fn columnar_image_matches_tuples(r in mixed_relation()) {
+        let columnar = r.columnar();
+        prop_assert_eq!(columnar.n_rows(), r.len());
+        prop_assert_eq!(columnar.arity(), r.schema().arity());
+        for (row, t) in r.tuples().iter().enumerate() {
+            for a in 0..r.schema().arity() {
+                let vid = columnar.vid_at(row, AttrId(a));
+                prop_assert_eq!(columnar.dict().resolve(vid), t.value(AttrId(a)));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // CSV round-trips arbitrary relations
 // ---------------------------------------------------------------------------
