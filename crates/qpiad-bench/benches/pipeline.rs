@@ -4,7 +4,8 @@
 //! `Qpiad::answer`, multi-source `MediatorNetwork::answer`, the
 //! fault-injected network, the breaker-guarded faulted network, the
 //! knowledge lifecycle (snapshot persist + store load + drift-watched
-//! answer), and a 1M-row cold-answer scale probe — at
+//! answer), the concurrent serving front end (`qpiad-serve` with request
+//! coalescing), and a 1M-row cold-answer scale probe — at
 //! `bench_scale()` with the worker pool pinned to 1 thread and then to the
 //! machine's hardware parallelism, and writes the timings to
 //! `BENCH_pipeline.json` at the repository root.
@@ -33,6 +34,7 @@ use qpiad_learn::drift::{DriftConfig, DriftRegistry};
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
 use qpiad_learn::persist::StatsSnapshot;
 use qpiad_learn::store::KnowledgeStore;
+use qpiad_serve::{QpiadServer, Tenant};
 
 struct Run {
     name: &'static str,
@@ -247,6 +249,43 @@ fn main() {
         }));
     }
 
+    // Serving stage: a `QpiadServer` over the two-member network, driven
+    // by caller threads replaying the same duplicate-heavy template mix —
+    // callers racing on one template coalesce onto a single mediation pass
+    // and share one source fan-out. The thread knob pins callers and the
+    // worker pool together (a deployment scales both with the core count),
+    // so the single-caller pass is the serial baseline and the speedup
+    // folds in both parallel mediation and coalescing.
+    let serve_requests = if quick { 4 } else { 16 };
+    let serve_styles = ["Convt", "Sedan", "Coupe", "Truck"];
+    let serve_hit_rate = std::cell::Cell::new(0.0_f64);
+    for threads in [1usize, par_threads] {
+        runs.push(time("serve", threads, reps, || {
+            let network =
+                MediatorNetwork::new(world.ed.schema().clone(), QpiadConfig::default().with_k(10))
+                    .add_supporting(&source, world.stats.clone())
+                    .add_deficient(&yahoo);
+            let server = QpiadServer::new(network);
+            server.register(Tenant::interactive("bench"));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        for round in 0..serve_requests {
+                            let style = serve_styles[round % serve_styles.len()];
+                            let q = SelectQuery::new(vec![Predicate::eq(body, style)]);
+                            let ans = server.query("bench", &q).expect("serving never aborts");
+                            assert!(ans.possible_count() > 0);
+                        }
+                    });
+                }
+            });
+            let m = server.metrics();
+            assert_eq!(m.admitted, threads * serve_requests);
+            assert_eq!(m.leaders + m.coalesced, m.admitted);
+            serve_hit_rate.set(m.coalesce_hit_rate());
+        }));
+    }
+
     // Scale stage, isolated at the end: a 1M-row corrupted source
     // (dictionary + columnar image built once at `Relation` construction,
     // untimed) with knowledge mined from a small sample. Built only after
@@ -319,6 +358,25 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Serving throughput: requests per wall second at each caller count,
+    // plus the coalesce hit rate observed on the concurrent pass. The
+    // concurrent pass serves `par_threads`× as many requests as the serial
+    // one, so the meaningful scaling figure is the throughput ratio, not
+    // the wall-time ratio the `speedups` block uses for the other stages.
+    let serve_throughput_scaling = {
+        let serial = runs.iter().find(|r| r.name == "serve" && r.threads == 1).unwrap();
+        let conc = runs.iter().find(|r| r.name == "serve" && r.threads != 1).unwrap();
+        let qps_serial = serve_requests as f64 / serial.secs_min;
+        let qps_concurrent = (par_threads * serve_requests) as f64 / conc.secs_min;
+        json.push_str(&format!(
+            "  \"serve\": {{ \"callers\": {par_threads}, \"requests_per_caller\": {serve_requests}, \
+             \"throughput_qps_serial\": {qps_serial:.1}, \
+             \"throughput_qps_concurrent\": {qps_concurrent:.1}, \
+             \"coalesce_hit_rate\": {:.3} }},\n",
+            serve_hit_rate.get()
+        ));
+        qps_concurrent / qps_serial
+    };
     // The plan cache's win is warm-over-cold at the same thread count, not
     // a thread-scaling ratio: planning is sequential either way.
     let plan_cache_speedup = {
@@ -332,7 +390,8 @@ fn main() {
         "  \"speedups\": {{{unreliable_field} \"mine\": {:.3}, \"answer\": {:.3}, \
          \"network\": {:.3}, \"faulted\": {:.3}, \"breakered\": {:.3}, \
          \"knowledge\": {:.3}, \"scale_1m\": {:.3}, \
-         \"plan_cache_warm_over_cold\": {:.3} }},\n",
+         \"plan_cache_warm_over_cold\": {:.3}, \
+         \"serve_throughput_scaling\": {serve_throughput_scaling:.3} }},\n",
         speedup("mine"),
         speedup("answer"),
         speedup("network"),

@@ -551,9 +551,15 @@ impl Qpiad {
             .map(|c| c.scored.clone())
             .collect();
         rescore(&mut issuable, self.config.alpha);
+        // Pair positionally with `zip`-style exhaustion instead of an
+        // `expect`: rescoring is in-place and length-preserving, but a
+        // serving process must degrade (keep the pre-rescore score) rather
+        // than abort if that invariant is ever violated.
         let mut rescored = issuable.into_iter();
         for c in candidates.iter_mut().filter(|c| c.supported) {
-            c.scored = rescored.next().expect("one rescored entry per supported candidate");
+            if let Some(scored) = rescored.next() {
+                c.scored = scored;
+            }
         }
         candidates
     }

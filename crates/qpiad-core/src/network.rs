@@ -49,7 +49,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use qpiad_db::health::{
-    BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation, QueryBudget,
+    install_clock, BreakerProbe, BreakerState, BreakerView, HealthRegistry, MediationClock,
+    Observation, QueryBudget,
 };
 use qpiad_db::par;
 use qpiad_db::{
@@ -234,6 +235,11 @@ pub struct MediatorNetwork<'a> {
     /// (which also counts drift demotions) for the cache key, so a re-mine
     /// or a drift verdict silently orphans the member's cached plans.
     versions: KnowledgeVersionClock,
+    /// Network-scoped mediation clock, installed around every pass so
+    /// retry backoff and injected latency sleep on *this* network's clock
+    /// rather than the process-global shim. `None` defers to whatever
+    /// clock the calling thread (or the process fallback) provides.
+    clock: Option<Arc<MediationClock>>,
 }
 
 impl<'a> MediatorNetwork<'a> {
@@ -248,7 +254,22 @@ impl<'a> MediatorNetwork<'a> {
             hedging: true,
             plan_cache: None,
             versions: KnowledgeVersionClock::new(),
+            clock: None,
         }
+    }
+
+    /// Attaches a network-scoped [`MediationClock`]. Every answer and
+    /// EXPLAIN pass installs it for the pass's duration (fan-out workers
+    /// inherit it), so concurrent callers against *other* networks can
+    /// never warp this network's backoff or injected-latency accounting.
+    pub fn with_clock(mut self, clock: Arc<MediationClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The attached mediation clock, if any.
+    pub fn clock(&self) -> Option<&Arc<MediationClock>> {
+        self.clock.as_ref()
     }
 
     /// Attaches a circuit-breaker registry. Breaker state persists across
@@ -300,6 +321,37 @@ impl<'a> MediatorNetwork<'a> {
     pub fn member_knowledge_version(&self, name: &str) -> u64 {
         let drift = self.drift.as_ref().map(|d| d.knowledge_version(name)).unwrap_or(0);
         drift + self.versions.current(name)
+    }
+
+    /// The global mediated schema.
+    pub fn global_schema(&self) -> &Arc<Schema> {
+        &self.global
+    }
+
+    /// The registered members' source names, in registration order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.source.name()).collect()
+    }
+
+    /// A snapshot of every member's access meter, in registration order.
+    /// The serving layer's metrics surface reads these without resetting.
+    pub fn member_meters(&self) -> Vec<(String, SourceMeter)> {
+        self.members
+            .iter()
+            .map(|m| (m.source.name().to_string(), m.source.meter()))
+            .collect()
+    }
+
+    /// A single scalar summarizing the network's knowledge state: the sum
+    /// of every member's [`Self::member_knowledge_version`]. Any re-mine
+    /// or drift demotion moves it, so two passes with equal epochs planned
+    /// against identical knowledge — the serving layer keys request
+    /// coalescing on it.
+    pub fn knowledge_epoch(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| self.member_knowledge_version(m.source.name()))
+            .sum()
     }
 
     /// The attached health registry, if any.
@@ -934,6 +986,9 @@ impl<'a> MediatorNetwork<'a> {
         query: &SelectQuery,
         budget: QueryBudget,
     ) -> Result<NetworkAnswer, SourceError> {
+        // Scope every sleep in this pass (retry backoff, injected latency)
+        // to the network's own clock; fan-out workers inherit it via `par`.
+        let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
         // Sequential pre-pass: tick the pass clock (half-opening cooled
         // breakers), snapshot views, pick hedge partners, snapshot each
         // member's drift state (an empty pass-local probe plus the
@@ -1050,6 +1105,7 @@ impl<'a> MediatorNetwork<'a> {
     /// as per-entry skip reasons.
     pub fn explain(&self, query: &SelectQuery) -> String {
         use std::fmt::Write as _;
+        let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
         let views: Vec<BreakerView> = self
             .members
             .iter()

@@ -46,7 +46,10 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
 use qpiad_db::validate::query_validated;
@@ -578,15 +581,41 @@ struct PlanKey {
 /// from the replaced knowledge. Hits and misses are metered per source
 /// ([`qpiad_db::SourceMeter::plan_cache_hits`] /
 /// [`qpiad_db::SourceMeter::plan_cache_misses`]).
-#[derive(Debug, Default)]
+///
+/// # Concurrency
+///
+/// The map is split into [`PLAN_CACHE_SHARDS`] shards selected by key
+/// hash, each behind its own `parking_lot::Mutex`: concurrent lookups for
+/// different templates proceed without contending, and a panicking caller
+/// can never poison the cache for everyone else (`parking_lot` mutexes do
+/// not poison). Two threads racing to fill the same cold key both compute
+/// the candidates; last insert wins, and both handles are valid — the
+/// lists are deterministic functions of the key.
+#[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<HashMap<PlanKey, Arc<Vec<PlanCandidate>>>>,
+    shards: [Mutex<HashMap<PlanKey, Arc<Vec<PlanCandidate>>>>; PLAN_CACHE_SHARDS],
+}
+
+/// Shard count for [`PlanCache`]; a power of two so shard selection is a
+/// mask of the key hash.
+pub const PLAN_CACHE_SHARDS: usize = 16;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
 }
 
 impl PlanCache {
     /// An empty cache.
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<HashMap<PlanKey, Arc<Vec<PlanCandidate>>>> {
+        let mut hasher = qpiad_db::FxHasher::default();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (PLAN_CACHE_SHARDS - 1)]
     }
 
     /// The cached candidate list for the key, if present.
@@ -605,7 +634,7 @@ impl PlanCache {
             alpha_bits: alpha.to_bits(),
             k,
         };
-        self.inner.lock().expect("plan cache poisoned").get(&key).cloned()
+        self.shard(&key).lock().get(&key).cloned()
     }
 
     /// Inserts a candidate list and returns the shared handle.
@@ -626,16 +655,13 @@ impl PlanCache {
             k,
         };
         let arc = Arc::new(candidates);
-        self.inner
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, Arc::clone(&arc));
+        self.shard(&key).lock().insert(key, Arc::clone(&arc));
         arc
     }
 
     /// Number of cached candidate lists.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// `true` iff nothing is cached.

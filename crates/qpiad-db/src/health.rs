@@ -44,8 +44,10 @@
 //! Cross-thread interleavings therefore cannot influence any breaker,
 //! hedge, or budget decision.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -56,13 +58,104 @@ use crate::fault::RetryPolicy;
 // Logical time
 // ---------------------------------------------------------------------------
 
+/// An injectable clock for everything on the mediation path that sleeps
+/// (retry backoff, injected latency).
+///
+/// A `MediationClock` is either a **wall** clock (sleeps really block) or a
+/// **logical** clock (sleeps bump a per-clock counter instead of blocking a
+/// worker thread). Unlike the legacy [`set_logical_time`] shim, the state
+/// lives in the clock *instance*: each [`MediatorNetwork`] (or server, or
+/// test) owns its own `Arc<MediationClock>`, so one caller's pass
+/// advancement can never warp another's backoff schedule.
+///
+/// The clock reaches the sleep sites through a thread-local slot: callers
+/// [`install_clock`] it for the duration of a pass (an RAII guard restores
+/// the previous slot value), and `par` workers re-install the spawning
+/// thread's clock so fan-out inherits it.
+///
+/// [`MediatorNetwork`]: ../../qpiad_core/network/struct.MediatorNetwork.html
+#[derive(Debug, Default)]
+pub struct MediationClock {
+    logical: bool,
+    nanos: AtomicU64,
+}
+
+impl MediationClock {
+    /// A wall clock: [`sleep`] really blocks the calling thread.
+    pub fn wall() -> Arc<Self> {
+        Arc::new(Self { logical: false, nanos: AtomicU64::new(0) })
+    }
+
+    /// A logical clock: [`sleep`] advances this clock's counter and returns
+    /// immediately. Used by tests, benches, and servers that must not park
+    /// worker threads on injected latency.
+    pub fn logical() -> Arc<Self> {
+        Arc::new(Self { logical: true, nanos: AtomicU64::new(0) })
+    }
+
+    /// `true` iff this clock is logical.
+    pub fn is_logical(&self) -> bool {
+        self.logical
+    }
+
+    /// Nanoseconds accumulated by logical sleeps on this clock.
+    pub fn nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+
+    /// Sleeps for `d` on this clock.
+    pub fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        if self.logical {
+            self.nanos
+                .fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::SeqCst);
+        } else {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_CLOCK: RefCell<Option<Arc<MediationClock>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed clock when dropped.
+#[must_use = "dropping the guard immediately uninstalls the clock"]
+pub struct ClockGuard {
+    previous: Option<Arc<MediationClock>>,
+}
+
+impl Drop for ClockGuard {
+    fn drop(&mut self) {
+        CURRENT_CLOCK.with(|slot| *slot.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Installs `clock` as the calling thread's mediation clock until the
+/// returned guard drops. `None` uninstalls, falling back to the process
+/// globals ([`set_logical_time`]).
+pub fn install_clock(clock: Option<Arc<MediationClock>>) -> ClockGuard {
+    let previous = CURRENT_CLOCK.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), clock));
+    ClockGuard { previous }
+}
+
+/// The clock installed on the calling thread, if any. `par` captures this
+/// before spawning workers so fan-out threads sleep on the caller's clock.
+pub fn current_clock() -> Option<Arc<MediationClock>> {
+    CURRENT_CLOCK.with(|slot| slot.borrow().clone())
+}
+
 static LOGICAL_TIME: AtomicBool = AtomicBool::new(false);
 static LOGICAL_NANOS: AtomicU64 = AtomicU64::new(0);
 
-/// Switches the process-wide clock between wall time (default) and logical
-/// time. Enabling resets the logical counter. Tests and benches enable
-/// logical time so retry backoff and injected latency advance a counter
-/// instead of blocking `par` worker threads.
+/// Switches the **process-wide fallback** clock between wall time (default)
+/// and logical time. Enabling resets the logical counter.
+///
+/// This is a test shim: it only governs threads with no installed
+/// [`MediationClock`] (see [`install_clock`]). Serving paths scope their
+/// clock per network and never consult these globals.
 pub fn set_logical_time(enabled: bool) {
     if enabled {
         LOGICAL_NANOS.store(0, Ordering::SeqCst);
@@ -70,24 +163,38 @@ pub fn set_logical_time(enabled: bool) {
     LOGICAL_TIME.store(enabled, Ordering::SeqCst);
 }
 
-/// `true` iff sleeps are currently logical.
+/// `true` iff sleeps on the calling thread are currently logical (installed
+/// clock first, process-wide fallback otherwise).
 pub fn logical_time_enabled() -> bool {
+    if let Some(clock) = current_clock() {
+        return clock.is_logical();
+    }
     LOGICAL_TIME.load(Ordering::SeqCst)
 }
 
-/// Nanoseconds accumulated by logical sleeps since logical time was enabled.
+/// Nanoseconds accumulated by logical sleeps on the calling thread's clock
+/// (installed clock first, process-wide fallback otherwise).
 pub fn logical_nanos() -> u64 {
+    if let Some(clock) = current_clock() {
+        return clock.nanos();
+    }
     LOGICAL_NANOS.load(Ordering::SeqCst)
 }
 
-/// Sleeps for `d` on the active clock: a real [`std::thread::sleep`] under
-/// wall time, a counter bump under logical time. Every sleep in the
-/// mediation path (retry backoff, injected latency) goes through here.
+/// Sleeps for `d` on the active clock: the thread's installed
+/// [`MediationClock`] if any, else the process-wide fallback — a real
+/// [`std::thread::sleep`] under wall time, a counter bump under logical
+/// time. Every sleep in the mediation path (retry backoff, injected
+/// latency) goes through here.
 pub fn sleep(d: Duration) {
     if d.is_zero() {
         return;
     }
-    if logical_time_enabled() {
+    if let Some(clock) = current_clock() {
+        clock.sleep(d);
+        return;
+    }
+    if LOGICAL_TIME.load(Ordering::SeqCst) {
         LOGICAL_NANOS.fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::SeqCst);
     } else {
         std::thread::sleep(d);
@@ -712,5 +819,52 @@ mod tests {
         // running test's sleep may also land on the counter.
         assert!(advanced >= 500_000_000, "counter must cover both sleeps, got {advanced}");
         assert!(elapsed < Duration::from_millis(200), "logical sleep must not block");
+    }
+
+    #[test]
+    fn installed_clock_scopes_logical_time_to_the_owner() {
+        let mine = MediationClock::logical();
+        let theirs = MediationClock::logical();
+        {
+            let _guard = install_clock(Some(mine.clone()));
+            sleep(Duration::from_millis(10));
+            assert!(logical_time_enabled());
+            assert_eq!(logical_nanos(), 10_000_000);
+        }
+        {
+            let _guard = install_clock(Some(theirs.clone()));
+            sleep(Duration::from_millis(3));
+        }
+        // Each clock only saw its own sleeps: no cross-warp.
+        assert_eq!(mine.nanos(), 10_000_000);
+        assert_eq!(theirs.nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn clock_guard_restores_the_previous_clock() {
+        let outer = MediationClock::logical();
+        let inner = MediationClock::logical();
+        let _outer_guard = install_clock(Some(outer.clone()));
+        {
+            let _inner_guard = install_clock(Some(inner.clone()));
+            sleep(Duration::from_millis(1));
+        }
+        sleep(Duration::from_millis(2));
+        assert_eq!(inner.nanos(), 1_000_000);
+        assert_eq!(outer.nanos(), 2_000_000);
+    }
+
+    #[test]
+    fn installed_clock_propagates_through_par_workers() {
+        let clock = MediationClock::logical();
+        let _guard = install_clock(Some(clock.clone()));
+        // Whatever the ambient worker count (QPIAD_THREADS or hardware), every
+        // sleep must land on this clock — workers inherit the caller's slot.
+        let out = crate::par::parallel_map_indexed(8, |i| {
+            sleep(Duration::from_millis(1));
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(clock.nanos(), 8_000_000, "every worker sleep lands on the caller's clock");
     }
 }

@@ -74,8 +74,8 @@ pub use error::SourceError;
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy, SkewInjector, SkewPlan};
 pub use health::{
-    BreakerConfig, BreakerProbe, BreakerState, BreakerView, HealthRegistry, Observation,
-    QueryBudget,
+    install_clock, BreakerConfig, BreakerProbe, BreakerState, BreakerView, ClockGuard,
+    HealthRegistry, MediationClock, Observation, QueryBudget,
 };
 pub use index::{AttrIndex, SelectionEngine};
 pub use query::{AggFunc, AggregateQuery, JoinQuery, PredOp, Predicate, SelectQuery};

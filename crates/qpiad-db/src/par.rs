@@ -62,11 +62,18 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    // Fan-out must sleep on the caller's mediation clock (retry backoff,
+    // injected latency), so capture the thread-local slot and re-install it
+    // in every worker.
+    let clock = crate::health::current_clock();
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| {
+                let clock = clock.clone();
+                let (f, next) = (&f, &next);
+                scope.spawn(move || {
+                    let _clock = crate::health::install_clock(clock);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

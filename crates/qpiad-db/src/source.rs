@@ -16,9 +16,8 @@
 //! the paper's infeasible baselines (AllReturned, AllRanked) can be
 //! evaluated against the same data.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use crate::error::SourceError;
 use crate::index::SelectionEngine;
@@ -191,6 +190,74 @@ fn validate(
     Ok(())
 }
 
+/// Lock-free accumulation cells behind [`SourceMeter`].
+///
+/// Every counter is an independent atomic, so the hot path (the mediator's
+/// fan-out plus a server's concurrent passes) never serializes on a meter
+/// mutex and a panicking caller can never poison the accounting. A
+/// [`MeterCells::snapshot`] is per-field consistent, not cross-field: a
+/// reader racing a live query may observe `queries` bumped before
+/// `tuples_returned`. Quiesced reads (after joining workers) are exact.
+#[derive(Debug, Default)]
+struct MeterCells {
+    queries: AtomicUsize,
+    tuples_returned: AtomicUsize,
+    rejected: AtomicUsize,
+    failures: AtomicUsize,
+    retries: AtomicUsize,
+    degraded: AtomicUsize,
+    quarantined: AtomicUsize,
+    hedges: AtomicUsize,
+    breaker_skips: AtomicUsize,
+    knowledge_unavailable: AtomicUsize,
+    drift_events: AtomicUsize,
+    latency_ns: AtomicU64,
+    plan_cache_hits: AtomicUsize,
+    plan_cache_misses: AtomicUsize,
+}
+
+impl MeterCells {
+    fn snapshot(&self) -> SourceMeter {
+        SourceMeter {
+            queries: self.queries.load(Ordering::Relaxed),
+            tuples_returned: self.tuples_returned.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            knowledge_unavailable: self.knowledge_unavailable.load(Ordering::Relaxed),
+            drift_events: self.drift_events.load(Ordering::Relaxed),
+            latency_ns: self.latency_ns.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.tuples_returned.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.degraded.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
+        self.hedges.store(0, Ordering::Relaxed);
+        self.breaker_skips.store(0, Ordering::Relaxed);
+        self.knowledge_unavailable.store(0, Ordering::Relaxed);
+        self.drift_events.store(0, Ordering::Relaxed);
+        self.latency_ns.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+    }
+
+    fn bump(cell: &AtomicUsize) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Shared implementation for the two concrete sources.
 #[derive(Debug)]
 struct SourceInner {
@@ -203,7 +270,7 @@ struct SourceInner {
     queryable: Vec<bool>,
     allow_null_binding: bool,
     query_limit: Option<usize>,
-    meter: Mutex<SourceMeter>,
+    meter: MeterCells,
 }
 
 impl SourceInner {
@@ -214,39 +281,37 @@ impl SourceInner {
             self.allow_null_binding,
         );
         if let Err(e) = check {
-            self.meter.lock().rejected += 1;
+            MeterCells::bump(&self.meter.rejected);
             return Err(e);
         }
         // Certain-answer semantics over the stored (incomplete) relation,
         // served through the lazily built posting-list indexes. For a
         // DirectSource, IsNull predicates resolve to the null posting list.
         if let Some(limit) = self.query_limit {
-            // Budgeted: the limit check and the answer must be atomic, so
-            // the meter stays locked across the select. Budgeted sources
-            // are queried strictly sequentially by contract, so the held
-            // lock is uncontended.
-            let mut meter = self.meter.lock();
-            if meter.queries >= limit {
-                meter.rejected += 1;
+            // Budgeted: reserve a slot under the limit with a CAS before
+            // answering, so the limit check and the query-count bump are
+            // one atomic step even under (contractually discouraged)
+            // concurrent issuance.
+            let admitted = self.meter.queries.fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |q| if q >= limit { None } else { Some(q + 1) },
+            );
+            if admitted.is_err() {
+                MeterCells::bump(&self.meter.rejected);
                 return Err(SourceError::QueryLimitExceeded { limit });
             }
             let result: Vec<Tuple> = self.engine.select(&self.relation, q);
-            meter.queries += 1;
-            meter.tuples_returned += result.len();
+            self.meter.tuples_returned.fetch_add(result.len(), Ordering::Relaxed);
             Ok(result)
         } else {
-            // Budget-free: select outside the lock so concurrent queries
-            // only serialize on the counter bump, not the retrieval.
+            // Budget-free: concurrent queries never touch a lock, only
+            // independent counter cells.
             let result: Vec<Tuple> = self.engine.select(&self.relation, q);
-            let mut meter = self.meter.lock();
-            meter.queries += 1;
-            meter.tuples_returned += result.len();
+            MeterCells::bump(&self.meter.queries);
+            self.meter.tuples_returned.fetch_add(result.len(), Ordering::Relaxed);
             Ok(result)
         }
-    }
-
-    fn note(&self, apply: impl FnOnce(&mut SourceMeter)) {
-        apply(&mut self.meter.lock());
     }
 }
 
@@ -270,7 +335,7 @@ impl WebSource {
                 queryable: vec![true; arity],
                 allow_null_binding: false,
                 query_limit: None,
-                meter: Mutex::new(SourceMeter::default()),
+                meter: MeterCells::default(),
             },
         }
     }
@@ -326,56 +391,56 @@ impl AutonomousSource for WebSource {
     }
 
     fn meter(&self) -> SourceMeter {
-        *self.inner.meter.lock()
+        self.inner.meter.snapshot()
     }
 
     fn reset_meter(&self) {
-        *self.inner.meter.lock() = SourceMeter::default();
+        self.inner.meter.reset();
     }
 
     fn note_retries(&self, n: usize) {
-        self.inner.note(|m| m.retries += n);
+        self.inner.meter.retries.fetch_add(n, Ordering::Relaxed);
     }
 
     fn note_failure(&self) {
-        self.inner.note(|m| m.failures += 1);
+        MeterCells::bump(&self.inner.meter.failures);
     }
 
     fn note_degraded(&self) {
-        self.inner.note(|m| m.degraded += 1);
+        MeterCells::bump(&self.inner.meter.degraded);
     }
 
     fn note_quarantined(&self, n: usize) {
-        self.inner.note(|m| m.quarantined += n);
+        self.inner.meter.quarantined.fetch_add(n, Ordering::Relaxed);
     }
 
     fn note_hedge(&self) {
-        self.inner.note(|m| m.hedges += 1);
+        MeterCells::bump(&self.inner.meter.hedges);
     }
 
     fn note_breaker_skip(&self) {
-        self.inner.note(|m| m.breaker_skips += 1);
+        MeterCells::bump(&self.inner.meter.breaker_skips);
     }
 
     fn note_knowledge_unavailable(&self) {
-        self.inner.note(|m| m.knowledge_unavailable += 1);
+        MeterCells::bump(&self.inner.meter.knowledge_unavailable);
     }
 
     fn note_drift(&self) {
-        self.inner.note(|m| m.drift_events += 1);
+        MeterCells::bump(&self.inner.meter.drift_events);
     }
 
     fn note_latency(&self, d: std::time::Duration) {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
+        self.inner.meter.latency_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
     fn note_plan_cache_hit(&self) {
-        self.inner.note(|m| m.plan_cache_hits += 1);
+        MeterCells::bump(&self.inner.meter.plan_cache_hits);
     }
 
     fn note_plan_cache_miss(&self) {
-        self.inner.note(|m| m.plan_cache_misses += 1);
+        MeterCells::bump(&self.inner.meter.plan_cache_misses);
     }
 }
 
@@ -400,7 +465,7 @@ impl DirectSource {
                 queryable: vec![true; arity],
                 allow_null_binding: true,
                 query_limit: None,
-                meter: Mutex::new(SourceMeter::default()),
+                meter: MeterCells::default(),
             },
         }
     }
@@ -433,56 +498,56 @@ impl AutonomousSource for DirectSource {
     }
 
     fn meter(&self) -> SourceMeter {
-        *self.inner.meter.lock()
+        self.inner.meter.snapshot()
     }
 
     fn reset_meter(&self) {
-        *self.inner.meter.lock() = SourceMeter::default();
+        self.inner.meter.reset();
     }
 
     fn note_retries(&self, n: usize) {
-        self.inner.note(|m| m.retries += n);
+        self.inner.meter.retries.fetch_add(n, Ordering::Relaxed);
     }
 
     fn note_failure(&self) {
-        self.inner.note(|m| m.failures += 1);
+        MeterCells::bump(&self.inner.meter.failures);
     }
 
     fn note_degraded(&self) {
-        self.inner.note(|m| m.degraded += 1);
+        MeterCells::bump(&self.inner.meter.degraded);
     }
 
     fn note_quarantined(&self, n: usize) {
-        self.inner.note(|m| m.quarantined += n);
+        self.inner.meter.quarantined.fetch_add(n, Ordering::Relaxed);
     }
 
     fn note_hedge(&self) {
-        self.inner.note(|m| m.hedges += 1);
+        MeterCells::bump(&self.inner.meter.hedges);
     }
 
     fn note_breaker_skip(&self) {
-        self.inner.note(|m| m.breaker_skips += 1);
+        MeterCells::bump(&self.inner.meter.breaker_skips);
     }
 
     fn note_knowledge_unavailable(&self) {
-        self.inner.note(|m| m.knowledge_unavailable += 1);
+        MeterCells::bump(&self.inner.meter.knowledge_unavailable);
     }
 
     fn note_drift(&self) {
-        self.inner.note(|m| m.drift_events += 1);
+        MeterCells::bump(&self.inner.meter.drift_events);
     }
 
     fn note_latency(&self, d: std::time::Duration) {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.inner.note(|m| m.latency_ns = m.latency_ns.saturating_add(nanos));
+        self.inner.meter.latency_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
     fn note_plan_cache_hit(&self) {
-        self.inner.note(|m| m.plan_cache_hits += 1);
+        MeterCells::bump(&self.inner.meter.plan_cache_hits);
     }
 
     fn note_plan_cache_miss(&self) {
-        self.inner.note(|m| m.plan_cache_misses += 1);
+        MeterCells::bump(&self.inner.meter.plan_cache_misses);
     }
 }
 

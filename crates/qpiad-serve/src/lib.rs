@@ -1,0 +1,40 @@
+//! # qpiad-serve — the QPIAD serving front end
+//!
+//! QPIAD's premise is a mediator absorbing heavy streams of *repeated*
+//! user queries against autonomous, incomplete sources. The offline/online
+//! split that makes this safe comes from the paper's architecture:
+//! knowledge (AFDs, classifiers, selectivity) is mined offline and
+//! versioned, so online query answering is a read-only function of
+//! (query, knowledge version, budget) — many callers can share one
+//! mediator as long as the shared-read path is sound.
+//!
+//! This crate is that shared front end:
+//!
+//! * [`QpiadServer`] — admits concurrent queries over one
+//!   [`MediatorNetwork`](qpiad_core::network::MediatorNetwork) behind
+//!   `&self`, validating each against the global schema first (admission);
+//! * the internal singleflight layer — **in-flight coalescing**: N concurrent
+//!   callers of the same (query template, knowledge epoch, budget) key
+//!   share one mediation pass and one source fan-out, with the answer
+//!   distributed by `Arc`;
+//! * [`Tenant`] / [`TenantClass`] — per-tenant
+//!   [`QueryBudget`](qpiad_db::QueryBudget) classes: interactive callers
+//!   are never queued, batch callers are capped at
+//!   [`ServeConfig::batch_concurrency`] concurrent passes;
+//! * [`ServeMetrics`] — a snapshot-able metrics surface: admission and
+//!   coalescing counters, tenancy scheduling peaks, and every member
+//!   source's [`SourceMeter`](qpiad_db::SourceMeter).
+//!
+//! Determinism carries over from the mediator: coalesced callers share
+//! the leader's answer by construction, and independent passes replay the
+//! sequential-snapshot / parallel-probe / sequential-absorb protocol, so
+//! concurrent serving returns answers byte-identical to serial execution.
+
+mod coalesce;
+mod metrics;
+mod server;
+mod tenant;
+
+pub use metrics::ServeMetrics;
+pub use server::{QpiadServer, ServeConfig, ServeError};
+pub use tenant::{Tenant, TenantClass};

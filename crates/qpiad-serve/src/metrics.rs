@@ -1,0 +1,129 @@
+//! The server's metrics surface.
+//!
+//! Serving counters live in lock-free atomic cells ([`MetricCells`],
+//! crate-private) and are exported as a plain [`ServeMetrics`] snapshot
+//! together with every member source's [`SourceMeter`] — one call captures
+//! admission, coalescing, tenancy scheduling, and per-source mediation
+//! cost. Snapshots are per-field consistent (a reader racing a live query
+//! may see `admitted` bumped before `leaders`); quiesced reads are exact.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use qpiad_db::SourceMeter;
+
+/// Lock-free accumulation cells behind [`ServeMetrics`].
+#[derive(Debug, Default)]
+pub(crate) struct MetricCells {
+    pub admitted: AtomicUsize,
+    pub rejected: AtomicUsize,
+    pub leaders: AtomicUsize,
+    pub coalesced: AtomicUsize,
+    pub coalesce_waiters: AtomicUsize,
+    pub interactive: AtomicUsize,
+    pub batch: AtomicUsize,
+    pub batch_in_flight: AtomicUsize,
+    pub batch_in_flight_peak: AtomicUsize,
+    pub errors: AtomicUsize,
+}
+
+impl MetricCells {
+    pub(crate) fn bump(cell: &AtomicUsize) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises a gauge and folds the new value into its peak cell.
+    pub(crate) fn raise_gauge(gauge: &AtomicUsize, peak: &AtomicUsize) {
+        let now = gauge.fetch_add(1, Ordering::Relaxed) + 1;
+        peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn lower_gauge(gauge: &AtomicUsize) {
+        gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, per_source: Vec<(String, SourceMeter)>) -> ServeMetrics {
+        ServeMetrics {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            leaders: self.leaders.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            coalesce_waiters: self.coalesce_waiters.load(Ordering::Relaxed),
+            interactive: self.interactive.load(Ordering::Relaxed),
+            batch: self.batch.load(Ordering::Relaxed),
+            batch_in_flight_peak: self.batch_in_flight_peak.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            per_source,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's counters plus every member
+/// source's access meter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Requests admitted past tenant lookup and query validation.
+    pub admitted: usize,
+    /// Requests refused at admission (unknown tenant, malformed query).
+    pub rejected: usize,
+    /// Admitted requests that ran a mediation pass themselves.
+    pub leaders: usize,
+    /// Admitted requests served by coalescing onto an in-flight pass —
+    /// each shared its leader's single source fan-out.
+    pub coalesced: usize,
+    /// Followers currently parked on an in-flight pass (live gauge).
+    pub coalesce_waiters: usize,
+    /// Admitted requests from interactive-class tenants.
+    pub interactive: usize,
+    /// Admitted requests from batch-class tenants.
+    pub batch: usize,
+    /// Most batch-class passes ever executing at once — bounded by
+    /// [`ServeConfig::batch_concurrency`](crate::ServeConfig::batch_concurrency).
+    pub batch_in_flight_peak: usize,
+    /// Requests whose mediation pass returned an error.
+    pub errors: usize,
+    /// Every member source's meter, in registration order.
+    pub per_source: Vec<(String, SourceMeter)>,
+}
+
+impl ServeMetrics {
+    /// Fraction of admitted requests served by coalescing, in `[0, 1]`.
+    pub fn coalesce_hit_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            return 0.0;
+        }
+        self.coalesced as f64 / self.admitted as f64
+    }
+
+    /// Total queries issued against all member sources.
+    pub fn source_queries(&self) -> usize {
+        self.per_source.iter().map(|(_, m)| m.queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_cells_and_rates_divide_safely() {
+        let cells = MetricCells::default();
+        assert_eq!(cells.snapshot(Vec::new()).coalesce_hit_rate(), 0.0);
+        for _ in 0..4 {
+            MetricCells::bump(&cells.admitted);
+        }
+        MetricCells::bump(&cells.leaders);
+        for _ in 0..3 {
+            MetricCells::bump(&cells.coalesced);
+        }
+        MetricCells::raise_gauge(&cells.batch_in_flight, &cells.batch_in_flight_peak);
+        MetricCells::raise_gauge(&cells.batch_in_flight, &cells.batch_in_flight_peak);
+        MetricCells::lower_gauge(&cells.batch_in_flight);
+        let m = cells.snapshot(vec![("s".into(), SourceMeter { queries: 7, ..Default::default() })]);
+        assert_eq!(m.admitted, 4);
+        assert_eq!(m.leaders, 1);
+        assert_eq!(m.coalesced, 3);
+        assert_eq!(m.coalesce_hit_rate(), 0.75);
+        assert_eq!(m.batch_in_flight_peak, 2);
+        assert_eq!(m.source_queries(), 7);
+    }
+}

@@ -1,0 +1,340 @@
+//! The serving front end proper: admission → coalesce → plan → execute.
+//!
+//! [`QpiadServer`] wraps a [`MediatorNetwork`] for long-lived, concurrent
+//! use. Every request flows through four stages:
+//!
+//! 1. **Admission** — the tenant is resolved (unknown callers are
+//!    refused) and the query is validated against the global schema, so a
+//!    malformed request is a graceful [`ServeError::MalformedQuery`]
+//!    instead of an out-of-bounds panic deep inside predicate matching.
+//! 2. **Coalesce** — the request joins the singleflight group for its
+//!    (query template, knowledge epoch, budget) key: the first caller
+//!    leads, concurrent duplicates park and share the leader's answer —
+//!    and its *single* source fan-out (see [`crate::coalesce`]).
+//! 3. **Schedule** — a batch-class leader takes one of
+//!    [`ServeConfig::batch_concurrency`] batch slots before executing;
+//!    interactive leaders never queue, so a batch flood cannot starve
+//!    them.
+//! 4. **Execute** — one budgeted mediation pass runs on the network
+//!    (which installs its own [`MediationClock`] around the pass), and
+//!    the answer is published to the whole group.
+//!
+//! The server is `Sync`: callers invoke [`QpiadServer::query`] from as
+//! many threads as they like. All answers are shared via `Arc` — the
+//! determinism protocol underneath guarantees they are byte-identical to
+//! a serial execution of the same requests.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use qpiad_core::network::{MediatorNetwork, NetworkAnswer};
+use qpiad_db::health::MediationClock;
+use qpiad_db::{SelectQuery, SourceError};
+
+use crate::coalesce::{Flight, FlightKey, Role, SharedAnswer, Singleflight};
+use crate::metrics::{MetricCells, ServeMetrics};
+use crate::tenant::{Tenant, TenantClass};
+
+/// Serving knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most batch-class mediation passes allowed to execute at once;
+    /// further batch leaders queue. Interactive passes are never gated.
+    pub batch_concurrency: usize,
+    /// Whether concurrent identical requests are coalesced onto one pass
+    /// (default: yes). Disabling is only useful for measuring what
+    /// coalescing saves.
+    pub coalesce: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { batch_concurrency: 2, coalesce: true }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the batch concurrency cap (at least 1).
+    pub fn with_batch_concurrency(mut self, n: usize) -> Self {
+        self.batch_concurrency = n.max(1);
+        self
+    }
+
+    /// Enables or disables request coalescing.
+    pub fn with_coalesce(mut self, enabled: bool) -> Self {
+        self.coalesce = enabled;
+        self
+    }
+}
+
+/// Why the server refused or failed a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No tenant with this name is registered.
+    UnknownTenant {
+        /// The name presented at admission.
+        name: String,
+    },
+    /// The query failed admission validation against the global schema.
+    MalformedQuery {
+        /// What was wrong, for diagnostics.
+        reason: String,
+    },
+    /// The mediation pass itself failed.
+    Source(SourceError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant { name } => write!(f, "unknown tenant `{name}`"),
+            ServeError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
+            ServeError::Source(e) => write!(f, "mediation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Locks a mutex, recovering from poisoning: every guarded state here is
+/// valid at each instant, so a panicking peer must not wedge the server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Counting gate bounding concurrent batch-class passes.
+#[derive(Debug, Default)]
+struct BatchGate {
+    used: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl BatchGate {
+    fn acquire(&self, cap: usize) {
+        let mut used = lock(&self.used);
+        while *used >= cap {
+            used = self.freed.wait(used).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *used += 1;
+    }
+
+    fn release(&self) {
+        *lock(&self.used) -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// A long-lived, thread-safe serving front end over a [`MediatorNetwork`].
+pub struct QpiadServer<'a> {
+    network: MediatorNetwork<'a>,
+    config: ServeConfig,
+    tenants: Mutex<HashMap<String, Tenant>>,
+    flights: Singleflight,
+    batch_gate: BatchGate,
+    metrics: MetricCells,
+}
+
+impl<'a> QpiadServer<'a> {
+    /// Wraps `network` for serving. If the network carries no
+    /// [`MediationClock`] yet, a wall clock is attached, so no pass served
+    /// here ever consults the process-global time shim.
+    pub fn new(network: MediatorNetwork<'a>) -> Self {
+        let network = if network.clock().is_none() {
+            network.with_clock(MediationClock::wall())
+        } else {
+            network
+        };
+        QpiadServer {
+            network,
+            config: ServeConfig::default(),
+            tenants: Mutex::new(HashMap::new()),
+            flights: Singleflight::default(),
+            batch_gate: BatchGate::default(),
+            metrics: MetricCells::default(),
+        }
+    }
+
+    /// Overrides the serving knobs.
+    pub fn with_config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers (or replaces) a tenant.
+    pub fn register(&self, tenant: Tenant) {
+        lock(&self.tenants).insert(tenant.name().to_string(), tenant);
+    }
+
+    /// The wrapped network (read-only: meters, EXPLAIN, epochs).
+    pub fn network(&self) -> &MediatorNetwork<'a> {
+        &self.network
+    }
+
+    /// Mutable access to the wrapped network for lifecycle operations
+    /// (e.g. [`MediatorNetwork::refresh_member`]). Requires exclusive
+    /// access, so no pass can be in flight — knowledge swaps stay atomic
+    /// with respect to serving.
+    pub fn network_mut(&mut self) -> &mut MediatorNetwork<'a> {
+        &mut self.network
+    }
+
+    /// Serves one query for `tenant`: admission, coalescing, scheduling,
+    /// then a budgeted mediation pass funded from the tenant's
+    /// [`QueryBudget`](qpiad_db::QueryBudget).
+    pub fn query(&self, tenant: &str, query: &SelectQuery) -> Result<Arc<NetworkAnswer>, ServeError> {
+        let spec = match lock(&self.tenants).get(tenant) {
+            Some(t) => t.clone(),
+            None => {
+                MetricCells::bump(&self.metrics.rejected);
+                return Err(ServeError::UnknownTenant { name: tenant.to_string() });
+            }
+        };
+        if let Err(reason) = self.validate(query) {
+            MetricCells::bump(&self.metrics.rejected);
+            return Err(ServeError::MalformedQuery { reason });
+        }
+        MetricCells::bump(&self.metrics.admitted);
+        MetricCells::bump(match spec.class() {
+            TenantClass::Interactive => &self.metrics.interactive,
+            TenantClass::Batch => &self.metrics.batch,
+        });
+
+        let result = if self.config.coalesce {
+            let key = FlightKey {
+                query: query.clone(),
+                epoch: self.network.knowledge_epoch(),
+                budget: spec.budget().into(),
+            };
+            match self.flights.join(
+                &key,
+                || MetricCells::bump(&self.metrics.coalesce_waiters),
+                || MetricCells::lower_gauge(&self.metrics.coalesce_waiters),
+            ) {
+                Role::Follower(result) => {
+                    MetricCells::bump(&self.metrics.coalesced);
+                    result
+                }
+                Role::Leader(flight) => self.lead(&key, &flight, &spec, query),
+            }
+        } else {
+            MetricCells::bump(&self.metrics.leaders);
+            self.execute(&spec, query)
+        };
+
+        result.map_err(|e| {
+            MetricCells::bump(&self.metrics.errors);
+            ServeError::Source(e)
+        })
+    }
+
+    /// Renders the network's EXPLAIN for a validated query.
+    pub fn explain(&self, query: &SelectQuery) -> Result<String, ServeError> {
+        self.validate(query).map_err(|reason| ServeError::MalformedQuery { reason })?;
+        Ok(self.network.explain(query))
+    }
+
+    /// A snapshot of the serving counters plus every member's meter.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.snapshot(self.network.member_meters())
+    }
+
+    /// Number of mediation passes currently in flight in the coalescing
+    /// layer (distinct keys being led right now).
+    pub fn inflight(&self) -> usize {
+        self.flights.inflight_len()
+    }
+
+    /// Runs the pass as the group's leader and publishes to every
+    /// follower; a panic along the way publishes an
+    /// [`SourceError::Internal`] instead of wedging them.
+    fn lead(
+        &self,
+        key: &FlightKey,
+        flight: &Flight,
+        spec: &Tenant,
+        query: &SelectQuery,
+    ) -> SharedAnswer {
+        MetricCells::bump(&self.metrics.leaders);
+        let mut publish = LeaderPublish { flights: &self.flights, key, flight, published: false };
+        let result = self.execute(spec, query);
+        publish.publish(result)
+    }
+
+    /// One scheduled, budgeted mediation pass.
+    fn execute(&self, spec: &Tenant, query: &SelectQuery) -> SharedAnswer {
+        let _permit = (spec.class() == TenantClass::Batch).then(|| {
+            self.batch_gate.acquire(self.config.batch_concurrency);
+            MetricCells::raise_gauge(
+                &self.metrics.batch_in_flight,
+                &self.metrics.batch_in_flight_peak,
+            );
+            BatchPermit { gate: &self.batch_gate, metrics: &self.metrics }
+        });
+        self.network.answer_budgeted(query, spec.budget()).map(Arc::new)
+    }
+
+    /// Admission-time validation: every constrained attribute must exist
+    /// in the global schema. Member-local concerns (unsupported
+    /// attributes, null binding) are *not* rejected here — the mediator
+    /// degrades those per member — but an attribute outside the global
+    /// schema can satisfy no source and would index out of tuple bounds.
+    fn validate(&self, query: &SelectQuery) -> Result<(), String> {
+        let global = self.network.global_schema();
+        for p in query.predicates() {
+            if p.attr.index() >= global.arity() {
+                return Err(format!(
+                    "attribute {} out of range for global schema `{}` (arity {})",
+                    p.attr,
+                    global.name(),
+                    global.arity()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Publishes the leader's result on the happy path, and an `Internal`
+/// error if the leader unwinds first — followers must always wake.
+struct LeaderPublish<'s> {
+    flights: &'s Singleflight,
+    key: &'s FlightKey,
+    flight: &'s Flight,
+    published: bool,
+}
+
+impl LeaderPublish<'_> {
+    fn publish(&mut self, result: SharedAnswer) -> SharedAnswer {
+        self.flights.complete(self.key, self.flight, result.clone());
+        self.published = true;
+        result
+    }
+}
+
+impl Drop for LeaderPublish<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flights.complete(
+                self.key,
+                self.flight,
+                Err(SourceError::Internal {
+                    message: "mediation pass aborted before publishing its answer".into(),
+                }),
+            );
+        }
+    }
+}
+
+/// RAII batch slot: releases the gate and lowers the gauge on drop (also
+/// on unwind, so a panicking batch pass cannot leak its slot).
+struct BatchPermit<'s> {
+    gate: &'s BatchGate,
+    metrics: &'s MetricCells,
+}
+
+impl Drop for BatchPermit<'_> {
+    fn drop(&mut self) {
+        MetricCells::lower_gauge(&self.metrics.batch_in_flight);
+        self.gate.release();
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`core`] — the QPIAD mediator: query rewriting, F-measure ordering of
 //!   rewritten queries, aggregate and join handling, correlated sources, and
 //!   the AllReturned / AllRanked baselines.
+//! * [`serve`] — long-lived serving front end over the mediator network:
+//!   concurrent admission, in-flight request coalescing, per-tenant query
+//!   budgets (interactive vs batch), and a metrics/introspection surface.
 //! * [`eval`] — ground-truth metrics (precision/recall curves, accumulated
 //!   precision, retrieval cost) and one experiment runner per table and
 //!   figure of the paper's evaluation section.
@@ -48,3 +51,4 @@ pub use qpiad_data as data;
 pub use qpiad_db as db;
 pub use qpiad_eval as eval;
 pub use qpiad_learn as learn;
+pub use qpiad_serve as serve;
