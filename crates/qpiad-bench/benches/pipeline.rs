@@ -34,7 +34,7 @@ use qpiad_learn::drift::{DriftConfig, DriftRegistry};
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
 use qpiad_learn::persist::StatsSnapshot;
 use qpiad_learn::store::KnowledgeStore;
-use qpiad_serve::{QpiadServer, Tenant};
+use qpiad_serve::{QpiadServer, ServeConfig, ServeError, Tenant};
 
 struct Run {
     name: &'static str,
@@ -286,6 +286,58 @@ fn main() {
         }));
     }
 
+    // Overload stage: the same two-member network behind a tight batch
+    // queue limit and a finite pressure capacity, flooded with twice as
+    // many batch callers as interactive ones. Batch work past the limit is
+    // shed with a typed error before any source fan-out and interactive
+    // work descends the degradation ladder instead of queueing, so the
+    // figures of merit are the shed rate and the completed throughput the
+    // server sustains *under* the flood — not the raw wall time.
+    let flood_callers = par_threads * 2;
+    let overload_shed_rate = std::cell::Cell::new(0.0_f64);
+    let overload_completed = std::cell::Cell::new(0usize);
+    runs.push(time("serve_overload", par_threads, reps, || {
+        let network =
+            MediatorNetwork::new(world.ed.schema().clone(), QpiadConfig::default().with_k(10))
+                .add_supporting(&source, world.stats.clone())
+                .add_deficient(&yahoo);
+        let server = QpiadServer::new(network).with_config(
+            ServeConfig::default()
+                .with_batch_concurrency(1)
+                .with_batch_queue_limit(2)
+                .with_pressure_capacity(par_threads.max(2)),
+        );
+        server.register(Tenant::interactive("web"));
+        server.register(Tenant::batch("flood"));
+        std::thread::scope(|scope| {
+            for _ in 0..par_threads {
+                scope.spawn(|| {
+                    for round in 0..serve_requests {
+                        let style = serve_styles[round % serve_styles.len()];
+                        let q = SelectQuery::new(vec![Predicate::eq(body, style)]);
+                        server.query("web", &q).expect("interactive work degrades, never sheds");
+                    }
+                });
+            }
+            for _ in 0..flood_callers {
+                scope.spawn(|| {
+                    for round in 0..serve_requests {
+                        let style = serve_styles[round % serve_styles.len()];
+                        let q = SelectQuery::new(vec![Predicate::eq(body, style)]);
+                        match server.query("flood", &q) {
+                            Ok(_) | Err(ServeError::Shed { .. }) => {}
+                            Err(e) => panic!("flood rejections must be typed sheds: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let m = server.metrics();
+        assert!(m.conserves(), "overload accounting must balance when quiesced");
+        overload_shed_rate.set(m.shed_rate());
+        overload_completed.set(m.completed);
+    }));
+
     // Scale stage, isolated at the end: a 1M-row corrupted source
     // (dictionary + columnar image built once at `Relation` construction,
     // untimed) with knowledge mined from a small sample. Built only after
@@ -377,6 +429,22 @@ fn main() {
         ));
         qps_concurrent / qps_serial
     };
+    // Overload figures: what fraction of admitted work the server shed
+    // (typed batch sheds + deadline refusals over admissions) and the
+    // completed-request throughput it sustained while the flood ran.
+    {
+        let overload =
+            runs.iter().find(|r| r.name == "serve_overload").expect("overload stage ran");
+        let qps_under_flood = overload_completed.get() as f64 / overload.secs_min;
+        json.push_str(&format!(
+            "  \"serve_overload\": {{ \"interactive_callers\": {par_threads}, \
+             \"flood_callers\": {flood_callers}, \"requests_per_caller\": {serve_requests}, \
+             \"shed_rate\": {:.3}, \"completed_under_flood\": {}, \
+             \"completed_qps_under_flood\": {qps_under_flood:.1} }},\n",
+            overload_shed_rate.get(),
+            overload_completed.get()
+        ));
+    }
     // The plan cache's win is warm-over-cold at the same thread count, not
     // a thread-scaling ratio: planning is sequential either way.
     let plan_cache_speedup = {

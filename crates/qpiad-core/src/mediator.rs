@@ -4,7 +4,7 @@ use qpiad_db::hash::FastHashSet;
 use std::sync::Arc;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
-use qpiad_db::health::{BreakerProbe, QueryBudget};
+use qpiad_db::health::{BreakerProbe, PressureLevel, QueryBudget};
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError, Tuple, TupleId, Value};
 use qpiad_learn::afd::Afd;
 use qpiad_learn::cache::PredictionCache;
@@ -110,6 +110,13 @@ pub struct Degradation {
     /// Rewritten queries skipped because the caller's [`QueryBudget`]
     /// could not fund even a single attempt.
     pub budget_skips: usize,
+    /// Rewritten queries shed by the overload degradation ladder: the
+    /// pass ran under a non-`Normal`
+    /// [`PressureLevel`], which clamped
+    /// the admitted plan to its top-ranked fraction. Shed entries charge
+    /// their F-measure mass to `dropped_fmeasure` exactly like breaker
+    /// skips, so EXPLAIN and metrics state what recall mass overload cost.
+    pub overload_sheds: usize,
     /// Returned tuples quarantined by response validation.
     pub quarantined: usize,
     /// `true` iff this answer was produced from snapshot statistics
@@ -138,6 +145,7 @@ impl Degradation {
         self.dropped_rewrites > 0
             || self.breaker_skips > 0
             || self.budget_skips > 0
+            || self.overload_sheds > 0
             || self.quarantined > 0
             || self.stale_knowledge
             || self.knowledge_unavailable > 0
@@ -161,6 +169,11 @@ impl Degradation {
         self.dropped_fmeasure += fmeasure;
         self.last_error = Some(SourceError::BudgetExhausted);
     }
+
+    pub(crate) fn record_overload_shed(&mut self, fmeasure: f64) {
+        self.overload_sheds += 1;
+        self.dropped_fmeasure += fmeasure;
+    }
 }
 
 /// Per-pass availability state threaded through one mediation pass against
@@ -180,6 +193,12 @@ pub struct QueryContext {
     /// unbiased view of what the source actually returns
     /// (see [`qpiad_learn::drift`]). `None` disables observation.
     pub drift: Option<DriftProbe>,
+    /// The overload pressure this pass runs under. A non-`Normal` level
+    /// clamps plan admission to the rank-ordered top fraction the rung
+    /// allows ([`PressureLevel::rewrite_fraction`]); clamped entries are
+    /// charged to [`Degradation::overload_sheds`]. Defaults to `Normal` —
+    /// no clamping, mediation exactly as unmanaged.
+    pub pressure: PressureLevel,
 }
 
 impl QueryContext {
@@ -189,6 +208,7 @@ impl QueryContext {
             budget: QueryBudget::unlimited(),
             probe: BreakerProbe::disabled(),
             drift: None,
+            pressure: PressureLevel::Normal,
         }
     }
 
@@ -208,6 +228,12 @@ impl QueryContext {
     /// pass accumulate into it.
     pub fn with_drift(mut self, probe: DriftProbe) -> Self {
         self.drift = Some(probe);
+        self
+    }
+
+    /// Sets the overload pressure the pass runs under.
+    pub fn with_pressure(mut self, pressure: PressureLevel) -> Self {
+        self.pressure = pressure;
         self
     }
 }

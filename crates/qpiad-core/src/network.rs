@@ -50,7 +50,7 @@ use std::sync::Arc;
 
 use qpiad_db::health::{
     install_clock, BreakerProbe, BreakerState, BreakerView, HealthRegistry, MediationClock,
-    Observation, QueryBudget,
+    Observation, PressureLevel, QueryBudget,
 };
 use qpiad_db::par;
 use qpiad_db::{
@@ -740,6 +740,7 @@ impl<'a> MediatorNetwork<'a> {
         view: BreakerView,
         hedge: Option<usize>,
         budget: QueryBudget,
+        pressure: PressureLevel,
         drift: MemberDrift,
         pass_cache: &Arc<PlanCache>,
     ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>) {
@@ -761,8 +762,10 @@ impl<'a> MediatorNetwork<'a> {
             };
             return (Ok(answers), Vec::new(), drift_probe);
         }
-        let mut ctx =
-            QueryContext::unbounded().with_budget(budget).with_probe(BreakerProbe::new(view));
+        let mut ctx = QueryContext::unbounded()
+            .with_budget(budget)
+            .with_probe(BreakerProbe::new(view))
+            .with_pressure(pressure);
         if let Some(probe) = drift_probe {
             ctx = ctx.with_drift(probe);
         }
@@ -986,6 +989,26 @@ impl<'a> MediatorNetwork<'a> {
         query: &SelectQuery,
         budget: QueryBudget,
     ) -> Result<NetworkAnswer, SourceError> {
+        self.answer_under(query, budget, PressureLevel::Normal)
+    }
+
+    /// [`Self::answer_budgeted`] under an overload [`PressureLevel`].
+    ///
+    /// The level is the serving layer's degradation ladder, applied
+    /// uniformly to every member of this pass: a non-`Normal` level clamps
+    /// each member's admitted rewrite plan to its rank-ordered top
+    /// fraction (shed entries charge [`Degradation::overload_sheds`] and
+    /// the member's [`SourceMeter::shed`](qpiad_db::SourceMeter) cell),
+    /// and at `High` or above hedging is disabled outright — a hedge
+    /// doubles source queries, the first expense to cut when capacity is
+    /// scarce. Certain answers are never shed: `Critical` still executes
+    /// every member's base query.
+    pub fn answer_under(
+        &self,
+        query: &SelectQuery,
+        budget: QueryBudget,
+        pressure: PressureLevel,
+    ) -> Result<NetworkAnswer, SourceError> {
         // Scope every sleep in this pass (retry backoff, injected latency)
         // to the network's own clock; fan-out workers inherit it via `par`.
         let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
@@ -1005,7 +1028,11 @@ impl<'a> MediatorNetwork<'a> {
                 None => BreakerView::disabled(),
             })
             .collect();
-        let hedges = self.hedge_partners(query, &views);
+        let hedges = if pressure.allows_hedging() {
+            self.hedge_partners(query, &views)
+        } else {
+            vec![None; self.members.len()]
+        };
         let drift_states: Vec<MemberDrift> = self
             .members
             .iter()
@@ -1038,6 +1065,7 @@ impl<'a> MediatorNetwork<'a> {
                     views[i],
                     hedges[i],
                     budget,
+                    pressure,
                     drift_states[i].clone(),
                     &pass_cache,
                 )
@@ -1046,7 +1074,9 @@ impl<'a> MediatorNetwork<'a> {
             (0..n)
                 .zip(drift_states)
                 .map(|(i, drift)| {
-                    self.answer_member(i, query, views[i], hedges[i], budget, drift, &pass_cache)
+                    self.answer_member(
+                        i, query, views[i], hedges[i], budget, pressure, drift, &pass_cache,
+                    )
                 })
                 .collect()
         };
@@ -1065,14 +1095,29 @@ impl<'a> MediatorNetwork<'a> {
                 }
             }
             out.per_source.push(match r {
-                Ok(answers) => answers,
+                Ok(answers) => {
+                    // Charge ladder-shed rewrites to the member's meter so
+                    // overload cost is visible next to breaker skips.
+                    if let SourceOutcome::Degraded(d) = &answers.outcome {
+                        if d.overload_sheds > 0 {
+                            member.source.note_shed(d.overload_sheds);
+                        }
+                    }
+                    answers
+                }
                 Err(e @ (SourceError::CircuitOpen | SourceError::BudgetExhausted)) => {
                     // Mediator-side refusal: the member was skipped whole,
                     // not failed — no query reached the source.
                     let mut d = Degradation::default();
                     match e {
                         SourceError::CircuitOpen => d.breaker_skips = 1,
-                        _ => d.budget_skips = 1,
+                        _ => {
+                            // The deadline could not fund even this
+                            // member's base query: refused at the cheapest
+                            // layer, before any fan-out.
+                            member.source.note_deadline_refused();
+                            d.budget_skips = 1;
+                        }
                     }
                     d.last_error = Some(e);
                     SourceAnswers {
@@ -1104,6 +1149,15 @@ impl<'a> MediatorNetwork<'a> {
     /// served through its best correlated source. Breaker refusals show up
     /// as per-entry skip reasons.
     pub fn explain(&self, query: &SelectQuery) -> String {
+        self.explain_under(query, PressureLevel::Normal)
+    }
+
+    /// [`Self::explain`] under an overload [`PressureLevel`]: renders the
+    /// plan a pass at that rung would run — ladder-shed entries show as
+    /// per-entry `SKIP — shed by overload ladder` lines with their
+    /// F-measure mass, and hedge partners disappear once the rung disables
+    /// hedging — still issuing zero source queries.
+    pub fn explain_under(&self, query: &SelectQuery, pressure: PressureLevel) -> String {
         use std::fmt::Write as _;
         let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
         let views: Vec<BreakerView> = self
@@ -1114,7 +1168,11 @@ impl<'a> MediatorNetwork<'a> {
                 None => BreakerView::disabled(),
             })
             .collect();
-        let hedges = self.hedge_partners(query, &views);
+        let hedges = if pressure.allows_hedging() {
+            self.hedge_partners(query, &views)
+        } else {
+            vec![None; self.members.len()]
+        };
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -1122,9 +1180,18 @@ impl<'a> MediatorNetwork<'a> {
             self.members.len(),
             query.display(&self.global)
         );
+        if pressure != PressureLevel::Normal {
+            let _ = writeln!(
+                out,
+                "  overload pressure: {} (rewrite fraction {:.2}, hedging {})",
+                pressure.label(),
+                pressure.rewrite_fraction(),
+                if pressure.allows_hedging() { "on" } else { "off" }
+            );
+        }
         for (i, member) in self.members.iter().enumerate() {
             let _ = writeln!(out);
-            out.push_str(&self.explain_member(member, query, views[i], hedges[i]));
+            out.push_str(&self.explain_member(member, query, views[i], hedges[i], pressure));
         }
         out
     }
@@ -1136,6 +1203,7 @@ impl<'a> MediatorNetwork<'a> {
         query: &SelectQuery,
         view: BreakerView,
         hedge: Option<usize>,
+        pressure: PressureLevel,
     ) -> String {
         use std::fmt::Write as _;
         let name = member.source.name();
@@ -1147,7 +1215,9 @@ impl<'a> MediatorNetwork<'a> {
             };
             if let Some(stats) = &member.stats {
                 let qpiad = self.member_qpiad(member, stats);
-                let mut ctx = QueryContext::unbounded().with_probe(BreakerProbe::new(view));
+                let mut ctx = QueryContext::unbounded()
+                    .with_probe(BreakerProbe::new(view))
+                    .with_pressure(pressure);
                 let mut plan = qpiad.plan_speculative(member.source, &local, &mut ctx);
                 plan.hedge = hedge.map(|j| self.members[j].source.name().to_string());
                 let mut out = plan.render(member.source.schema());
@@ -1188,7 +1258,9 @@ impl<'a> MediatorNetwork<'a> {
                         correlated.source.name()
                     );
                 };
-                let mut ctx = QueryContext::unbounded().with_probe(BreakerProbe::new(view));
+                let mut ctx = QueryContext::unbounded()
+                    .with_probe(BreakerProbe::new(view))
+                    .with_pressure(pressure);
                 let plan = plan_from_correlated_speculative(
                     stats,
                     name,
@@ -1346,6 +1418,14 @@ impl AutonomousSource for HedgedSource<'_> {
 
     fn note_breaker_skip(&self) {
         self.primary.note_breaker_skip();
+    }
+
+    fn note_shed(&self, n: usize) {
+        self.primary.note_shed(n);
+    }
+
+    fn note_deadline_refused(&self) {
+        self.primary.note_deadline_refused();
     }
 
     fn note_knowledge_unavailable(&self) {

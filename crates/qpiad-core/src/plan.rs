@@ -52,6 +52,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use qpiad_db::fault::{query_fingerprint, RetryPolicy};
+use qpiad_db::health::PressureLevel;
 use qpiad_db::validate::query_validated;
 use qpiad_db::{par, AutonomousSource, Schema, SelectQuery, SourceError, Tuple};
 use qpiad_learn::knowledge::SourceStats;
@@ -73,6 +74,11 @@ pub enum SkipReason {
     /// The rewritten query could not be translated into the target
     /// source's local schema (correlated-source plans only).
     Untranslatable,
+    /// The overload degradation ladder clamped the plan: the pass ran
+    /// under a non-`Normal` [`PressureLevel`] whose rewrite fraction this
+    /// entry's rank exceeded. Shed mass is charged to
+    /// [`Degradation::overload_sheds`].
+    Overload,
 }
 
 impl SkipReason {
@@ -83,7 +89,20 @@ impl SkipReason {
             SkipReason::BudgetExhausted => "budget exhausted",
             SkipReason::Unsupported => "attribute unsupported by source",
             SkipReason::Untranslatable => "untranslatable to local schema",
+            SkipReason::Overload => "shed by overload ladder",
         }
+    }
+}
+
+/// The rank-order prefix of an `n`-entry plan the given pressure rung
+/// still admits: `ceil(n · rewrite_fraction)`. Monotone nonincreasing in
+/// pressure, so the answer lattice shrinks as load rises and never grows.
+fn pressure_cap(total: usize, pressure: PressureLevel) -> usize {
+    let fraction = pressure.rewrite_fraction();
+    if fraction >= 1.0 {
+        total
+    } else {
+        (total as f64 * fraction).ceil() as usize
     }
 }
 
@@ -209,13 +228,30 @@ impl MediationPlan {
     }
 
     /// Plan-time admission, in rank order: each [`EntryStatus::Deferred`]
-    /// entry consults the breaker probe first (a skipped query must not
-    /// charge the budget), then the budget, which clamps the retry policy
-    /// so the whole admitted plan fits the deadline. Skips charge their
-    /// F-measure mass to `degraded`.
+    /// entry consults the overload ladder first (a shed query must charge
+    /// neither probe nor budget), then the breaker probe (a skipped query
+    /// must not charge the budget), then the budget, which clamps the
+    /// retry policy so the whole admitted plan fits the deadline. Skips
+    /// charge their F-measure mass to `degraded`.
+    ///
+    /// The ladder clamp is a *rank-order prefix*: under pressure only the
+    /// top `ceil(n · fraction)` entries may be admitted, which is what
+    /// keeps the answer lattice monotone as pressure rises — a higher rung
+    /// admits a prefix of what a lower rung admits.
     pub fn admit(&mut self, ctx: &mut QueryContext, degraded: &mut Degradation) {
+        let cap = pressure_cap(self.entries.len(), ctx.pressure);
+        let mut admitted = self
+            .entries
+            .iter()
+            .filter(|e| matches!(e.status, EntryStatus::Admitted(_)))
+            .count();
         for entry in &mut self.entries {
             if !matches!(entry.status, EntryStatus::Deferred) {
+                continue;
+            }
+            if admitted >= cap {
+                degraded.record_overload_shed(entry.fmeasure);
+                entry.status = EntryStatus::Skipped(SkipReason::Overload);
                 continue;
             }
             if !ctx.probe.admits() {
@@ -226,6 +262,7 @@ impl MediationPlan {
             match ctx.budget.admit(&self.retry, query_fingerprint(&entry.issue)) {
                 Some(policy) => {
                     ctx.probe.note_issued();
+                    admitted += 1;
                     entry.status = EntryStatus::Admitted(policy);
                 }
                 None => {
@@ -493,14 +530,25 @@ pub fn execute<F>(
         return;
     }
 
+    // Interleaved admission honors the same overload clamp as plan-time
+    // admission: entries beyond the rung's rank-order prefix are shed, not
+    // issued. Plan-time-admitted entries were already clamped in `admit`.
+    let overload_cap = pressure_cap(plan.entries.len(), ctx.pressure);
+    let mut issued = admitted.len();
     for rank in 0..plan.entries.len() {
         let entry = &plan.entries[rank];
         let policy = match &entry.status {
             EntryStatus::Skipped(_) => continue, // charged at admission
             EntryStatus::Admitted(p) => *p,
             EntryStatus::Deferred => {
-                // Interleaved admission: probe first (a skipped query must
-                // not charge the budget), then the budget.
+                // Interleaved admission: the overload ladder first (a shed
+                // query charges neither probe nor budget), then the probe
+                // (a skipped query must not charge the budget), then the
+                // budget.
+                if issued >= overload_cap {
+                    degraded.record_overload_shed(entry.fmeasure);
+                    continue;
+                }
                 if !ctx.probe.admits() {
                     degraded.record_breaker_skip(entry.fmeasure);
                     continue;
@@ -508,6 +556,7 @@ pub fn execute<F>(
                 match ctx.budget.admit(&plan.retry, query_fingerprint(&entry.issue)) {
                     Some(p) => {
                         ctx.probe.note_issued();
+                        issued += 1;
                         p
                     }
                     None => {
@@ -729,6 +778,77 @@ mod tests {
         ));
         assert_eq!(degraded.budget_skips, 1);
         assert!((degraded.dropped_fmeasure - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_ladder_clamps_admission_to_a_rank_prefix() {
+        let build = || {
+            let mut plan = MediationPlan::new(
+                "cars.com",
+                query(),
+                RetryPolicy::none(),
+                AdmissionMode::PlanTime,
+            );
+            for (i, f) in [0.9, 0.7, 0.5, 0.3].iter().enumerate() {
+                plan.push(entry(i as i64, *f, EntryStatus::Deferred));
+            }
+            plan
+        };
+        let admit_at = |pressure: PressureLevel| {
+            let mut plan = build();
+            let mut ctx = QueryContext::unbounded().with_pressure(pressure);
+            let mut degraded = Degradation::default();
+            plan.admit(&mut ctx, &mut degraded);
+            (plan, degraded)
+        };
+
+        let (normal, d) = admit_at(PressureLevel::Normal);
+        assert_eq!(normal.admitted_len(), 4);
+        assert_eq!(d.overload_sheds, 0);
+
+        // Elevated: top half (ceil(4·0.5) = 2), the rest shed and charged.
+        let (elevated, d) = admit_at(PressureLevel::Elevated);
+        assert_eq!(elevated.admitted_len(), 2);
+        assert!(matches!(elevated.entries[0].status, EntryStatus::Admitted(_)));
+        assert!(matches!(
+            elevated.entries[2].status,
+            EntryStatus::Skipped(SkipReason::Overload)
+        ));
+        assert_eq!(d.overload_sheds, 2);
+        assert!((d.dropped_fmeasure - 0.8).abs() < 1e-12);
+        assert!(d.is_degraded());
+
+        // High: top quarter (ceil(4·0.25) = 1).
+        let (high, d) = admit_at(PressureLevel::High);
+        assert_eq!(high.admitted_len(), 1);
+        assert_eq!(d.overload_sheds, 3);
+
+        // Critical: certain answers only — every rewrite shed.
+        let (critical, d) = admit_at(PressureLevel::Critical);
+        assert_eq!(critical.admitted_len(), 0);
+        assert_eq!(d.overload_sheds, 4);
+        assert!((d.dropped_fmeasure - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_skips_render_in_explain_output() {
+        let schema = Schema::of(
+            "cars",
+            &[("body", AttrType::Categorical), ("model", AttrType::Categorical)],
+        );
+        let mut plan = MediationPlan::new(
+            "cars.com",
+            SelectQuery::new(vec![Predicate::eq(schema.expect_attr("body"), "Convt")]),
+            RetryPolicy::default(),
+            AdmissionMode::PlanTime,
+        );
+        plan.push(entry(1, 0.9, EntryStatus::Deferred));
+        plan.push(entry(2, 0.7, EntryStatus::Deferred));
+        let mut ctx = QueryContext::unbounded().with_pressure(PressureLevel::High);
+        let mut degraded = Degradation::default();
+        plan.admit(&mut ctx, &mut degraded);
+        let text = plan.render(&schema);
+        assert!(text.contains("shed by overload ladder"), "{text}");
     }
 
     #[test]

@@ -287,6 +287,14 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
         self.inner.note_breaker_skip();
     }
 
+    fn note_shed(&self, n: usize) {
+        self.inner.note_shed(n);
+    }
+
+    fn note_deadline_refused(&self) {
+        self.inner.note_deadline_refused();
+    }
+
     fn note_knowledge_unavailable(&self) {
         self.inner.note_knowledge_unavailable();
     }
@@ -452,6 +460,14 @@ impl<S: AutonomousSource> AutonomousSource for SkewInjector<S> {
 
     fn note_breaker_skip(&self) {
         self.inner.note_breaker_skip();
+    }
+
+    fn note_shed(&self, n: usize) {
+        self.inner.note_shed(n);
+    }
+
+    fn note_deadline_refused(&self) {
+        self.inner.note_deadline_refused();
     }
 
     fn note_knowledge_unavailable(&self) {

@@ -626,6 +626,94 @@ impl QueryBudget {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pressure levels (overload degradation ladder)
+// ---------------------------------------------------------------------------
+
+/// How loaded the serving layer is, as seen by one mediation pass.
+///
+/// Pressure is the overload counterpart of a [`QueryBudget`]: where the
+/// budget bounds what *one* pass may spend, pressure bounds what the
+/// *mediator as a whole* commits to possible-answer retrieval while many
+/// passes are in flight. Each level is a rung of the degradation ladder:
+///
+/// | level        | admitted rewrite mass | hedging |
+/// |--------------|----------------------|---------|
+/// | `Normal`     | full plan            | on      |
+/// | `Elevated`   | top half (by rank)   | on      |
+/// | `High`       | top quarter          | off     |
+/// | `Critical`   | none (certain only)  | off     |
+///
+/// Rewrites clamped off a plan are skipped with
+/// `SkipReason::Overload` and charged to `Degradation` exactly like
+/// breaker skips, so EXPLAIN and the meters state the recall mass that
+/// overload cost. Certain answers (the base query) are never shed: the
+/// ladder only trades *possible-answer* recall for throughput, which
+/// keeps the answer lattice monotone as pressure rises.
+///
+/// The ordering derives from declaration order: `Normal < Elevated <
+/// High < Critical`, so "at least this loaded" is a plain `>=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PressureLevel {
+    /// No overload: the full admitted plan runs.
+    #[default]
+    Normal,
+    /// Load above half capacity: rewrite mass halves, hedging stays on.
+    Elevated,
+    /// Load above three-quarters capacity: top quarter of the plan only,
+    /// hedging disabled (a hedge doubles source queries — the first
+    /// thing to go when capacity is scarce).
+    High,
+    /// At or over capacity: certain answers only.
+    Critical,
+}
+
+impl PressureLevel {
+    /// Derives the level from an instantaneous load over a capacity,
+    /// using pure integer math so every thread derives the same level
+    /// from the same gauge reading. A zero capacity disables the ladder
+    /// (always `Normal`).
+    pub fn from_load(load: usize, capacity: usize) -> Self {
+        if capacity == 0 {
+            return PressureLevel::Normal;
+        }
+        if load >= capacity {
+            PressureLevel::Critical
+        } else if load * 4 >= capacity * 3 {
+            PressureLevel::High
+        } else if load * 2 >= capacity {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Normal
+        }
+    }
+
+    /// Fraction of the rank-ordered rewrite plan this rung still admits.
+    pub fn rewrite_fraction(&self) -> f64 {
+        match self {
+            PressureLevel::Normal => 1.0,
+            PressureLevel::Elevated => 0.5,
+            PressureLevel::High => 0.25,
+            PressureLevel::Critical => 0.0,
+        }
+    }
+
+    /// Whether hedged (doubled) queries are still allowed at this rung.
+    pub fn allows_hedging(&self) -> bool {
+        matches!(self, PressureLevel::Normal | PressureLevel::Elevated)
+    }
+
+    /// Stable label for EXPLAIN output and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::High => "high",
+            PressureLevel::Critical => "critical",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -866,5 +954,40 @@ mod tests {
         });
         assert_eq!(out, (0..8).collect::<Vec<_>>());
         assert_eq!(clock.nanos(), 8_000_000, "every worker sleep lands on the caller's clock");
+    }
+
+    #[test]
+    fn pressure_levels_are_ordered_and_derive_from_load() {
+        assert!(PressureLevel::Normal < PressureLevel::Elevated);
+        assert!(PressureLevel::Elevated < PressureLevel::High);
+        assert!(PressureLevel::High < PressureLevel::Critical);
+        let cap = 8;
+        assert_eq!(PressureLevel::from_load(0, cap), PressureLevel::Normal);
+        assert_eq!(PressureLevel::from_load(3, cap), PressureLevel::Normal);
+        assert_eq!(PressureLevel::from_load(4, cap), PressureLevel::Elevated);
+        assert_eq!(PressureLevel::from_load(5, cap), PressureLevel::Elevated);
+        assert_eq!(PressureLevel::from_load(6, cap), PressureLevel::High);
+        assert_eq!(PressureLevel::from_load(7, cap), PressureLevel::High);
+        assert_eq!(PressureLevel::from_load(8, cap), PressureLevel::Critical);
+        assert_eq!(PressureLevel::from_load(80, cap), PressureLevel::Critical);
+        // Zero capacity disables the ladder entirely.
+        assert_eq!(PressureLevel::from_load(1000, 0), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn pressure_ladder_monotonically_tightens() {
+        let rungs = [
+            PressureLevel::Normal,
+            PressureLevel::Elevated,
+            PressureLevel::High,
+            PressureLevel::Critical,
+        ];
+        for pair in rungs.windows(2) {
+            assert!(pair[0].rewrite_fraction() > pair[1].rewrite_fraction());
+            // Hedging never turns back on as pressure rises.
+            assert!(pair[0].allows_hedging() || !pair[1].allows_hedging());
+        }
+        assert_eq!(PressureLevel::Critical.rewrite_fraction(), 0.0);
+        assert!(!PressureLevel::Critical.allows_hedging());
     }
 }

@@ -27,6 +27,11 @@
 //!   distributions have shifted), and the retry boundary
 //!   ([`fault::RetryPolicy`], [`fault::query_with_retry`]) the mediator
 //!   issues queries through,
+//! * [`chaos`] — the composition layer over the failure model: a seeded,
+//!   pure pass-number → chaos schedule ([`chaos::ChaosSchedule`]) and a
+//!   source wrapper enacting it ([`chaos::ChaosSource`]), so soak tests
+//!   can storm outages, skew, corruption, breaker trips, and floods
+//!   together and still replay byte-identical at any thread count,
 //! * [`health`] — the availability layer above retries: per-source circuit
 //!   breakers ([`health::HealthRegistry`], deterministic snapshot/absorb
 //!   protocol), per-pass deadline/attempt budgets
@@ -50,6 +55,7 @@
 //! form for "tuples where attribute X is null".
 
 pub mod catalog;
+pub mod chaos;
 pub mod columnar;
 pub mod dict;
 pub mod error;
@@ -73,9 +79,10 @@ pub use dict::{Dictionary, ValueId};
 pub use error::SourceError;
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use fault::{query_with_retry, FaultInjector, FaultPlan, RetryPolicy, SkewInjector, SkewPlan};
+pub use chaos::{ChaosConfig, ChaosSchedule, ChaosSource, PassCell, PassChaos};
 pub use health::{
     install_clock, BreakerConfig, BreakerProbe, BreakerState, BreakerView, ClockGuard,
-    HealthRegistry, MediationClock, Observation, QueryBudget,
+    HealthRegistry, MediationClock, Observation, PressureLevel, QueryBudget,
 };
 pub use index::{AttrIndex, SelectionEngine};
 pub use query::{AggFunc, AggregateQuery, JoinQuery, PredOp, Predicate, SelectQuery};

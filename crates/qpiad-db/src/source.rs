@@ -63,6 +63,14 @@ pub struct SourceMeter {
     /// Queries skipped up front because this source's circuit breaker was
     /// open.
     pub breaker_skips: usize,
+    /// Rewritten queries shed by the overload degradation ladder before
+    /// they reached this source: admitted plan entries clamped off under a
+    /// non-`Normal` [`PressureLevel`](crate::health::PressureLevel).
+    pub shed: usize,
+    /// Queries refused because the propagated deadline could no longer fund
+    /// even a single attempt against this source — the request was turned
+    /// away at the cheapest layer instead of timing out mid-fan-out.
+    pub deadline_refused: usize,
     /// Mediation passes this source served certain-answers-only because
     /// its persisted knowledge failed to load (missing, corrupt, wrong
     /// version, or wrong schema — see `qpiad_learn::store`).
@@ -152,6 +160,16 @@ pub trait AutonomousSource: Sync {
     /// Records one query skipped because this source's breaker was open.
     fn note_breaker_skip(&self) {}
 
+    /// Records `n` rewritten queries shed from this source's plan by the
+    /// overload degradation ladder.
+    fn note_shed(&self, n: usize) {
+        let _ = n;
+    }
+
+    /// Records one query refused because the propagated deadline could no
+    /// longer fund a single attempt against this source.
+    fn note_deadline_refused(&self) {}
+
     /// Records one mediation pass served certain-answers-only because the
     /// source's persisted knowledge failed to load.
     fn note_knowledge_unavailable(&self) {}
@@ -209,6 +227,8 @@ struct MeterCells {
     quarantined: AtomicUsize,
     hedges: AtomicUsize,
     breaker_skips: AtomicUsize,
+    shed: AtomicUsize,
+    deadline_refused: AtomicUsize,
     knowledge_unavailable: AtomicUsize,
     drift_events: AtomicUsize,
     latency_ns: AtomicU64,
@@ -228,6 +248,8 @@ impl MeterCells {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
             breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_refused: self.deadline_refused.load(Ordering::Relaxed),
             knowledge_unavailable: self.knowledge_unavailable.load(Ordering::Relaxed),
             drift_events: self.drift_events.load(Ordering::Relaxed),
             latency_ns: self.latency_ns.load(Ordering::Relaxed),
@@ -246,6 +268,8 @@ impl MeterCells {
         self.quarantined.store(0, Ordering::Relaxed);
         self.hedges.store(0, Ordering::Relaxed);
         self.breaker_skips.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.deadline_refused.store(0, Ordering::Relaxed);
         self.knowledge_unavailable.store(0, Ordering::Relaxed);
         self.drift_events.store(0, Ordering::Relaxed);
         self.latency_ns.store(0, Ordering::Relaxed);
@@ -422,6 +446,14 @@ impl AutonomousSource for WebSource {
         MeterCells::bump(&self.inner.meter.breaker_skips);
     }
 
+    fn note_shed(&self, n: usize) {
+        self.inner.meter.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn note_deadline_refused(&self) {
+        MeterCells::bump(&self.inner.meter.deadline_refused);
+    }
+
     fn note_knowledge_unavailable(&self) {
         MeterCells::bump(&self.inner.meter.knowledge_unavailable);
     }
@@ -527,6 +559,14 @@ impl AutonomousSource for DirectSource {
 
     fn note_breaker_skip(&self) {
         MeterCells::bump(&self.inner.meter.breaker_skips);
+    }
+
+    fn note_shed(&self, n: usize) {
+        self.inner.meter.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn note_deadline_refused(&self) {
+        MeterCells::bump(&self.inner.meter.deadline_refused);
     }
 
     fn note_knowledge_unavailable(&self) {

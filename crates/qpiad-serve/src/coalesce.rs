@@ -31,6 +31,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use qpiad_core::network::NetworkAnswer;
+use qpiad_db::health::PressureLevel;
 use qpiad_db::{QueryBudget, SelectQuery, SourceError};
 
 /// The result one flight publishes to every caller in its group.
@@ -52,6 +53,10 @@ pub(crate) struct FlightKey {
     pub epoch: u64,
     /// The pass budget, flattened to hashable integers.
     pub budget: BudgetKey,
+    /// The overload-ladder rung the pass executes under. Different rungs
+    /// clamp different rewrite prefixes — their answers differ, so they
+    /// must not coalesce.
+    pub pressure: PressureLevel,
 }
 
 /// [`QueryBudget`] flattened for hashing (`Duration` as nanoseconds).
@@ -175,6 +180,7 @@ mod tests {
             query: SelectQuery::new(vec![Predicate::eq(AttrId(0), marker)]),
             epoch: 0,
             budget: QueryBudget::unlimited().into(),
+            pressure: PressureLevel::Normal,
         }
     }
 
@@ -215,7 +221,11 @@ mod tests {
         // Same template, different epoch: knowledge moved, no coalescing.
         let refreshed = FlightKey { epoch: a.epoch + 1, ..a.clone() };
         assert!(matches!(sf.join(&refreshed, || {}, || {}), Role::Leader(_)));
-        assert_eq!(sf.inflight_len(), 3);
+        // Same template, different ladder rung: clamped plans answer
+        // differently, so pressure is part of the key.
+        let pressured = FlightKey { pressure: PressureLevel::High, ..a.clone() };
+        assert!(matches!(sf.join(&pressured, || {}, || {}), Role::Leader(_)));
+        assert_eq!(sf.inflight_len(), 4);
     }
 
     #[test]

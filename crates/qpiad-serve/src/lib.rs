@@ -21,9 +21,22 @@
 //!   [`QueryBudget`](qpiad_db::QueryBudget) classes: interactive callers
 //!   are never queued, batch callers are capped at
 //!   [`ServeConfig::batch_concurrency`] concurrent passes;
-//! * [`ServeMetrics`] — a snapshot-able metrics surface: admission and
-//!   coalescing counters, tenancy scheduling peaks, and every member
-//!   source's [`SourceMeter`](qpiad_db::SourceMeter).
+//! * **overload control** — bounded admission and a degradation ladder:
+//!   batch work past [`ServeConfig::batch_queue_limit`] is shed with a
+//!   typed [`ServeError::Shed`] before any source fan-out; interactive
+//!   work descends the [`PressureLevel`](qpiad_db::health::PressureLevel)
+//!   ladder (fewer rewrites admitted, hedging off, finally certain
+//!   answers only), with every shed rewrite's recall mass charged to the
+//!   answer's degradation report; a server-wide
+//!   [`ServeConfig::deadline`] is stamped into each pass budget and
+//!   unfundable requests are refused with [`ServeError::DeadlineRefused`]
+//!   at admission;
+//! * [`ServeMetrics`] — a snapshot-able metrics surface: admission,
+//!   coalescing, shedding, and refusal counters, live in-flight gauges,
+//!   tenancy scheduling peaks, and every member source's
+//!   [`SourceMeter`](qpiad_db::SourceMeter) — obeying
+//!   `admitted == completed + shed + deadline_refused + errors` whenever
+//!   the server is quiesced ([`ServeMetrics::conserves`]).
 //!
 //! Determinism carries over from the mediator: coalesced callers share
 //! the leader's answer by construction, and independent passes replay the

@@ -7,17 +7,36 @@
 //!    refused) and the query is validated against the global schema, so a
 //!    malformed request is a graceful [`ServeError::MalformedQuery`]
 //!    instead of an out-of-bounds panic deep inside predicate matching.
-//! 2. **Coalesce** — the request joins the singleflight group for its
-//!    (query template, knowledge epoch, budget) key: the first caller
-//!    leads, concurrent duplicates park and share the leader's answer —
-//!    and its *single* source fan-out (see [`crate::coalesce`]).
-//! 3. **Schedule** — a batch-class leader takes one of
+//! 2. **Overload control** — admitted work is bounded. Batch-class
+//!    requests past [`ServeConfig::batch_queue_limit`] are refused with a
+//!    typed [`ServeError::Shed`] *before any source fan-out*; interactive
+//!    work is never refused but descends a degradation ladder instead: the
+//!    current [`PressureLevel`] (derived from the live in-flight gauge
+//!    against [`ServeConfig::pressure_capacity`]) clamps how much of the
+//!    ranked rewrite plan the pass may admit, disables hedging, and at the
+//!    top rung falls back to certain answers only — every shed rewrite is
+//!    charged to the answer's `Degradation` so EXPLAIN and metrics state
+//!    the recall mass given up. A server-wide deadline
+//!    ([`ServeConfig::deadline`]) is stamped into the pass budget; a
+//!    request that can no longer fund one attempt is refused with
+//!    [`ServeError::DeadlineRefused`] — the cheapest possible layer.
+//! 3. **Coalesce** — the request joins the singleflight group for its
+//!    (query template, knowledge epoch, budget, pressure) key: the first
+//!    caller leads, concurrent duplicates park and share the leader's
+//!    answer — and its *single* source fan-out (see [`crate::coalesce`]).
+//! 4. **Schedule** — a batch-class leader takes one of
 //!    [`ServeConfig::batch_concurrency`] batch slots before executing;
 //!    interactive leaders never queue, so a batch flood cannot starve
 //!    them.
-//! 4. **Execute** — one budgeted mediation pass runs on the network
+//! 5. **Execute** — one budgeted mediation pass runs on the network
 //!    (which installs its own [`MediationClock`] around the pass), and
 //!    the answer is published to the whole group.
+//!
+//! Every admitted request settles exactly once — completed, shed,
+//! deadline-refused, or errored — even across panic unwinds (a request
+//! guard charges an unsettled unwind to `errors`), so the metrics obey
+//! `admitted == completed + shed + deadline_refused + errors` whenever
+//! the server is quiesced.
 //!
 //! The server is `Sync`: callers invoke [`QpiadServer::query`] from as
 //! many threads as they like. All answers are shared via `Arc` — the
@@ -25,10 +44,12 @@
 //! a serial execution of the same requests.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 use qpiad_core::network::{MediatorNetwork, NetworkAnswer};
-use qpiad_db::health::MediationClock;
+use qpiad_db::health::{MediationClock, PressureLevel, QueryBudget};
 use qpiad_db::{SelectQuery, SourceError};
 
 use crate::coalesce::{Flight, FlightKey, Role, SharedAnswer, Singleflight};
@@ -45,11 +66,34 @@ pub struct ServeConfig {
     /// (default: yes). Disabling is only useful for measuring what
     /// coalescing saves.
     pub coalesce: bool,
+    /// Most batch-class requests allowed in flight at once (executing
+    /// *or* queued on the batch gate); further batch work is refused with
+    /// [`ServeError::Shed`] before any source fan-out. Default
+    /// `usize::MAX` — unbounded, batch leaders queue instead of shedding.
+    pub batch_queue_limit: usize,
+    /// In-flight request count at which the overload ladder reaches
+    /// [`PressureLevel::Critical`]. Intermediate rungs engage at 1/2 and
+    /// 3/4 of this capacity (see [`PressureLevel::from_load`]). Default
+    /// `0` — the ladder is disabled and every pass runs at
+    /// [`PressureLevel::Normal`].
+    pub pressure_capacity: usize,
+    /// Server-wide deadline stamped into every pass budget (the stricter
+    /// of this and the tenant's own deadline wins). A request whose
+    /// stamped budget cannot fund one mediation attempt is refused with
+    /// [`ServeError::DeadlineRefused`] at admission. Default `None` — no
+    /// server-side deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { batch_concurrency: 2, coalesce: true }
+        ServeConfig {
+            batch_concurrency: 2,
+            coalesce: true,
+            batch_queue_limit: usize::MAX,
+            pressure_capacity: 0,
+            deadline: None,
+        }
     }
 }
 
@@ -63,6 +107,25 @@ impl ServeConfig {
     /// Enables or disables request coalescing.
     pub fn with_coalesce(mut self, enabled: bool) -> Self {
         self.coalesce = enabled;
+        self
+    }
+
+    /// Bounds batch-class work in flight; excess is shed.
+    pub fn with_batch_queue_limit(mut self, n: usize) -> Self {
+        self.batch_queue_limit = n;
+        self
+    }
+
+    /// Sets the in-flight capacity the overload ladder is scaled against
+    /// (`0` disables the ladder).
+    pub fn with_pressure_capacity(mut self, n: usize) -> Self {
+        self.pressure_capacity = n;
+        self
+    }
+
+    /// Sets the server-wide deadline stamped into every pass budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -80,6 +143,21 @@ pub enum ServeError {
         /// What was wrong, for diagnostics.
         reason: String,
     },
+    /// Batch-class work refused because the class's in-flight bound
+    /// ([`ServeConfig::batch_queue_limit`]) was already full. No source
+    /// was contacted; retry after backing off.
+    Shed {
+        /// Batch requests in flight when this one was refused
+        /// (including it).
+        in_flight: usize,
+        /// The configured bound it exceeded.
+        limit: usize,
+    },
+    /// The stamped deadline (the stricter of the tenant's and
+    /// [`ServeConfig::deadline`]) could no longer fund a single mediation
+    /// attempt, so the request was refused at admission — the cheapest
+    /// possible layer.
+    DeadlineRefused,
     /// The mediation pass itself failed.
     Source(SourceError),
 }
@@ -89,6 +167,13 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownTenant { name } => write!(f, "unknown tenant `{name}`"),
             ServeError::MalformedQuery { reason } => write!(f, "malformed query: {reason}"),
+            ServeError::Shed { in_flight, limit } => write!(
+                f,
+                "shed: {in_flight} batch requests in flight exceed the limit of {limit}"
+            ),
+            ServeError::DeadlineRefused => {
+                write!(f, "deadline refused: budget cannot fund a single mediation attempt")
+            }
             ServeError::Source(e) => write!(f, "mediation failed: {e}"),
         }
     }
@@ -178,10 +263,41 @@ impl<'a> QpiadServer<'a> {
         &mut self.network
     }
 
-    /// Serves one query for `tenant`: admission, coalescing, scheduling,
-    /// then a budgeted mediation pass funded from the tenant's
-    /// [`QueryBudget`](qpiad_db::QueryBudget).
+    /// Serves one query for `tenant`: admission, overload control,
+    /// coalescing, scheduling, then a budgeted mediation pass funded from
+    /// the tenant's [`QueryBudget`]. The ladder rung is derived from live
+    /// load; use [`Self::query_under`] to pin it.
     pub fn query(&self, tenant: &str, query: &SelectQuery) -> Result<Arc<NetworkAnswer>, ServeError> {
+        self.serve(tenant, query, None)
+    }
+
+    /// [`Self::query`] at an explicitly pinned [`PressureLevel`],
+    /// bypassing load derivation. Deterministic harnesses use this to
+    /// drive the ladder from a schedule instead of live thread timing.
+    pub fn query_under(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        pressure: PressureLevel,
+    ) -> Result<Arc<NetworkAnswer>, ServeError> {
+        self.serve(tenant, query, Some(pressure))
+    }
+
+    /// The overload-ladder rung the server is at right now, derived from
+    /// the live in-flight gauge against [`ServeConfig::pressure_capacity`].
+    pub fn pressure(&self) -> PressureLevel {
+        PressureLevel::from_load(
+            self.metrics.in_flight.load(Ordering::Relaxed),
+            self.config.pressure_capacity,
+        )
+    }
+
+    fn serve(
+        &self,
+        tenant: &str,
+        query: &SelectQuery,
+        pinned: Option<PressureLevel>,
+    ) -> Result<Arc<NetworkAnswer>, ServeError> {
         let spec = match lock(&self.tenants).get(tenant) {
             Some(t) => t.clone(),
             None => {
@@ -198,12 +314,43 @@ impl<'a> QpiadServer<'a> {
             TenantClass::Interactive => &self.metrics.interactive,
             TenantClass::Batch => &self.metrics.batch,
         });
+        // From here every path must settle exactly once; the guard charges
+        // an unsettled unwind to `errors` and keeps the gauges exact.
+        let guard = RequestGuard::begin(&self.metrics, spec.class());
+
+        // Bounded admission: batch work past the class limit is shed
+        // before any source fan-out. Interactive work is never shed — it
+        // descends the degradation ladder below instead.
+        if spec.class() == TenantClass::Batch {
+            let live = self.metrics.batch_live.load(Ordering::Relaxed);
+            if live > self.config.batch_queue_limit {
+                MetricCells::bump(&self.metrics.shed);
+                guard.settle();
+                return Err(ServeError::Shed { in_flight: live, limit: self.config.batch_queue_limit });
+            }
+        }
+
+        let pressure = pinned.unwrap_or_else(|| self.pressure());
+
+        // Deadline propagation: the stricter of the tenant's deadline and
+        // the server-wide one funds the pass. A budget that cannot fund
+        // one attempt is refused here — nothing cheaper exists.
+        let mut budget = spec.budget();
+        if let Some(deadline) = self.config.deadline {
+            budget.deadline = budget.deadline.min(deadline);
+        }
+        if budget.is_exhausted() {
+            MetricCells::bump(&self.metrics.deadline_refused);
+            guard.settle();
+            return Err(ServeError::DeadlineRefused);
+        }
 
         let result = if self.config.coalesce {
             let key = FlightKey {
                 query: query.clone(),
                 epoch: self.network.knowledge_epoch(),
-                budget: spec.budget().into(),
+                budget: budget.into(),
+                pressure,
             };
             match self.flights.join(
                 &key,
@@ -214,23 +361,43 @@ impl<'a> QpiadServer<'a> {
                     MetricCells::bump(&self.metrics.coalesced);
                     result
                 }
-                Role::Leader(flight) => self.lead(&key, &flight, &spec, query),
+                Role::Leader(flight) => self.lead(&key, &flight, &spec, query, budget, pressure),
             }
         } else {
             MetricCells::bump(&self.metrics.leaders);
-            self.execute(&spec, query)
+            self.execute(&spec, query, budget, pressure)
         };
 
-        result.map_err(|e| {
-            MetricCells::bump(&self.metrics.errors);
-            ServeError::Source(e)
-        })
+        match result {
+            Ok(answer) => {
+                MetricCells::bump(&self.metrics.completed);
+                guard.settle();
+                Ok(answer)
+            }
+            Err(e) => {
+                MetricCells::bump(&self.metrics.errors);
+                guard.settle();
+                Err(ServeError::Source(e))
+            }
+        }
     }
 
     /// Renders the network's EXPLAIN for a validated query.
     pub fn explain(&self, query: &SelectQuery) -> Result<String, ServeError> {
         self.validate(query).map_err(|reason| ServeError::MalformedQuery { reason })?;
         Ok(self.network.explain(query))
+    }
+
+    /// Renders EXPLAIN as it would plan under `pressure`: the overload
+    /// header plus every rewrite the ladder would shed, with its recall
+    /// mass, marked `shed by overload ladder`.
+    pub fn explain_under(
+        &self,
+        query: &SelectQuery,
+        pressure: PressureLevel,
+    ) -> Result<String, ServeError> {
+        self.validate(query).map_err(|reason| ServeError::MalformedQuery { reason })?;
+        Ok(self.network.explain_under(query, pressure))
     }
 
     /// A snapshot of the serving counters plus every member's meter.
@@ -253,15 +420,23 @@ impl<'a> QpiadServer<'a> {
         flight: &Flight,
         spec: &Tenant,
         query: &SelectQuery,
+        budget: QueryBudget,
+        pressure: PressureLevel,
     ) -> SharedAnswer {
         MetricCells::bump(&self.metrics.leaders);
         let mut publish = LeaderPublish { flights: &self.flights, key, flight, published: false };
-        let result = self.execute(spec, query);
+        let result = self.execute(spec, query, budget, pressure);
         publish.publish(result)
     }
 
-    /// One scheduled, budgeted mediation pass.
-    fn execute(&self, spec: &Tenant, query: &SelectQuery) -> SharedAnswer {
+    /// One scheduled, budgeted mediation pass at the given ladder rung.
+    fn execute(
+        &self,
+        spec: &Tenant,
+        query: &SelectQuery,
+        budget: QueryBudget,
+        pressure: PressureLevel,
+    ) -> SharedAnswer {
         let _permit = (spec.class() == TenantClass::Batch).then(|| {
             self.batch_gate.acquire(self.config.batch_concurrency);
             MetricCells::raise_gauge(
@@ -270,7 +445,7 @@ impl<'a> QpiadServer<'a> {
             );
             BatchPermit { gate: &self.batch_gate, metrics: &self.metrics }
         });
-        self.network.answer_budgeted(query, spec.budget()).map(Arc::new)
+        self.network.answer_under(query, budget, pressure).map(Arc::new)
     }
 
     /// Admission-time validation: every constrained attribute must exist
@@ -336,5 +511,44 @@ impl Drop for BatchPermit<'_> {
     fn drop(&mut self) {
         MetricCells::lower_gauge(&self.metrics.batch_in_flight);
         self.gate.release();
+    }
+}
+
+/// Accounting guard for one admitted request: raises the live gauges at
+/// admission, lowers them on every exit, and — if the request unwinds
+/// before settling into completed/shed/deadline_refused/errors — charges
+/// it to `errors`, so the conservation equation survives panics.
+struct RequestGuard<'s> {
+    metrics: &'s MetricCells,
+    batch: bool,
+    settled: bool,
+}
+
+impl<'s> RequestGuard<'s> {
+    fn begin(metrics: &'s MetricCells, class: TenantClass) -> Self {
+        MetricCells::raise_gauge(&metrics.in_flight, &metrics.in_flight_peak);
+        let batch = class == TenantClass::Batch;
+        if batch {
+            metrics.batch_live.fetch_add(1, Ordering::Relaxed);
+        }
+        RequestGuard { metrics, batch, settled: false }
+    }
+
+    /// Marks the request's outcome as already counted; the drop that
+    /// follows only lowers the gauges.
+    fn settle(mut self) {
+        self.settled = true;
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            MetricCells::bump(&self.metrics.errors);
+        }
+        if self.batch {
+            MetricCells::lower_gauge(&self.metrics.batch_live);
+        }
+        MetricCells::lower_gauge(&self.metrics.in_flight);
     }
 }

@@ -24,6 +24,13 @@
 //! requests coalesce onto one mediation pass (sharing one source
 //! fan-out), and the serving metrics report the observed hit rate.
 //!
+//! The last act floods a bounded server: a batch tenant hammers a tight
+//! `batch_queue_limit` (excess is shed with a typed error before any
+//! source fan-out) while interactive work walks the degradation ladder
+//! rung by rung — fewer rewrites admitted as pressure rises, certain
+//! answers only at `Critical` — with EXPLAIN reporting the recall mass
+//! each rung sheds as an overload cost.
+//!
 //! ```text
 //! cargo run --release --example multi_source_network
 //! ```
@@ -39,8 +46,9 @@ use qpiad::db::{
     AutonomousSource, BreakerConfig, FaultInjector, FaultPlan, HealthRegistry, Predicate,
     RetryPolicy, SelectQuery, WebSource,
 };
+use qpiad::db::PressureLevel;
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
-use qpiad::serve::{QpiadServer, Tenant};
+use qpiad::serve::{QpiadServer, ServeConfig, ServeError, Tenant};
 
 fn main() {
     // cars.com: full global schema, incomplete, with mined statistics.
@@ -83,7 +91,7 @@ fn main() {
         Arc::new(HealthRegistry::new(BreakerConfig::default().with_failure_threshold(3)));
     let network = MediatorNetwork::new(global.clone(), config)
         .with_health(registry.clone())
-        .add_supporting(&cars, stats)
+        .add_supporting(&cars, stats.clone())
         .add_deficient(&yahoo)
         .add_deficient(&carsdirect);
 
@@ -206,5 +214,93 @@ fn main() {
         m.coalesced,
         m.coalesce_hit_rate(),
         m.source_queries(),
+    );
+
+    // The same mediator behind overload control: batch admission is
+    // bounded (excess is shed before any source fan-out) and interactive
+    // work descends the degradation ladder instead of being refused.
+    println!("\n=== overload: bounded admission + the degradation ladder ===\n");
+    let bounded_net = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .add_supporting(&cars, stats);
+    let bounded = QpiadServer::new(bounded_net).with_config(
+        ServeConfig::default()
+            .with_batch_concurrency(1)
+            .with_batch_queue_limit(1)
+            .with_pressure_capacity(4),
+    );
+    bounded.register(Tenant::interactive("dashboard"));
+    bounded.register(Tenant::batch("crawler"));
+
+    // Walk the ladder rung by rung on one template: rising pressure
+    // clamps the admitted rewrite mass to a shrinking top-ranked prefix,
+    // and every shed rewrite's F-measure recall mass is charged to the
+    // answer's degradation report. Certain answers survive every rung.
+    let rungs = [
+        PressureLevel::Normal,
+        PressureLevel::Elevated,
+        PressureLevel::High,
+        PressureLevel::Critical,
+    ];
+    for rung in rungs {
+        let answer =
+            bounded.query_under("dashboard", &convt, rung).expect("the ladder never refuses");
+        let (sheds, mass) = answer
+            .per_source
+            .iter()
+            .map(|part| match &part.outcome {
+                SourceOutcome::Degraded(d) => (d.overload_sheds, d.dropped_fmeasure),
+                _ => (0, 0.0),
+            })
+            .fold((0, 0.0), |(s, m), (ds, dm)| (s + ds, m + dm));
+        println!(
+            "  {:<8} -> {} certain + {:>2} possible answers  \
+             ({} rewrites shed by the ladder, {:.3} recall mass)",
+            rung.label(),
+            answer.certain_count(),
+            answer.possible_count(),
+            sheds,
+            mass,
+        );
+    }
+
+    // EXPLAIN under pressure: the plan renders with every clamped entry
+    // carrying an overload skip reason and its forgone recall mass —
+    // still without issuing a single source query.
+    println!("\n=== EXPLAIN (pinned at High pressure — ladder skips visible) ===\n");
+    println!(
+        "{}",
+        bounded.explain_under(&convt, PressureLevel::High).expect("valid template")
+    );
+
+    // Flood the batch gate from six crawler threads while the dashboard
+    // keeps querying: batch work past the queue limit is refused with a
+    // typed shed *before* any source fan-out; interactive work always
+    // completes. The accounting balances exactly afterwards.
+    std::thread::scope(|scope| {
+        for caller in 0..6 {
+            let bounded = &bounded;
+            let queries = &queries;
+            scope.spawn(move || {
+                for round in 0..8 {
+                    match bounded.query("crawler", &queries[(caller + round) % queries.len()]) {
+                        Ok(_) | Err(ServeError::Shed { .. }) => {}
+                        Err(e) => panic!("flood rejections are typed sheds: {e}"),
+                    }
+                }
+            });
+        }
+        for _ in 0..4 {
+            bounded.query("dashboard", &convt).expect("interactive work is never shed");
+        }
+    });
+    let m = bounded.metrics();
+    println!(
+        "flood: {} admitted, {} completed, {} shed (shed rate {:.2}); \
+         accounting conserves: {}",
+        m.admitted,
+        m.completed,
+        m.shed,
+        m.shed_rate(),
+        m.conserves(),
     );
 }

@@ -771,6 +771,102 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Overload ladder monotonicity under chaos
+// ---------------------------------------------------------------------------
+
+use qpiad::db::{
+    ChaosConfig, ChaosSchedule, ChaosSource, PassCell, PressureLevel, QueryBudget, TupleId as Tid,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The degradation ladder clamps a rank-ordered *prefix* of the rewrite
+    /// plan, so the answer lattice is monotone in pressure: for any chaos
+    /// schedule and any two rungs p1 ≤ p2, the possible answers served at
+    /// p2 are a subset of those at p1 (same tuples, found by the same
+    /// ranked rewrites), and the certain answers are identical — overload
+    /// trades recall, never soundness.
+    #[test]
+    fn overload_ladder_is_monotone_under_chaos(
+        seed in 0u64..1_000,
+        pass in 0u64..64,
+        style_idx in 0usize..8,
+        a in 0usize..4,
+        b in 0usize..4,
+    ) {
+        static STYLES: [&str; 8] = [
+            "Sedan", "Coupe", "Convt", "SUV", "Hatchback", "Truck", "Van", "Wagon",
+        ];
+        const RUNGS: [PressureLevel; 4] = [
+            PressureLevel::Normal,
+            PressureLevel::Elevated,
+            PressureLevel::High,
+            PressureLevel::Critical,
+        ];
+        let (p1, p2) = (RUNGS[a.min(b)], RUNGS[a.max(b)]);
+        let (ed, stats) = cars_stats();
+        let global = ed.schema().clone();
+        let q = SelectQuery::new(vec![Predicate::eq(
+            global.expect_attr("body_style"),
+            STYLES[style_idx],
+        )]);
+
+        // One mediation pass at `pressure` under an arbitrary chaos
+        // schedule pinned to an arbitrary pass number; both runs see the
+        // exact same chaos because the schedule is a pure function of
+        // (seed, member, pass).
+        let run = |pressure: PressureLevel| -> (Vec<Tid>, Vec<(Tid, usize)>) {
+            let schedule = Arc::new(ChaosSchedule::new(
+                ChaosConfig::calm(1)
+                    .with_seed(seed)
+                    .with_outage_rate(0.15)
+                    .with_skew_rate(0.3),
+            ));
+            let cell = PassCell::new();
+            cell.set(pass);
+            let source = ChaosSource::new(
+                WebSource::new("cars.com", ed.clone()),
+                0,
+                schedule,
+                cell,
+            );
+            let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+                .add_supporting(&source, stats.clone());
+            let answer = network
+                .answer_under(&q, QueryBudget::unlimited(), pressure)
+                .expect("a single-member pass never fails outright");
+            let certain = answer
+                .per_source
+                .iter()
+                .flat_map(|s| s.certain.iter().map(|t| t.id()))
+                .collect();
+            let possible = answer
+                .per_source
+                .iter()
+                .flat_map(|s| s.possible.iter().map(|r| (r.tuple.id(), r.query_index)))
+                .collect();
+            (certain, possible)
+        };
+
+        let (certain_lo, possible_lo) = run(p1);
+        let (certain_hi, possible_hi) = run(p2);
+
+        prop_assert_eq!(&certain_lo, &certain_hi, "certain answers must not move with pressure");
+        let lo_set: std::collections::HashSet<_> = possible_lo.iter().collect();
+        for entry in &possible_hi {
+            prop_assert!(
+                lo_set.contains(entry),
+                "possible answer {entry:?} served at {p2:?} but not at {p1:?}"
+            );
+        }
+        if p2 == PressureLevel::Critical {
+            prop_assert!(possible_hi.is_empty(), "Critical serves certain answers only");
+        }
+    }
+}
+
 // Silence the unused warning for Arc (used via Schema construction above).
 #[allow(dead_code)]
 fn _touch(_: Arc<Schema>) {}

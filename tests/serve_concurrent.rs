@@ -24,8 +24,8 @@ use qpiad::data::cars::CarsConfig;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
 use qpiad::data::sample::uniform_sample;
 use qpiad::db::{
-    AttrId, AutonomousSource, Predicate, Relation, Schema, SelectQuery, SourceError, SourceMeter,
-    Tuple, Value, WebSource,
+    AttrId, AutonomousSource, Predicate, PressureLevel, QueryBudget, Relation, Schema, SelectQuery,
+    SourceError, SourceMeter, Tuple, Value, WebSource,
 };
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 use qpiad::serve::{QpiadServer, ServeConfig, ServeError, Tenant};
@@ -120,6 +120,12 @@ impl<S: AutonomousSource> AutonomousSource for GateSource<S> {
     fn note_breaker_skip(&self) {
         self.inner.note_breaker_skip()
     }
+    fn note_shed(&self, n: usize) {
+        self.inner.note_shed(n)
+    }
+    fn note_deadline_refused(&self) {
+        self.inner.note_deadline_refused()
+    }
     fn note_knowledge_unavailable(&self) {
         self.inner.note_knowledge_unavailable()
     }
@@ -198,7 +204,9 @@ fn coalesced_duplicates_share_one_fanout_and_one_answer() {
     assert_eq!(m.leaders, 1);
     assert_eq!(m.coalesced, CALLERS - 1);
     assert_eq!(m.coalesce_waiters, 0);
+    assert_eq!(m.in_flight, 0, "live gauge must drain to zero at quiescence");
     assert_eq!(m.errors, 0);
+    assert!(m.conserves(), "admitted == completed + shed + deadline_refused + errors");
 
     // Meter-verified: N coalesced callers cost exactly the fan-out of ONE
     // pass on a serial twin, and the answer is byte-identical to it.
@@ -257,6 +265,7 @@ fn concurrent_mixed_workload_matches_serial_execution_byte_for_byte() {
     for per_thread in &rendered {
         assert_eq!(per_thread, &reference, "concurrent answers must be byte-identical to serial");
     }
+    assert!(server.metrics().conserves());
 }
 
 #[test]
@@ -317,6 +326,8 @@ fn interactive_tenants_are_never_starved_by_batch_floods() {
         m.batch_in_flight_peak, 1,
         "batch concurrency cap must bound concurrent batch passes"
     );
+    assert_eq!(m.in_flight, 0, "live gauge must drain to zero at quiescence");
+    assert!(m.conserves());
 }
 
 #[test]
@@ -352,4 +363,145 @@ fn admission_rejects_unknown_tenants_and_malformed_queries_gracefully() {
     let m = server.metrics();
     assert_eq!(m.rejected, 2);
     assert_eq!(m.admitted, 1);
+    assert!(m.conserves(), "rejected requests sit outside the conservation equation");
+}
+
+#[test]
+fn batch_work_past_the_queue_limit_is_shed_before_any_fanout() {
+    let (cars, stats, global) = cars_source("cars.com");
+    let model = global.expect_attr("model");
+    let gated = GateSource::new(cars, vec![(model, Value::str("F150"))]);
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(4))
+        .add_supporting(&gated, stats);
+    let server = QpiadServer::new(network).with_config(
+        ServeConfig::default().with_batch_concurrency(1).with_batch_queue_limit(1),
+    );
+    server.register(Tenant::batch("nightly"));
+
+    std::thread::scope(|scope| {
+        let wedged = scope.spawn(|| {
+            let q = SelectQuery::new(vec![Predicate::eq(model, "F150")]);
+            server.query("nightly", &q)
+        });
+        await_state("one batch pass wedged in flight", || server.metrics().in_flight == 1);
+
+        // The class is at its bound: the next batch request is refused
+        // with a typed error before any source is contacted.
+        let fanout_before = gated.meter().queries;
+        let q = SelectQuery::new(vec![Predicate::eq(model, "Civic")]);
+        let refused = server.query("nightly", &q);
+        assert!(
+            matches!(refused, Err(ServeError::Shed { in_flight: 2, limit: 1 })),
+            "expected a typed shed, got {refused:?}"
+        );
+        assert_eq!(gated.meter().queries, fanout_before, "shed must precede all source fan-out");
+
+        gated.open();
+        wedged.join().unwrap().expect("the admitted batch pass must still complete");
+    });
+
+    let m = server.metrics();
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.in_flight, 0);
+    assert!(m.conserves());
+}
+
+#[test]
+fn unfundable_deadlines_are_refused_at_the_cheapest_layer() {
+    let (cars, stats, global) = cars_source("cars.com");
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(4))
+        .add_supporting(&cars, stats);
+    let server = QpiadServer::new(network)
+        .with_config(ServeConfig::default().with_deadline(Duration::from_millis(5)));
+    server.register(Tenant::interactive("web"));
+    server.register(Tenant::interactive("slow").with_budget(
+        QueryBudget::unlimited().with_query_cost(Duration::from_millis(50)),
+    ));
+
+    let body = global.expect_attr("body_style");
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // A pass modeled at 50ms per source query cannot finish inside the
+    // 5ms server-wide deadline: refused at admission, zero source cost.
+    let fanout_before = cars.meter().queries;
+    assert!(matches!(server.query("slow", &q), Err(ServeError::DeadlineRefused)));
+    assert_eq!(cars.meter().queries, fanout_before, "refusal must not touch any source");
+
+    // A tenant whose stamped budget still funds an attempt is served.
+    assert!(server.query("web", &q).is_ok());
+
+    let m = server.metrics();
+    assert_eq!(m.deadline_refused, 1);
+    assert_eq!(m.completed, 1);
+    assert!(m.conserves());
+}
+
+#[test]
+fn the_ladder_degrades_interactive_work_instead_of_refusing_it() {
+    let (cars, stats, global) = cars_source("cars.com");
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(6))
+        .add_supporting(&cars, stats);
+    let server = QpiadServer::new(network);
+    server.register(Tenant::interactive("web"));
+
+    let body = global.expect_attr("body_style");
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    let normal = server.query_under("web", &q, PressureLevel::Normal).unwrap();
+    let critical = server.query_under("web", &q, PressureLevel::Critical).unwrap();
+
+    // The top rung keeps every certain answer and sheds every rewrite —
+    // degraded recall, never a refusal.
+    assert_eq!(critical.certain_count(), normal.certain_count());
+    assert!(normal.possible_count() > 0, "fixture must produce possible answers at Normal");
+    assert_eq!(critical.possible_count(), 0, "Critical serves certain answers only");
+    // The recall cost is declared, not silent: the member reports itself
+    // degraded and its meter carries the shed rewrites.
+    assert_eq!(critical.degraded_count(), 1);
+    assert!(cars.meter().shed > 0, "shed rewrites must be charged to the source meter");
+
+    let m = server.metrics();
+    assert_eq!(m.completed, 2);
+    assert!(m.conserves());
+}
+
+#[test]
+fn pressure_derives_from_the_live_in_flight_gauge() {
+    const CALLERS: usize = 4;
+
+    let (cars, stats, global) = cars_source("cars.com");
+    let gated = GateSource::all(cars);
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(4))
+        .add_supporting(&gated, stats);
+    let server = QpiadServer::new(network)
+        .with_config(ServeConfig::default().with_pressure_capacity(CALLERS));
+    server.register(Tenant::interactive("web"));
+
+    let body = global.expect_attr("body_style");
+    assert_eq!(server.pressure(), PressureLevel::Normal, "an idle server is at Normal");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+                    server.query("web", &q)
+                })
+            })
+            .collect();
+        // With every pass wedged inside the gated source, the live load
+        // equals the configured capacity: the ladder reads Critical.
+        await_state("all callers in flight", || server.metrics().in_flight == CALLERS);
+        assert_eq!(server.pressure(), PressureLevel::Critical);
+        gated.open();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+    });
+
+    assert_eq!(server.pressure(), PressureLevel::Normal, "pressure releases with the load");
+    let m = server.metrics();
+    assert_eq!(m.in_flight, 0);
+    assert!(m.conserves());
 }
