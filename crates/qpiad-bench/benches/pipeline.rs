@@ -5,7 +5,9 @@
 //! fault-injected network, the breaker-guarded faulted network, the
 //! knowledge lifecycle (snapshot persist + store load + drift-watched
 //! answer), the concurrent serving front end (`qpiad-serve` with request
-//! coalescing), and a 1M-row cold-answer scale probe — at
+//! coalescing), a knowledge refresh under live traffic (drift-triggered
+//! `maintain()`: re-mine + persist + epoch swap while callers flood), and
+//! a 1M-row cold-answer scale probe — at
 //! `bench_scale()` with the worker pool pinned to 1 thread and then to the
 //! machine's hardware parallelism, and writes the timings to
 //! `BENCH_pipeline.json` at the repository root.
@@ -27,7 +29,7 @@ use std::sync::Arc;
 
 use qpiad_db::{
     AutonomousSource, BreakerConfig, FaultInjector, FaultPlan, HealthRegistry, Predicate,
-    RetryPolicy, SelectQuery, SelectionEngine, WebSource,
+    RetryPolicy, SelectQuery, SelectionEngine, Value, WebSource,
 };
 use qpiad_eval::experiments::common::cars_world;
 use qpiad_learn::drift::{DriftConfig, DriftRegistry};
@@ -338,6 +340,68 @@ fn main() {
         overload_completed.set(m.completed);
     }));
 
+    // Knowledge-refresh stage: a drifted member is re-mined, persisted to
+    // the store, and epoch-swapped by `maintain()` while caller threads
+    // keep replaying the serving mix — the figures of merit are the
+    // refresh latency itself (mine + persist + publish) and the
+    // served-query throughput the server sustains across the swap.
+    let refresh_store_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/qpiad-bench-refresh");
+    let make = world.ed.schema().expect_attr("make");
+    let refresh_latency = std::cell::Cell::new(0.0_f64);
+    let refresh_served = std::cell::Cell::new(0usize);
+    runs.push(time("knowledge_refresh", par_threads, reps, || {
+        let _ = std::fs::remove_dir_all(refresh_store_dir);
+        let store = KnowledgeStore::open(refresh_store_dir).expect("open refresh store");
+        let registry = Arc::new(DriftRegistry::new(
+            DriftConfig::default().with_min_observations(50).with_threshold(0.3),
+        ));
+        let network =
+            MediatorNetwork::new(world.ed.schema().clone(), QpiadConfig::default().with_k(10))
+                .with_drift(Arc::clone(&registry))
+                .add_supporting(&source, world.stats.clone())
+                .add_deficient(&yahoo);
+        let server = QpiadServer::new(network).with_knowledge_store(store, MiningConfig::default());
+        server.register(Tenant::interactive("bench"));
+
+        // Fire the drift verdict synthetically (a hand-fed skewed probe),
+        // so the timed span measures the refresh, not drift accumulation.
+        let reference_rows: Vec<_> = world.ed.tuples().iter().take(200).cloned().collect();
+        let skewed_rows: Vec<_> = reference_rows
+            .iter()
+            .map(|t| t.with_value(make, Value::str("Drifted")))
+            .collect();
+        let mut probe = registry.probe("cars.com").expect("member registered for drift");
+        probe.observe(&reference_rows, &skewed_rows);
+        assert!(registry.absorb("cars.com", probe).is_some(), "verdict must fire");
+
+        std::thread::scope(|scope| {
+            for _ in 0..par_threads {
+                scope.spawn(|| {
+                    for round in 0..serve_requests {
+                        let style = serve_styles[round % serve_styles.len()];
+                        let q = SelectQuery::new(vec![Predicate::eq(body, style)]);
+                        let ans =
+                            server.query("bench", &q).expect("serving never aborts across a swap");
+                        assert!(ans.possible_count() > 0);
+                    }
+                });
+            }
+            let maintainer = scope.spawn(|| {
+                let t0 = Instant::now();
+                let report = server.maintain(|_, _| {
+                    Ok(SourceStats::mine(&sample, world.ed.len(), &MiningConfig::default()))
+                });
+                assert_eq!(report.refreshed.len(), 1, "the drifted member must heal");
+                t0.elapsed().as_secs_f64()
+            });
+            refresh_latency.set(maintainer.join().expect("maintenance must not panic"));
+        });
+        let m = server.metrics();
+        assert!(m.conserves(), "refresh accounting must balance when quiesced");
+        assert_eq!(m.errors, 0, "no request may fail across the swap");
+        refresh_served.set(m.completed);
+    }));
+
     // Scale stage, isolated at the end: a 1M-row corrupted source
     // (dictionary + columnar image built once at `Relation` construction,
     // untimed) with knowledge mined from a small sample. Built only after
@@ -443,6 +507,23 @@ fn main() {
              \"completed_qps_under_flood\": {qps_under_flood:.1} }},\n",
             overload_shed_rate.get(),
             overload_completed.get()
+        ));
+    }
+    // Refresh figures: how long the drift-triggered refresh itself took
+    // (re-mine + crash-safe persist + epoch publication) and the
+    // completed-request throughput the server sustained while the swap
+    // landed under live traffic.
+    {
+        let refresh =
+            runs.iter().find(|r| r.name == "knowledge_refresh").expect("refresh stage ran");
+        let qps_during_refresh = refresh_served.get() as f64 / refresh.secs_min;
+        json.push_str(&format!(
+            "  \"knowledge_refresh\": {{ \"callers\": {par_threads}, \
+             \"requests_per_caller\": {serve_requests}, \
+             \"refresh_latency_secs\": {:.6}, \"served_during_refresh\": {}, \
+             \"served_qps_during_refresh\": {qps_during_refresh:.1} }},\n",
+            refresh_latency.get(),
+            refresh_served.get()
         ));
     }
     // The plan cache's win is warm-over-cold at the same thread count, not

@@ -45,7 +45,7 @@
 //! re-mining via [`MediatorNetwork::refresh_member`], which atomically
 //! swaps in freshly mined statistics without disturbing in-flight passes.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 
 use qpiad_db::health::{
@@ -54,11 +54,11 @@ use qpiad_db::health::{
 };
 use qpiad_db::par;
 use qpiad_db::{
-    AttrId, AutonomousSource, KnowledgeVersionClock, Schema, SelectQuery, SourceBinding,
-    SourceError, SourceMeter, Tuple,
+    AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, SourceMeter, Tuple,
 };
 use qpiad_learn::afd::AfdSet;
 use qpiad_learn::drift::{DriftProbe, DriftRegistry, DriftVerdict};
+use qpiad_learn::epoch::{KnowledgeCell, MemberKnowledge};
 use qpiad_learn::knowledge::{MiningConfig, SourceStats};
 use qpiad_learn::persist::{PersistError, StatsSnapshot};
 use qpiad_learn::store::KnowledgeStore;
@@ -76,20 +76,25 @@ use crate::rank::RankConfig;
 struct Member<'a> {
     source: &'a dyn AutonomousSource,
     binding: SourceBinding,
-    /// Statistics mined from this source's sample, if the source supports
-    /// the full global schema (statistics live in global-attribute space).
-    stats: Option<SourceStats>,
-    /// `true` iff `stats` was restored from a snapshot instead of mined
-    /// live ([`MediatorNetwork::add_supporting_or_stale`]); every answer
-    /// this member serves is tagged [`Degradation::stale_knowledge`].
-    stale: bool,
-    /// `true` iff this member was registered from a [`KnowledgeStore`]
-    /// whose snapshot failed to load: the member serves certain answers
-    /// only, tagged [`Degradation::knowledge_unavailable`], until
-    /// [`MediatorNetwork::refresh_member`] re-mines it.
-    knowledge_unavailable: bool,
-    /// Why the persisted knowledge could not be used (diagnostics).
-    knowledge_error: Option<PersistError>,
+    /// The member's mined knowledge — statistics plus provenance flags
+    /// (stale snapshot, contained load failure) — behind an epoch-swapped
+    /// [`KnowledgeCell`]. Every pass pins the cell once at admission and
+    /// uses that pinned generation throughout; a concurrent
+    /// [`MediatorNetwork::refresh_member`] publishes a replacement without
+    /// disturbing the pin, so a pass can never observe a torn mix of two
+    /// knowledge generations.
+    knowledge: KnowledgeCell,
+}
+
+/// Every member's knowledge pinned for one pass, snapshotted sequentially
+/// at pass admission — the read side of the epoch swap. `pins[i]` is
+/// member `i`'s pinned generation; `versions[i]` is the plan-cache
+/// knowledge version the pass plans member `i` under (drift clock plus
+/// pinned epoch), so a cached plan can never be keyed by one generation
+/// and executed against another.
+struct PassKnowledge {
+    pins: Vec<Arc<MemberKnowledge>>,
+    versions: Vec<u64>,
 }
 
 /// One member's drift state for a single pass, snapshotted sequentially
@@ -230,11 +235,6 @@ pub struct MediatorNetwork<'a> {
     /// rewrites are memoized per (query template, knowledge version).
     /// `None` disables plan caching.
     plan_cache: Option<Arc<PlanCache>>,
-    /// Network-local knowledge versions, bumped on every successful
-    /// [`Self::refresh_member`]; combined with the drift registry's clock
-    /// (which also counts drift demotions) for the cache key, so a re-mine
-    /// or a drift verdict silently orphans the member's cached plans.
-    versions: KnowledgeVersionClock,
     /// Network-scoped mediation clock, installed around every pass so
     /// retry backoff and injected latency sleep on *this* network's clock
     /// rather than the process-global shim. `None` defers to whatever
@@ -253,7 +253,6 @@ impl<'a> MediatorNetwork<'a> {
             drift: None,
             hedging: true,
             plan_cache: None,
-            versions: KnowledgeVersionClock::new(),
             clock: None,
         }
     }
@@ -314,13 +313,72 @@ impl<'a> MediatorNetwork<'a> {
 
     /// The knowledge version a member's cached plans are keyed by: the sum
     /// of the drift registry's counter (bumped on registration, drift
-    /// verdicts, and refreshes) and the network-local counter (bumped on
-    /// every successful [`Self::refresh_member`], so refreshes invalidate
-    /// even without a drift registry attached). Monotonic — any bump on
-    /// either clock orphans the member's cached plans.
+    /// verdicts, and refreshes) and the member's [`KnowledgeCell`] epoch
+    /// (bumped by every publication, so refreshes invalidate even without
+    /// a drift registry attached). Monotonic — any bump on either clock
+    /// orphans the member's cached plans.
     pub fn member_knowledge_version(&self, name: &str) -> u64 {
         let drift = self.drift.as_ref().map(|d| d.knowledge_version(name)).unwrap_or(0);
-        drift + self.versions.current(name)
+        let epoch = self
+            .members
+            .iter()
+            .find(|m| m.source.name() == name)
+            .map(|m| m.knowledge.epoch())
+            .unwrap_or(0);
+        drift + epoch
+    }
+
+    /// Every member's current knowledge epoch, in registration order: 0
+    /// until its first [`Self::refresh_member`] publication, +1 per
+    /// publication since. The serving layer's metrics surface reports
+    /// these per member.
+    pub fn member_epochs(&self) -> Vec<(String, u64)> {
+        self.members
+            .iter()
+            .map(|m| (m.source.name().to_string(), m.knowledge.epoch()))
+            .collect()
+    }
+
+    /// The members whose knowledge wants refreshing, in name order: every
+    /// member the drift registry has queued for re-mining
+    /// ([`DriftRegistry::pending_refresh`]) plus every member currently
+    /// running without usable knowledge (a contained snapshot-load
+    /// failure). The serving layer's maintenance pass drains this list.
+    pub fn refresh_candidates(&self) -> Vec<String> {
+        let mut pending: BTreeSet<String> = self
+            .drift
+            .as_ref()
+            .map(|d| d.pending_refresh().into_iter().collect())
+            .unwrap_or_default();
+        for m in &self.members {
+            if m.knowledge.pin().unavailable {
+                pending.insert(m.source.name().to_string());
+            }
+        }
+        pending.into_iter().collect()
+    }
+
+    /// Pins every member's knowledge for one pass (sequential, at pass
+    /// admission) and computes the per-member plan-cache versions from the
+    /// pinned epochs — the version and the statistics travel together from
+    /// here on, so a concurrent refresh cannot tear them apart.
+    fn pin_pass(&self) -> PassKnowledge {
+        let pins: Vec<Arc<MemberKnowledge>> =
+            self.members.iter().map(|m| m.knowledge.pin()).collect();
+        let versions = self
+            .members
+            .iter()
+            .zip(&pins)
+            .map(|(m, pin)| {
+                let drift = self
+                    .drift
+                    .as_ref()
+                    .map(|d| d.knowledge_version(m.source.name()))
+                    .unwrap_or(0);
+                drift + pin.epoch
+            })
+            .collect();
+        PassKnowledge { pins, versions }
     }
 
     /// The global mediated schema.
@@ -382,14 +440,9 @@ impl<'a> MediatorNetwork<'a> {
         if let Some(d) = &self.drift {
             d.register(source.name(), &stats);
         }
-        self.members.push(Member {
-            source,
-            binding,
-            stats: Some(stats),
-            stale,
-            knowledge_unavailable: false,
-            knowledge_error: None,
-        });
+        let knowledge =
+            if stale { MemberKnowledge::restored(stats) } else { MemberKnowledge::mined(stats) };
+        self.members.push(Member { source, binding, knowledge: KnowledgeCell::new(knowledge) });
         self
     }
 
@@ -486,10 +539,7 @@ impl<'a> MediatorNetwork<'a> {
                 self.members.push(Member {
                     source,
                     binding,
-                    stats: None,
-                    stale: false,
-                    knowledge_unavailable: true,
-                    knowledge_error: Some(e),
+                    knowledge: KnowledgeCell::new(MemberKnowledge::unavailable(e)),
                 });
                 self
             }
@@ -503,45 +553,61 @@ impl<'a> MediatorNetwork<'a> {
         self.members.push(Member {
             source,
             binding,
-            stats: None,
-            stale: false,
-            knowledge_unavailable: false,
-            knowledge_error: None,
+            knowledge: KnowledgeCell::new(MemberKnowledge::absent()),
         });
         self
     }
 
     /// The members currently running without usable knowledge, with the
     /// classified load error that put them there.
-    pub fn knowledge_failures(&self) -> Vec<(&str, &PersistError)> {
+    pub fn knowledge_failures(&self) -> Vec<(String, PersistError)> {
         self.members
             .iter()
             .filter_map(|m| {
-                m.knowledge_error.as_ref().map(|e| (m.source.name(), e))
+                let pinned = m.knowledge.pin();
+                pinned.error.clone().map(|e| (m.source.name().to_string(), e))
             })
             .collect()
     }
 
-    /// Re-mines one member's knowledge and atomically swaps it in.
+    /// Re-mines one member's knowledge and atomically publishes it.
     ///
     /// `mine` produces fresh statistics from the live source (typically
     /// [`SourceStats::refresh`] on the old bundle, or a full re-mine). On
     /// success the new statistics are persisted to `persist`'s store
-    /// *first* (temp-file + rename, so a crash never leaves a torn
-    /// snapshot), the member's drift detector is re-seeded, and the
-    /// in-memory statistics are swapped — clearing any stale /
-    /// knowledge-unavailable degradation. On failure the member keeps its
-    /// old knowledge (or its degraded certain-answers-only state) and the
-    /// failure is recorded against the member's breaker.
+    /// *first* (journal + temp-file + rename, so a crash never leaves a
+    /// torn snapshot and the store stays loadable at the prior version),
+    /// the member's drift detector is re-seeded, and the new generation is
+    /// published into the member's [`KnowledgeCell`] — clearing any stale
+    /// / knowledge-unavailable degradation and bumping the member's
+    /// knowledge version so cached plans built on the old statistics can
+    /// never be served again. On *any* failure — mining or persistence —
+    /// the old generation keeps serving, the failure is recorded against
+    /// the member's breaker, and the source's refresh-failure meter is
+    /// bumped: a refresh can fail, but it can never publish torn or empty
+    /// knowledge.
     ///
-    /// Takes `&mut self`: refreshing cannot race an in-flight
-    /// [`Self::answer`] pass, so mid-query answers always see one
-    /// consistent knowledge bundle.
+    /// Takes `&self`: in-flight [`Self::answer`] passes pinned their
+    /// knowledge at admission and are unaffected; passes admitted after
+    /// the publication see the new generation whole.
     pub fn refresh_member(
-        &mut self,
+        &self,
         name: &str,
         mine: impl FnOnce(&'a dyn AutonomousSource) -> Result<SourceStats, SourceError>,
         persist: Option<(&KnowledgeStore, &MiningConfig)>,
+    ) -> Result<(), SourceError> {
+        self.refresh_member_at(name, mine, persist, None)
+    }
+
+    /// [`Self::refresh_member`] stamped with the maintenance pass that
+    /// requested it, so EXPLAIN can report when a member's knowledge was
+    /// last refreshed.
+    pub fn refresh_member_at(
+        &self,
+        name: &str,
+        mine: impl FnOnce(&'a dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+        persist: Option<(&KnowledgeStore, &MiningConfig)>,
+        pass: Option<u64>,
     ) -> Result<(), SourceError> {
         let idx = self
             .members
@@ -555,22 +621,29 @@ impl<'a> MediatorNetwork<'a> {
             Ok(stats) => {
                 if let Some((store, config)) = persist {
                     let snapshot = StatsSnapshot::capture(&stats, config);
-                    store.save(name, &snapshot).map_err(|e| SourceError::Internal {
-                        message: format!("persisting refreshed knowledge for `{name}`: {e}"),
-                    })?;
+                    if let Err(e) = store.save(name, &snapshot) {
+                        // Persist-first: a generation that is not durable
+                        // must never be published — a crash after the swap
+                        // would restart the mediator on the *old* snapshot
+                        // while caches were keyed by the new epoch.
+                        if let Some(h) = &self.health {
+                            h.absorb(name, &[Observation::Failure]);
+                        }
+                        source.note_refresh_failure();
+                        return Err(SourceError::Internal {
+                            message: format!(
+                                "persisting refreshed knowledge for `{name}`: {e}"
+                            ),
+                        });
+                    }
                 }
                 if let Some(d) = &self.drift {
                     d.note_refreshed(name, &stats);
                 }
-                let member = &mut self.members[idx];
-                member.stats = Some(stats);
-                member.stale = false;
-                member.knowledge_unavailable = false;
-                member.knowledge_error = None;
-                // The member now plans from different knowledge: advance
-                // its version so cached plans built on the old statistics
-                // can never be served again.
-                self.versions.bump(name);
+                let mut next = MemberKnowledge::mined(stats);
+                next.refreshed_at_pass = pass;
+                self.members[idx].knowledge.publish(next);
+                source.note_refresh();
                 Ok(())
             }
             Err(e) => {
@@ -579,6 +652,7 @@ impl<'a> MediatorNetwork<'a> {
                         h.absorb(name, &[Observation::Failure]);
                     }
                 }
+                source.note_refresh_failure();
                 Err(e)
             }
         }
@@ -601,14 +675,20 @@ impl<'a> MediatorNetwork<'a> {
     /// AFD confidence. A candidate missing an AFD for *any* constrained
     /// attribute is disqualified — ignoring the gap would inflate its
     /// minimum-confidence score.
-    fn correlated_for(&self, target: &Member<'a>, query: &SelectQuery) -> Option<&Member<'a>> {
-        let mut best: Option<(f64, &Member<'a>)> = None;
-        for m in &self.members {
-            let Some(stats) = &m.stats else { continue };
-            if std::ptr::eq(m, target) {
+    fn correlated_for(
+        &self,
+        target: usize,
+        query: &SelectQuery,
+        pk: &PassKnowledge,
+    ) -> Option<usize> {
+        let target_binding = &self.members[target].binding;
+        let mut best: Option<(f64, usize)> = None;
+        for (j, m) in self.members.iter().enumerate() {
+            if j == target {
                 continue;
             }
-            if !is_correlated_source_usable(stats, &target.binding, query) {
+            let Some(stats) = pk.pins[j].stats.as_ref() else { continue };
+            if !is_correlated_source_usable(stats, target_binding, query) {
                 continue;
             }
             let Some(conf) = min_afd_confidence(stats.afds(), &query.constrained_attrs()) else {
@@ -618,10 +698,10 @@ impl<'a> MediatorNetwork<'a> {
             // returns: demote its score so an un-drifted alternative wins.
             let conf = conf * self.drift_weight(m.source.name());
             if best.as_ref().map(|(c, _)| conf > *c).unwrap_or(true) {
-                best = Some((conf, m));
+                best = Some((conf, j));
             }
         }
-        best.map(|(_, m)| m)
+        best.map(|(_, j)| j)
     }
 
     /// The drift demotion factor for a source: 1.0 while its live
@@ -657,7 +737,12 @@ impl<'a> MediatorNetwork<'a> {
     /// over the constrained attributes) whose breaker is Closed and whose
     /// local schema aligns positionally with the member's, so the same
     /// local rewrite is valid on both.
-    fn hedge_partners(&self, query: &SelectQuery, views: &[BreakerView]) -> Vec<Option<usize>> {
+    fn hedge_partners(
+        &self,
+        query: &SelectQuery,
+        views: &[BreakerView],
+        pk: &PassKnowledge,
+    ) -> Vec<Option<usize>> {
         let n = self.members.len();
         let mut partners: Vec<Option<usize>> = vec![None; n];
         if !self.hedging || n < 2 {
@@ -685,14 +770,14 @@ impl<'a> MediatorNetwork<'a> {
             len => nonzero[((len - 1) * 9).div_ceil(10)],
         };
         for (i, member) in self.members.iter().enumerate() {
-            if member.stats.is_none() || !Self::member_supports_all(member, query) {
+            if pk.pins[i].stats.is_none() || !Self::member_supports_all(member, query) {
                 continue;
             }
             let slow = avgs[i] > 0 && avgs[i] >= slow_floor;
             if views[i].state() != BreakerState::HalfOpen && !slow {
                 continue;
             }
-            partners[i] = self.hedge_partner_for(i, query, views);
+            partners[i] = self.hedge_partner_for(i, query, views, pk);
         }
         partners
     }
@@ -704,6 +789,7 @@ impl<'a> MediatorNetwork<'a> {
         i: usize,
         query: &SelectQuery,
         views: &[BreakerView],
+        pk: &PassKnowledge,
     ) -> Option<usize> {
         let target = &self.members[i];
         let mut best: Option<(f64, usize)> = None;
@@ -711,7 +797,7 @@ impl<'a> MediatorNetwork<'a> {
             if j == i || views[j].state() != BreakerState::Closed {
                 continue;
             }
-            let Some(stats) = &m.stats else { continue };
+            let Some(stats) = pk.pins[j].stats.as_ref() else { continue };
             if !Self::member_supports_all(m, query)
                 || !schemas_aligned(target.source.schema(), m.source.schema())
             {
@@ -743,9 +829,11 @@ impl<'a> MediatorNetwork<'a> {
         pressure: PressureLevel,
         drift: MemberDrift,
         pass_cache: &Arc<PlanCache>,
+        pk: &PassKnowledge,
     ) -> (Result<SourceAnswers, SourceError>, Vec<Observation>, Option<DriftProbe>) {
         let MemberDrift { probe: drift_probe, demoted: drifted } = drift;
         let member = &self.members[index];
+        let knowledge = &pk.pins[index];
         if view.state() == BreakerState::Open {
             member.source.note_breaker_skip();
             let d = Degradation {
@@ -769,14 +857,14 @@ impl<'a> MediatorNetwork<'a> {
         if let Some(probe) = drift_probe {
             ctx = ctx.with_drift(probe);
         }
-        let result = self.answer_member_in(member, query, hedge, &mut ctx, pass_cache);
+        let result = self.answer_member_in(index, query, hedge, &mut ctx, pass_cache, pk);
         let observations = ctx.probe.take_observations();
         let drift_probe = ctx.drift.take();
         let result = result.map(|mut answers| {
-            if member.stale {
+            if knowledge.stale {
                 answers.outcome = tag_degradation(answers.outcome, |d| d.stale_knowledge = true);
             }
-            if member.knowledge_unavailable {
+            if knowledge.unavailable {
                 member.source.note_knowledge_unavailable();
                 answers.outcome =
                     tag_degradation(answers.outcome, |d| d.knowledge_unavailable += 1);
@@ -798,16 +886,13 @@ impl<'a> MediatorNetwork<'a> {
         (result, observations, drift_probe)
     }
 
-    /// The per-member mediator for one pass: the member's statistics under
-    /// the network config, with the shared plan cache (if any) attached at
-    /// the member's current knowledge version.
-    fn member_qpiad(&self, member: &Member<'a>, stats: &SourceStats) -> Qpiad {
+    /// The per-member mediator for one pass: the member's *pinned*
+    /// statistics under the network config, with the shared plan cache (if
+    /// any) attached at the pinned knowledge version.
+    fn member_qpiad(&self, stats: &SourceStats, version: u64) -> Qpiad {
         let qpiad = Qpiad::new(stats.clone(), self.config);
         match &self.plan_cache {
-            Some(cache) => qpiad.with_plan_cache(
-                Arc::clone(cache),
-                self.member_knowledge_version(member.source.name()),
-            ),
+            Some(cache) => qpiad.with_plan_cache(Arc::clone(cache), version),
             None => qpiad,
         }
     }
@@ -819,14 +904,13 @@ impl<'a> MediatorNetwork<'a> {
     /// template) pair exactly once within the pass.
     fn member_qpiad_in_pass(
         &self,
-        member: &Member<'a>,
+        index: usize,
         stats: &SourceStats,
         pass_cache: &Arc<PlanCache>,
+        pk: &PassKnowledge,
     ) -> Qpiad {
-        Qpiad::new(stats.clone(), self.config).with_plan_cache(
-            Arc::clone(pass_cache),
-            self.member_knowledge_version(member.source.name()),
-        )
+        Qpiad::new(stats.clone(), self.config)
+            .with_plan_cache(Arc::clone(pass_cache), pk.versions[index])
     }
 
     /// The pre-availability-layer body of `answer_member`: serves one
@@ -834,20 +918,22 @@ impl<'a> MediatorNetwork<'a> {
     /// probe and budget.
     fn answer_member_in(
         &self,
-        member: &Member<'a>,
+        index: usize,
         query: &SelectQuery,
         hedge: Option<usize>,
         ctx: &mut QueryContext,
         pass_cache: &Arc<PlanCache>,
+        pk: &PassKnowledge,
     ) -> Result<SourceAnswers, SourceError> {
+        let member = &self.members[index];
         let supports_all = Self::member_supports_all(member, query);
         let answers = if supports_all {
-            if let Some(stats) = &member.stats {
+            if let Some(stats) = pk.pins[index].stats.as_ref() {
                 // Direct QPIAD. Statistics and query share the global
                 // schema; supporting members map attributes 1:1. A hedged
                 // member's queries are doubled to the partner source.
                 let local = member.binding.translate_query(query)?;
-                let qpiad = self.member_qpiad_in_pass(member, stats, pass_cache);
+                let qpiad = self.member_qpiad_in_pass(index, stats, pass_cache, pk);
                 let set = match hedge {
                     Some(j) => {
                         let hedged = HedgedSource {
@@ -898,12 +984,13 @@ impl<'a> MediatorNetwork<'a> {
             // Deficient for this query: try a correlated source. The
             // context's probe tracks the *target* (this member); the
             // correlated member's own breaker was vetted in its own pass.
-            match self.correlated_for(member, query) {
-                Some(correlated) => {
+            match self.correlated_for(index, query, pk) {
+                Some(j) => {
+                    let correlated = &self.members[j];
                     // `correlated_for` only returns members with statistics;
                     // if that invariant ever breaks it must surface as a
                     // recorded failure for this member, not a panic.
-                    let stats = correlated.stats.as_ref().ok_or_else(|| {
+                    let stats = pk.pins[j].stats.as_ref().ok_or_else(|| {
                         SourceError::Internal {
                             message: format!(
                                 "correlated member `{}` has no statistics",
@@ -915,7 +1002,7 @@ impl<'a> MediatorNetwork<'a> {
                     // if the supporting pass already planned this template
                     // for the correlated source, the pass cache serves the
                     // candidate list instead of regenerating it.
-                    let planner = self.member_qpiad_in_pass(correlated, stats, pass_cache);
+                    let planner = self.member_qpiad_in_pass(j, stats, pass_cache, pk);
                     let mut result = answer_from_correlated_planned(
                         correlated.source,
                         &planner,
@@ -925,7 +1012,7 @@ impl<'a> MediatorNetwork<'a> {
                         &self.config.retry,
                         ctx,
                     )?;
-                    if correlated.stale {
+                    if pk.pins[j].stale {
                         result.degraded.stale_knowledge = true;
                     }
                     SourceAnswers {
@@ -1013,13 +1100,17 @@ impl<'a> MediatorNetwork<'a> {
         // to the network's own clock; fan-out workers inherit it via `par`.
         let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
         // Sequential pre-pass: tick the pass clock (half-opening cooled
-        // breakers), snapshot views, pick hedge partners, snapshot each
-        // member's drift state (an empty pass-local probe plus the
-        // sticky drifted flag — demotion decisions must not depend on
-        // which worker finishes first).
+        // breakers), pin every member's knowledge generation, snapshot
+        // views, pick hedge partners, snapshot each member's drift state
+        // (an empty pass-local probe plus the sticky drifted flag —
+        // demotion decisions must not depend on which worker finishes
+        // first). The knowledge pin is the admission point of the epoch
+        // protocol: a refresh published after this line is invisible to
+        // this pass and fully visible to the next.
         if let Some(h) = &self.health {
             h.begin_pass();
         }
+        let pk = self.pin_pass();
         let views: Vec<BreakerView> = self
             .members
             .iter()
@@ -1029,7 +1120,7 @@ impl<'a> MediatorNetwork<'a> {
             })
             .collect();
         let hedges = if pressure.allows_hedging() {
-            self.hedge_partners(query, &views)
+            self.hedge_partners(query, &views, &pk)
         } else {
             vec![None; self.members.len()]
         };
@@ -1068,6 +1159,7 @@ impl<'a> MediatorNetwork<'a> {
                     pressure,
                     drift_states[i].clone(),
                     &pass_cache,
+                    &pk,
                 )
             })
         } else {
@@ -1075,7 +1167,7 @@ impl<'a> MediatorNetwork<'a> {
                 .zip(drift_states)
                 .map(|(i, drift)| {
                     self.answer_member(
-                        i, query, views[i], hedges[i], budget, pressure, drift, &pass_cache,
+                        i, query, views[i], hedges[i], budget, pressure, drift, &pass_cache, &pk,
                     )
                 })
                 .collect()
@@ -1160,6 +1252,7 @@ impl<'a> MediatorNetwork<'a> {
     pub fn explain_under(&self, query: &SelectQuery, pressure: PressureLevel) -> String {
         use std::fmt::Write as _;
         let _clock = install_clock(self.clock.clone().or_else(qpiad_db::health::current_clock));
+        let pk = self.pin_pass();
         let views: Vec<BreakerView> = self
             .members
             .iter()
@@ -1169,7 +1262,7 @@ impl<'a> MediatorNetwork<'a> {
             })
             .collect();
         let hedges = if pressure.allows_hedging() {
-            self.hedge_partners(query, &views)
+            self.hedge_partners(query, &views, &pk)
         } else {
             vec![None; self.members.len()]
         };
@@ -1189,9 +1282,9 @@ impl<'a> MediatorNetwork<'a> {
                 if pressure.allows_hedging() { "on" } else { "off" }
             );
         }
-        for (i, member) in self.members.iter().enumerate() {
+        for i in 0..self.members.len() {
             let _ = writeln!(out);
-            out.push_str(&self.explain_member(member, query, views[i], hedges[i], pressure));
+            out.push_str(&self.explain_member(i, query, views[i], hedges[i], pressure, &pk));
         }
         out
     }
@@ -1199,13 +1292,16 @@ impl<'a> MediatorNetwork<'a> {
     /// One member's section of [`Self::explain`].
     fn explain_member(
         &self,
-        member: &Member<'a>,
+        index: usize,
         query: &SelectQuery,
         view: BreakerView,
         hedge: Option<usize>,
         pressure: PressureLevel,
+        pk: &PassKnowledge,
     ) -> String {
         use std::fmt::Write as _;
+        let member = &self.members[index];
+        let knowledge = &pk.pins[index];
         let name = member.source.name();
         if Self::member_supports_all(member, query) {
             let Ok(local) = member.binding.translate_query(query) else {
@@ -1213,18 +1309,25 @@ impl<'a> MediatorNetwork<'a> {
                     "plan for source `{name}` — query untranslatable to local schema\n"
                 );
             };
-            if let Some(stats) = &member.stats {
-                let qpiad = self.member_qpiad(member, stats);
+            if let Some(stats) = knowledge.stats.as_ref() {
+                let qpiad = self.member_qpiad(stats, pk.versions[index]);
                 let mut ctx = QueryContext::unbounded()
                     .with_probe(BreakerProbe::new(view))
                     .with_pressure(pressure);
                 let mut plan = qpiad.plan_speculative(member.source, &local, &mut ctx);
                 plan.hedge = hedge.map(|j| self.members[j].source.name().to_string());
                 let mut out = plan.render(member.source.schema());
-                if member.stale {
+                if knowledge.stale {
                     let _ = writeln!(
                         out,
                         "  note: statistics restored from a snapshot (stale knowledge)"
+                    );
+                }
+                if let Some(pass) = knowledge.refreshed_at_pass {
+                    let _ = writeln!(
+                        out,
+                        "  note: knowledge refreshed at pass {pass} (epoch {})",
+                        knowledge.epoch
                     );
                 }
                 return out;
@@ -1240,7 +1343,7 @@ impl<'a> MediatorNetwork<'a> {
                 EntryStatus::Admitted(self.config.retry)
             };
             let mut out = base_plan.render(member.source.schema());
-            let why = if member.knowledge_unavailable {
+            let why = if knowledge.unavailable {
                 "knowledge unavailable"
             } else {
                 "no mined statistics"
@@ -1250,9 +1353,10 @@ impl<'a> MediatorNetwork<'a> {
         }
         // Deficient for this query: the plan lives on the correlated
         // source's statistics; rewrites are issued to this member.
-        match self.correlated_for(member, query) {
-            Some(correlated) => {
-                let Some(stats) = &correlated.stats else {
+        match self.correlated_for(index, query, pk) {
+            Some(j) => {
+                let correlated = &self.members[j];
+                let Some(stats) = pk.pins[j].stats.as_ref() else {
                     return format!(
                         "plan for source `{name}` — correlated member `{}` has no statistics\n",
                         correlated.source.name()
@@ -1442,6 +1546,14 @@ impl AutonomousSource for HedgedSource<'_> {
 
     fn note_drift(&self) {
         self.primary.note_drift();
+    }
+
+    fn note_refresh(&self) {
+        self.primary.note_refresh();
+    }
+
+    fn note_refresh_failure(&self) {
+        self.primary.note_refresh_failure();
     }
 
     fn note_latency(&self, d: std::time::Duration) {
@@ -1681,7 +1793,7 @@ mod tests {
         let store = scratch_store("network-heal");
         std::fs::write(store.path_for("cars.com"), "QPIAD-KNOWLEDGE v1 truncated").unwrap();
 
-        let mut network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default().with_k(8))
             .add_supporting_from_store(&f.cars, &store);
         assert_eq!(network.knowledge_failures().len(), 1);
 
@@ -1705,7 +1817,7 @@ mod tests {
     #[test]
     fn refresh_member_requires_a_registered_member() {
         let f = fixture();
-        let mut network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
+        let network = MediatorNetwork::new(f.global.clone(), QpiadConfig::default())
             .add_supporting(&f.cars, f.cars_stats.clone());
         let err = network.refresh_member("nope.example", |_| Ok(f.cars_stats.clone()), None);
         assert!(err.is_err());

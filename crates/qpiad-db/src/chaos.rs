@@ -78,6 +78,10 @@ pub struct ChaosConfig {
     /// Probability a member's breaker is force-tripped at the start of a
     /// given pass (harness-applied).
     pub trip_rate: f64,
+    /// Probability a member's knowledge refresh fails to persist during a
+    /// given pass (harness-applied: the driving test arms a persist fault
+    /// on the knowledge store before running maintenance).
+    pub persist_fail_rate: f64,
     /// Probability a given pass carries a tenant flood.
     pub flood_rate: f64,
     /// How many extra flood requests a flooding pass carries.
@@ -93,6 +97,7 @@ impl Default for ChaosConfig {
             skew_rate: 0.0,
             corrupt_rate: 0.0,
             trip_rate: 0.0,
+            persist_fail_rate: 0.0,
             flood_rate: 0.0,
             flood_size: 0,
         }
@@ -135,6 +140,12 @@ impl ChaosConfig {
         self
     }
 
+    /// Sets the per-(member, pass) refresh-persist-failure probability.
+    pub fn with_persist_fail_rate(mut self, rate: f64) -> Self {
+        self.persist_fail_rate = rate;
+        self
+    }
+
     /// Sets the per-pass tenant-flood probability and flood size.
     pub fn with_flood(mut self, rate: f64, size: usize) -> Self {
         self.flood_rate = rate;
@@ -159,6 +170,9 @@ pub struct PassChaos {
     /// Members whose breakers the harness should force-trip before this
     /// pass.
     pub tripped: Vec<usize>,
+    /// Members whose knowledge refresh should fail to persist this pass
+    /// (harness-applied via the store's fault injection).
+    pub persist_failing: Vec<usize>,
     /// Extra flood requests this pass carries (0 = no flood).
     pub flood: usize,
 }
@@ -170,6 +184,7 @@ impl PassChaos {
             && self.skewed.is_empty()
             && self.corrupted.is_empty()
             && self.tripped.is_empty()
+            && self.persist_failing.is_empty()
             && self.flood == 0
     }
 }
@@ -211,6 +226,12 @@ impl ChaosSchedule {
         decide(self.config.trip_rate, self.config.seed, member as u64, pass, 0xd4)
     }
 
+    /// `true` iff `member`'s knowledge refresh should fail to persist
+    /// during `pass`.
+    pub fn is_persist_failing(&self, member: usize, pass: u64) -> bool {
+        decide(self.config.persist_fail_rate, self.config.seed, member as u64, pass, 0xf6)
+    }
+
     /// Flood size for `pass` (0 = no flood).
     pub fn flood(&self, pass: u64) -> usize {
         if decide(self.config.flood_rate, self.config.seed, 0, pass, 0xe5) {
@@ -235,6 +256,9 @@ impl ChaosSchedule {
             }
             if self.is_tripped(m, pass) {
                 chaos.tripped.push(m);
+            }
+            if self.is_persist_failing(m, pass) {
+                chaos.persist_failing.push(m);
             }
         }
         chaos
@@ -403,6 +427,14 @@ impl<S: AutonomousSource> AutonomousSource for ChaosSource<S> {
 
     fn note_drift(&self) {
         self.inner.note_drift();
+    }
+
+    fn note_refresh(&self) {
+        self.inner.note_refresh();
+    }
+
+    fn note_refresh_failure(&self) {
+        self.inner.note_refresh_failure();
     }
 
     fn note_latency(&self, d: Duration) {

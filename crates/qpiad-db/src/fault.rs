@@ -303,6 +303,14 @@ impl<S: AutonomousSource> AutonomousSource for FaultInjector<S> {
         self.inner.note_drift();
     }
 
+    fn note_refresh(&self) {
+        self.inner.note_refresh();
+    }
+
+    fn note_refresh_failure(&self) {
+        self.inner.note_refresh_failure();
+    }
+
     fn note_latency(&self, d: Duration) {
         self.inner.note_latency(d);
     }
@@ -476,6 +484,14 @@ impl<S: AutonomousSource> AutonomousSource for SkewInjector<S> {
 
     fn note_drift(&self) {
         self.inner.note_drift();
+    }
+
+    fn note_refresh(&self) {
+        self.inner.note_refresh();
+    }
+
+    fn note_refresh_failure(&self) {
+        self.inner.note_refresh_failure();
     }
 
     fn note_latency(&self, d: Duration) {

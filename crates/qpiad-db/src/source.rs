@@ -79,6 +79,12 @@ pub struct SourceMeter {
     /// diverged from live responses past the configured threshold and a
     /// re-mine was scheduled (see `qpiad_learn::drift`).
     pub drift_events: usize,
+    /// Knowledge refreshes completed for this source: re-mined, persisted,
+    /// and published as a new epoch.
+    pub refreshes: usize,
+    /// Knowledge refresh attempts that failed (re-mine error or persist
+    /// failure); the old epoch stayed in service.
+    pub refresh_failures: usize,
     /// Cumulative observed (or injected) query latency, in nanoseconds.
     /// Feeds the hedging layer's slow-source detection.
     pub latency_ns: u64,
@@ -177,6 +183,14 @@ pub trait AutonomousSource: Sync {
     /// Records one drift verdict raised against this source.
     fn note_drift(&self) {}
 
+    /// Records one completed knowledge refresh for this source (re-mined,
+    /// persisted, published as a new epoch).
+    fn note_refresh(&self) {}
+
+    /// Records one failed knowledge refresh attempt for this source (the
+    /// old epoch stayed in service).
+    fn note_refresh_failure(&self) {}
+
     /// Records observed (or injected) latency for one query against this
     /// source. Feeds the hedging layer's slow-source detection.
     fn note_latency(&self, d: std::time::Duration) {
@@ -231,6 +245,8 @@ struct MeterCells {
     deadline_refused: AtomicUsize,
     knowledge_unavailable: AtomicUsize,
     drift_events: AtomicUsize,
+    refreshes: AtomicUsize,
+    refresh_failures: AtomicUsize,
     latency_ns: AtomicU64,
     plan_cache_hits: AtomicUsize,
     plan_cache_misses: AtomicUsize,
@@ -252,6 +268,8 @@ impl MeterCells {
             deadline_refused: self.deadline_refused.load(Ordering::Relaxed),
             knowledge_unavailable: self.knowledge_unavailable.load(Ordering::Relaxed),
             drift_events: self.drift_events.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            refresh_failures: self.refresh_failures.load(Ordering::Relaxed),
             latency_ns: self.latency_ns.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
@@ -272,6 +290,8 @@ impl MeterCells {
         self.deadline_refused.store(0, Ordering::Relaxed);
         self.knowledge_unavailable.store(0, Ordering::Relaxed);
         self.drift_events.store(0, Ordering::Relaxed);
+        self.refreshes.store(0, Ordering::Relaxed);
+        self.refresh_failures.store(0, Ordering::Relaxed);
         self.latency_ns.store(0, Ordering::Relaxed);
         self.plan_cache_hits.store(0, Ordering::Relaxed);
         self.plan_cache_misses.store(0, Ordering::Relaxed);
@@ -462,6 +482,14 @@ impl AutonomousSource for WebSource {
         MeterCells::bump(&self.inner.meter.drift_events);
     }
 
+    fn note_refresh(&self) {
+        MeterCells::bump(&self.inner.meter.refreshes);
+    }
+
+    fn note_refresh_failure(&self) {
+        MeterCells::bump(&self.inner.meter.refresh_failures);
+    }
+
     fn note_latency(&self, d: std::time::Duration) {
         let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.inner.meter.latency_ns.fetch_add(nanos, Ordering::Relaxed);
@@ -575,6 +603,14 @@ impl AutonomousSource for DirectSource {
 
     fn note_drift(&self) {
         MeterCells::bump(&self.inner.meter.drift_events);
+    }
+
+    fn note_refresh(&self) {
+        MeterCells::bump(&self.inner.meter.refreshes);
+    }
+
+    fn note_refresh_failure(&self) {
+        MeterCells::bump(&self.inner.meter.refresh_failures);
     }
 
     fn note_latency(&self, d: std::time::Duration) {

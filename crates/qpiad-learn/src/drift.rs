@@ -225,6 +225,12 @@ pub struct DriftProbe {
     /// Determining set per attribute (copied from the detector so the
     /// probe can accumulate without holding a detector borrow).
     tracked: Vec<Option<Vec<AttrId>>>,
+    /// The source's knowledge version when this probe was snapshotted.
+    /// [`DriftRegistry::absorb`] drops the probe if the version has moved
+    /// since: its reference side was paired against statistics that a
+    /// concurrent refresh has replaced, and merging it into the reset
+    /// detector would register the *old-vs-new* gap as live drift.
+    version: u64,
 }
 
 impl DriftProbe {
@@ -233,6 +239,7 @@ impl DriftProbe {
             live: SideCounts::shaped(shape.arity),
             reference: SideCounts::shaped(shape.arity),
             tracked: shape.tracked.clone(),
+            version: 0,
         }
     }
 
@@ -457,25 +464,40 @@ impl DriftRegistry {
     /// the source's knowledge version: registration installs the statistics
     /// every plan for this source derives from.
     pub fn register(&self, source: &str, stats: &SourceStats) {
-        self.inner
-            .lock()
-            .insert(source.to_string(), DriftDetector::new(source, stats, self.config));
+        let mut inner = self.inner.lock();
+        inner.insert(source.to_string(), DriftDetector::new(source, stats, self.config));
         self.versions.bump(source);
     }
 
-    /// An empty pass-local probe for a registered source.
+    /// An empty pass-local probe for a registered source, stamped with the
+    /// source's current knowledge version.
     pub fn probe(&self, source: &str) -> Option<DriftProbe> {
-        self.inner.lock().get(source).map(DriftDetector::probe)
+        let inner = self.inner.lock();
+        inner.get(source).map(|d| {
+            let mut probe = d.probe();
+            probe.version = self.versions.current(source);
+            probe
+        })
     }
 
     /// Absorbs a pass-local probe; returns the verdict if this absorption
     /// crossed the threshold. Call sequentially, in registration order.
     ///
+    /// A probe snapshotted against a knowledge version that has since moved
+    /// (a refresh published mid-pass) is dropped whole: its reference side
+    /// was paired with superseded statistics, and counting the old-vs-new
+    /// gap as live drift would re-fire the verdict the refresh just
+    /// cleared.
+    ///
     /// A fired verdict demotes the source's knowledge, so it also bumps the
     /// source's knowledge version — cached plans built from the now-demoted
     /// estimates must not be served again.
     pub fn absorb(&self, source: &str, probe: DriftProbe) -> Option<DriftVerdict> {
-        let verdict = self.inner.lock().get_mut(source).and_then(|d| d.absorb(probe));
+        let mut inner = self.inner.lock();
+        if probe.version != self.versions.current(source) {
+            return None;
+        }
+        let verdict = inner.get_mut(source).and_then(|d| d.absorb(probe));
         if verdict.is_some() {
             self.versions.bump(source);
         }
@@ -523,9 +545,14 @@ impl DriftRegistry {
     /// the source's knowledge version: plans built from the replaced
     /// statistics are stale.
     pub fn note_refreshed(&self, source: &str, stats: &SourceStats) {
-        if let Some(d) = self.inner.lock().get_mut(source) {
+        let mut inner = self.inner.lock();
+        if let Some(d) = inner.get_mut(source) {
             d.reset(stats);
         }
+        // Bumped under the detector lock so [`DriftRegistry::absorb`]'s
+        // stale-probe check and the reset are one atomic step: no probe
+        // snapshotted against the old statistics can slip into the reset
+        // detector between the two.
         self.versions.bump(source);
     }
 
@@ -687,5 +714,38 @@ mod tests {
         assert_eq!(registry.pending_refresh(), vec!["zeta".to_string()]);
         assert!(registry.verdict("zeta").is_some());
         assert!(registry.verdict("alpha").is_none());
+    }
+
+    #[test]
+    fn a_probe_outlived_by_a_refresh_is_dropped_not_absorbed() {
+        let (ed, stats) = mined();
+        let make = ed.schema().expect_attr("make");
+        let registry = DriftRegistry::new(
+            DriftConfig::default().with_threshold(0.2).with_min_observations(5),
+        );
+        registry.register("s", &stats);
+
+        // A pass snapshots its probe, then a refresh publishes mid-pass.
+        let reference: Vec<_> = ed.tuples().iter().take(100).cloned().collect();
+        let skewed: Vec<_> = reference
+            .iter()
+            .map(|t| t.with_value(make, qpiad_db::Value::str("Monopoly")))
+            .collect();
+        let mut stale = registry.probe("s").unwrap();
+        stale.observe(&reference, &skewed);
+        registry.note_refreshed("s", &stats);
+
+        // The stale probe's reference side was paired against replaced
+        // statistics — absorbing it would re-fire the verdict the refresh
+        // just cleared. It must be dropped whole.
+        assert!(registry.absorb("s", stale).is_none());
+        assert!(!registry.is_drifted("s"));
+        assert_eq!(registry.observed_rows("s"), 0);
+
+        // A probe snapshotted after the refresh still detects real drift.
+        let mut fresh = registry.probe("s").unwrap();
+        fresh.observe(&reference, &skewed);
+        assert!(registry.absorb("s", fresh).is_some());
+        assert!(registry.is_drifted("s"));
     }
 }

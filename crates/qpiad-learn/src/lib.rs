@@ -26,6 +26,10 @@
 //! sample and emits a [`drift::DriftVerdict`] when a source's knowledge
 //! goes stale, and [`knowledge::SourceStats::refresh`] re-mines
 //! incrementally so the mediator can swap in fresh knowledge atomically.
+//! [`epoch`] supplies the swap primitive itself: an epoch-stamped
+//! [`epoch::KnowledgeCell`] that readers pin once per mediation pass and
+//! a maintenance pass publishes into atomically, so a hot refresh can
+//! never produce a torn read.
 //! [`assoc`] provides the association-rule imputation baseline the paper
 //! compares classifiers against (§6.5), [`tree`] adds an ID3-style decision
 //! tree and [`tan`] a Chow–Liu tree-augmented Naïve Bayes (the restricted
@@ -45,6 +49,7 @@ pub mod afd;
 pub mod assoc;
 pub mod cache;
 pub mod drift;
+pub mod epoch;
 pub mod knowledge;
 pub mod nbc;
 pub mod partition;
@@ -59,10 +64,11 @@ pub mod tree;
 pub use afd::{AKey, Afd, AfdSet};
 pub use cache::PredictionCache;
 pub use drift::{DriftConfig, DriftDetector, DriftProbe, DriftRegistry, DriftVerdict};
+pub use epoch::{KnowledgeCell, MemberKnowledge};
 pub use knowledge::{MiningConfig, SourceStats};
 pub use persist::{PersistError, StatsSnapshot};
 pub use qpiad_db::par;
 pub use nbc::{NaiveBayes, RowScorer};
 pub use selectivity::SelectivityEstimator;
-pub use store::KnowledgeStore;
+pub use store::{KnowledgeStore, PersistFault};
 pub use strategy::{FeatureStrategy, RowMatcher, ValuePredictor};

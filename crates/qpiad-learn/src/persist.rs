@@ -91,13 +91,20 @@ pub enum PersistError {
     SchemaMismatch(String),
     /// The JSON did not parse or did not match the snapshot shape.
     Malformed(String),
+    /// The volume ran out of space mid-persist. Classified separately from
+    /// generic io failures so a maintenance pass can keep the old epoch and
+    /// back off instead of treating the store as broken.
+    DiskFull(String),
+    /// The store path is not writable by this process.
+    PermissionDenied(String),
     /// The underlying file operation failed.
     Io(String),
 }
 
 impl PersistError {
     /// The stable classification code: `missing`, `version-mismatch`,
-    /// `corrupt`, `schema-mismatch`, `malformed` or `io`.
+    /// `corrupt`, `schema-mismatch`, `malformed`, `disk-full`,
+    /// `permission-denied` or `io`.
     pub fn kind(&self) -> &'static str {
         match self {
             PersistError::Missing => "missing",
@@ -105,6 +112,8 @@ impl PersistError {
             PersistError::Corrupt(_) => "corrupt",
             PersistError::SchemaMismatch(_) => "schema-mismatch",
             PersistError::Malformed(_) => "malformed",
+            PersistError::DiskFull(_) => "disk-full",
+            PersistError::PermissionDenied(_) => "permission-denied",
             PersistError::Io(_) => "io",
         }
     }
@@ -120,6 +129,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Corrupt(e) => write!(f, "corrupt stats snapshot: {e}"),
             PersistError::SchemaMismatch(e) => write!(f, "snapshot schema mismatch: {e}"),
             PersistError::Malformed(e) => write!(f, "malformed stats snapshot: {e}"),
+            PersistError::DiskFull(e) => write!(f, "snapshot volume full: {e}"),
+            PersistError::PermissionDenied(e) => {
+                write!(f, "snapshot store not writable: {e}")
+            }
             PersistError::Io(e) => write!(f, "snapshot io failure: {e}"),
         }
     }

@@ -6,9 +6,29 @@
 //! truncated by full volumes, half-written by crashes, edited by hand, or
 //! left behind by older builds. The store therefore wraps every payload in
 //! a versioned header with an FNV-1a 64 checksum, writes atomically
-//! (temp file + `rename`), and classifies every load failure as a
-//! [`PersistError`] so the caller can degrade the affected source instead
-//! of aborting (see `MediatorNetwork::add_supporting_from_store`).
+//! (journal marker + temp file + `rename`), and classifies every load
+//! failure as a [`PersistError`] so the caller can degrade the affected
+//! source instead of aborting (see
+//! `MediatorNetwork::add_supporting_from_store`).
+//!
+//! ## Crash safety
+//!
+//! [`KnowledgeStore::save`] follows a journaled protocol: write a
+//! `<source>.qks.journal` marker, write the payload to
+//! `<source>.qks.tmp`, `rename` the temp file over the final path, then
+//! remove the marker. A process killed at *any* point leaves the final
+//! path either untouched (the prior snapshot, still loadable) or fully
+//! replaced — never partial — and at most two pieces of debris that
+//! [`KnowledgeStore::recover`] (run automatically by
+//! [`KnowledgeStore::open`]) sweeps away. Failures mid-write clean up
+//! after themselves and classify: a full volume is
+//! [`PersistError::DiskFull`], an unwritable root is
+//! [`PersistError::PermissionDenied`], anything else
+//! [`PersistError::Io`]. For chaos tests,
+//! [`KnowledgeStore::inject_persist_fault`] arms a one-shot
+//! [`PersistFault`] per source — including a simulated
+//! kill-before-rename that deliberately leaves the debris a real crash
+//! would.
 //!
 //! ## File format
 //!
@@ -24,10 +44,13 @@
 //! `VersionMismatch` rather than `Corrupt` even if the payload encoding
 //! changed entirely.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use qpiad_db::Schema;
 
 use crate::persist::{PersistError, StatsSnapshot};
@@ -108,19 +131,61 @@ fn check_schema(snapshot: &StatsSnapshot, schema: &Schema) -> Result<(), Persist
     Ok(())
 }
 
+/// Classifies a filesystem error: a full volume and an unwritable path
+/// get their own [`PersistError`] kinds so maintenance can react (keep
+/// the old epoch, back off) instead of treating the store as broken.
+fn classify_io(e: &std::io::Error) -> PersistError {
+    // ENOSPC by raw code: `ErrorKind::StorageFull` is not stable on every
+    // toolchain this builds with.
+    if e.raw_os_error() == Some(28) {
+        return PersistError::DiskFull(e.to_string());
+    }
+    if e.kind() == ErrorKind::PermissionDenied {
+        return PersistError::PermissionDenied(e.to_string());
+    }
+    PersistError::Io(e.to_string())
+}
+
+/// A one-shot injected persistence failure, armed per source via
+/// [`KnowledgeStore::inject_persist_fault`]. Exists for chaos and
+/// lifecycle tests: each variant exercises one rung of the save
+/// protocol's failure ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistFault {
+    /// The save is refused before any filesystem work — a classified
+    /// [`PersistError::Io`], zero debris.
+    Refused,
+    /// The volume "fills" after the temp write: classified
+    /// [`PersistError::DiskFull`], debris cleaned up by the save itself.
+    DiskFull,
+    /// The process "dies" after writing journal + temp, before the
+    /// rename: the prior snapshot stays loadable and the debris is left
+    /// on disk exactly as a real kill would leave it, for
+    /// [`KnowledgeStore::recover`] to sweep.
+    CrashBeforeRename,
+}
+
 /// A directory of per-source knowledge snapshots with atomic writes and
 /// classified loads.
+///
+/// Clones share the store root *and* the armed fault set, so a test can
+/// hold one handle while the system under test holds another.
 #[derive(Debug, Clone)]
 pub struct KnowledgeStore {
     root: PathBuf,
+    faults: Arc<Mutex<BTreeMap<String, PersistFault>>>,
 }
 
 impl KnowledgeStore {
-    /// Opens (creating if necessary) a store rooted at `root`.
+    /// Opens (creating if necessary) a store rooted at `root`, sweeping
+    /// any debris a previous crash-mid-persist left behind
+    /// ([`KnowledgeStore::recover`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
         let root = root.into();
-        fs::create_dir_all(&root).map_err(|e| PersistError::Io(e.to_string()))?;
-        Ok(KnowledgeStore { root })
+        fs::create_dir_all(&root).map_err(|e| classify_io(&e))?;
+        let store = KnowledgeStore { root, faults: Arc::default() };
+        store.recover()?;
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -144,20 +209,90 @@ impl KnowledgeStore {
         self.path_for(source).is_file()
     }
 
-    /// Persists a snapshot atomically: the payload is written to a
-    /// temporary sibling and `rename`d over the final path, so readers see
-    /// either the old complete file or the new complete file, never a
-    /// partial write.
+    /// Arms a one-shot [`PersistFault`] for the next
+    /// [`KnowledgeStore::save`] of `source` (chaos/lifecycle tests only;
+    /// re-arming replaces any pending fault).
+    pub fn inject_persist_fault(&self, source: &str, fault: PersistFault) {
+        self.faults.lock().insert(source.to_string(), fault);
+    }
+
+    /// Persists a snapshot atomically under the journaled protocol:
+    /// journal marker, temp-sibling write, `rename` over the final path,
+    /// journal removal. Readers see either the old complete file or the
+    /// new complete file, never a partial write; every failure path
+    /// cleans up its own debris and returns a classified error
+    /// ([`PersistError::DiskFull`] / [`PersistError::PermissionDenied`] /
+    /// [`PersistError::Io`]).
     pub fn save(&self, source: &str, snapshot: &StatsSnapshot) -> Result<PathBuf, PersistError> {
+        let fault = self.faults.lock().remove(source);
+        if fault == Some(PersistFault::Refused) {
+            return Err(PersistError::Io(format!(
+                "injected fault: persist refused for `{source}`"
+            )));
+        }
         let path = self.path_for(source);
         let tmp = path.with_extension("qks.tmp");
+        let journal = path.with_extension("qks.journal");
         let text = encode_snapshot(snapshot);
-        fs::write(&tmp, text.as_bytes()).map_err(|e| PersistError::Io(e.to_string()))?;
-        fs::rename(&tmp, &path).map_err(|e| {
+        // 1. Journal marker: a replacement write is in flight. A crash from
+        //    here on leaves at most this marker plus the temp sibling —
+        //    never a damaged final file.
+        fs::write(&journal, format!("pending {source}\n")).map_err(|e| classify_io(&e))?;
+        // 2. Full payload to the temp sibling.
+        if let Err(e) = fs::write(&tmp, text.as_bytes()) {
             let _ = fs::remove_file(&tmp);
-            PersistError::Io(e.to_string())
-        })?;
+            let _ = fs::remove_file(&journal);
+            return Err(classify_io(&e));
+        }
+        match fault {
+            Some(PersistFault::DiskFull) => {
+                let _ = fs::remove_file(&tmp);
+                let _ = fs::remove_file(&journal);
+                return Err(PersistError::DiskFull(format!(
+                    "injected fault: volume full while persisting `{source}`"
+                )));
+            }
+            Some(PersistFault::CrashBeforeRename) => {
+                // Simulated kill: journal + temp stay on disk, the prior
+                // snapshot stays loadable; recover() sweeps the debris.
+                return Err(PersistError::Io(format!(
+                    "injected fault: crashed before rename for `{source}`"
+                )));
+            }
+            _ => {}
+        }
+        // 3. Atomic swap.
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            let _ = fs::remove_file(&journal);
+            return Err(classify_io(&e));
+        }
+        // 4. Retire the journal. Best-effort: a marker that outlives a
+        //    completed swap is harmless and recover() removes it.
+        let _ = fs::remove_file(&journal);
         Ok(path)
+    }
+
+    /// Sweeps debris from interrupted saves: every `*.qks.tmp` and
+    /// `*.qks.journal` under the root is removed (final `*.qks` files are
+    /// never touched). Returns the removed paths in sorted order. Run
+    /// automatically by [`KnowledgeStore::open`]; safe to run any time no
+    /// save is concurrently in flight.
+    pub fn recover(&self) -> Result<Vec<PathBuf>, PersistError> {
+        let mut removed = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| classify_io(&e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| classify_io(&e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".qks.tmp") || name.ends_with(".qks.journal") {
+                let path = entry.path();
+                fs::remove_file(&path).map_err(|e| classify_io(&e))?;
+                removed.push(path);
+            }
+        }
+        removed.sort();
+        Ok(removed)
     }
 
     /// Loads and fully classifies a source's snapshot.
@@ -313,5 +448,81 @@ mod tests {
         store.save("cars.com", &snapshot).unwrap();
         assert!(store.load("cars.com").is_ok());
         assert!(!path.with_extension("qks.tmp").exists(), "temp file must not linger");
+        assert!(!path.with_extension("qks.journal").exists(), "journal must not linger");
+    }
+
+    #[test]
+    fn classify_io_separates_disk_full_and_permission_failures() {
+        use std::io;
+        assert!(matches!(
+            classify_io(&io::Error::from_raw_os_error(28)),
+            PersistError::DiskFull(_)
+        ));
+        assert!(matches!(
+            classify_io(&io::Error::new(ErrorKind::PermissionDenied, "nope")),
+            PersistError::PermissionDenied(_)
+        ));
+        assert!(matches!(
+            classify_io(&io::Error::new(ErrorKind::UnexpectedEof, "eof")),
+            PersistError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn injected_disk_full_classifies_and_leaves_no_debris() {
+        let (stats, config) = mined();
+        let store = KnowledgeStore::open(scratch("disk-full")).unwrap();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        let path = store.save("cars.com", &snapshot).unwrap();
+        let before = fs::read_to_string(&path).unwrap();
+
+        store.inject_persist_fault("cars.com", PersistFault::DiskFull);
+        let err = store.save("cars.com", &snapshot).unwrap_err();
+        assert_eq!(err.kind(), "disk-full");
+        assert!(!path.with_extension("qks.tmp").exists());
+        assert!(!path.with_extension("qks.journal").exists());
+        // The prior snapshot is untouched and the fault was one-shot.
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
+        store.save("cars.com", &snapshot).unwrap();
+    }
+
+    #[test]
+    fn crash_before_rename_keeps_prior_version_and_recover_sweeps_debris() {
+        let (stats, config) = mined();
+        let store = KnowledgeStore::open(scratch("crash-mid-persist")).unwrap();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        let path = store.save("cars.com", &snapshot).unwrap();
+        let before = fs::read_to_string(&path).unwrap();
+
+        store.inject_persist_fault("cars.com", PersistFault::CrashBeforeRename);
+        assert_eq!(store.save("cars.com", &snapshot).unwrap_err().kind(), "io");
+        // The kill left real debris behind, but the prior version loads.
+        assert!(path.with_extension("qks.tmp").exists());
+        assert!(path.with_extension("qks.journal").exists());
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
+        assert!(store.load("cars.com").is_ok());
+
+        // Re-opening the store (the restart path) sweeps the debris.
+        let reopened = KnowledgeStore::open(store.root()).unwrap();
+        assert!(!path.with_extension("qks.tmp").exists());
+        assert!(!path.with_extension("qks.journal").exists());
+        assert!(reopened.load("cars.com").is_ok());
+        assert!(reopened.recover().unwrap().is_empty(), "nothing left to sweep");
+    }
+
+    #[test]
+    fn refused_fault_is_one_shot_and_touches_nothing() {
+        let (stats, config) = mined();
+        let store = KnowledgeStore::open(scratch("refused")).unwrap();
+        let snapshot = StatsSnapshot::capture(&stats, &config);
+        store.inject_persist_fault("cars.com", PersistFault::Refused);
+        assert_eq!(store.save("cars.com", &snapshot).unwrap_err().kind(), "io");
+        assert!(!store.contains("cars.com"));
+        let path = store.path_for("cars.com");
+        assert!(!path.with_extension("qks.tmp").exists());
+        assert!(!path.with_extension("qks.journal").exists());
+        // One-shot: the next save goes through.
+        store.save("cars.com", &snapshot).unwrap();
+        assert!(store.load("cars.com").is_ok());
     }
 }

@@ -36,7 +36,17 @@
 //!   tenancy scheduling peaks, and every member source's
 //!   [`SourceMeter`](qpiad_db::SourceMeter) — obeying
 //!   `admitted == completed + shed + deadline_refused + errors` whenever
-//!   the server is quiesced ([`ServeMetrics::conserves`]).
+//!   the server is quiesced ([`ServeMetrics::conserves`]);
+//! * **knowledge maintenance under traffic** — [`QpiadServer::maintain`]
+//!   drains the network's refresh queue (drift verdicts, contained
+//!   knowledge-load failures) while queries keep flowing: each candidate
+//!   is re-mined, persisted to the attached
+//!   [`KnowledgeStore`](qpiad_learn::KnowledgeStore) crash-safely, and
+//!   published atomically behind an epoch-swapped cell — in-flight passes
+//!   keep their pinned knowledge generation, a failed refresh keeps the
+//!   old generation serving (bounded retries, cross-pass backoff), and
+//!   every outcome lands in [`ServeMetrics`] and the
+//!   [`MaintenanceReport`].
 //!
 //! Determinism carries over from the mediator: coalesced callers share
 //! the leader's answer by construction, and independent passes replay the
@@ -49,5 +59,5 @@ mod server;
 mod tenant;
 
 pub use metrics::ServeMetrics;
-pub use server::{QpiadServer, ServeConfig, ServeError};
+pub use server::{MaintenanceReport, QpiadServer, ServeConfig, ServeError};
 pub use tenant::{Tenant, TenantClass};

@@ -19,7 +19,7 @@
 //! enforces the equation even on panic unwinds: a pass that dies before
 //! settling is charged to `errors`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use qpiad_db::SourceMeter;
 
@@ -42,6 +42,10 @@ pub(crate) struct MetricCells {
     pub batch_in_flight: AtomicUsize,
     pub batch_in_flight_peak: AtomicUsize,
     pub errors: AtomicUsize,
+    pub refresh_success: AtomicUsize,
+    pub refresh_failure: AtomicUsize,
+    pub refresh_retries: AtomicUsize,
+    pub last_refresh_pass: AtomicU64,
 }
 
 impl MetricCells {
@@ -66,7 +70,12 @@ impl MetricCells {
         });
     }
 
-    pub(crate) fn snapshot(&self, per_source: Vec<(String, SourceMeter)>) -> ServeMetrics {
+    pub(crate) fn snapshot(
+        &self,
+        per_source: Vec<(String, SourceMeter)>,
+        knowledge_epochs: Vec<(String, u64)>,
+        pending_refresh: usize,
+    ) -> ServeMetrics {
         ServeMetrics {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -82,7 +91,13 @@ impl MetricCells {
             in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
             batch_in_flight_peak: self.batch_in_flight_peak.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            refresh_success: self.refresh_success.load(Ordering::Relaxed),
+            refresh_failure: self.refresh_failure.load(Ordering::Relaxed),
+            refresh_retries: self.refresh_retries.load(Ordering::Relaxed),
+            last_refresh_pass: self.last_refresh_pass.load(Ordering::Relaxed),
             per_source,
+            knowledge_epochs,
+            pending_refresh,
         }
     }
 }
@@ -128,8 +143,28 @@ pub struct ServeMetrics {
     /// that died before settling — the request guard charges unwinds
     /// here, so the conservation equation survives panics).
     pub errors: usize,
+    /// Members whose knowledge a maintenance pass successfully re-mined,
+    /// persisted, and published (counted once per member per
+    /// [`QpiadServer::maintain`](crate::QpiadServer::maintain) pass).
+    pub refresh_success: usize,
+    /// Refresh attempts that exhausted their in-pass retries and left the
+    /// member's old knowledge generation serving.
+    pub refresh_failure: usize,
+    /// Extra refresh attempts spent after a first in-pass failure
+    /// (bounded by [`ServeConfig::refresh_retries`](crate::ServeConfig::refresh_retries)).
+    pub refresh_retries: usize,
+    /// The most recent maintenance pass that published at least one
+    /// refreshed generation (`0` — maintenance passes start at 1 — means
+    /// no refresh has ever succeeded).
+    pub last_refresh_pass: u64,
     /// Every member source's meter, in registration order.
     pub per_source: Vec<(String, SourceMeter)>,
+    /// Every member's current knowledge epoch, in registration order —
+    /// 0 until its first published refresh, +1 per publication since.
+    pub knowledge_epochs: Vec<(String, u64)>,
+    /// Members currently queued for re-mining (drift verdicts plus
+    /// contained knowledge-load failures) at snapshot time.
+    pub pending_refresh: usize,
 }
 
 impl ServeMetrics {
@@ -169,8 +204,8 @@ mod tests {
     #[test]
     fn snapshot_copies_cells_and_rates_divide_safely() {
         let cells = MetricCells::default();
-        assert_eq!(cells.snapshot(Vec::new()).coalesce_hit_rate(), 0.0);
-        assert_eq!(cells.snapshot(Vec::new()).shed_rate(), 0.0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).coalesce_hit_rate(), 0.0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).shed_rate(), 0.0);
         for _ in 0..4 {
             MetricCells::bump(&cells.admitted);
         }
@@ -181,7 +216,11 @@ mod tests {
         MetricCells::raise_gauge(&cells.batch_in_flight, &cells.batch_in_flight_peak);
         MetricCells::raise_gauge(&cells.batch_in_flight, &cells.batch_in_flight_peak);
         MetricCells::lower_gauge(&cells.batch_in_flight);
-        let m = cells.snapshot(vec![("s".into(), SourceMeter { queries: 7, ..Default::default() })]);
+        let m = cells.snapshot(
+            vec![("s".into(), SourceMeter { queries: 7, ..Default::default() })],
+            vec![("s".into(), 3)],
+            1,
+        );
         assert_eq!(m.admitted, 4);
         assert_eq!(m.leaders, 1);
         assert_eq!(m.coalesced, 3);
@@ -194,11 +233,11 @@ mod tests {
     fn lowering_a_zero_gauge_saturates_instead_of_wrapping() {
         let cells = MetricCells::default();
         MetricCells::lower_gauge(&cells.coalesce_waiters);
-        assert_eq!(cells.snapshot(Vec::new()).coalesce_waiters, 0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).coalesce_waiters, 0);
         MetricCells::raise_gauge(&cells.in_flight, &cells.in_flight_peak);
         MetricCells::lower_gauge(&cells.in_flight);
         MetricCells::lower_gauge(&cells.in_flight);
-        let m = cells.snapshot(Vec::new());
+        let m = cells.snapshot(Vec::new(), Vec::new(), 0);
         assert_eq!(m.in_flight, 0);
         assert_eq!(m.in_flight_peak, 1);
     }
@@ -217,8 +256,8 @@ mod tests {
         }
         MetricCells::bump(&cells.deadline_refused);
         MetricCells::bump(&cells.errors);
-        assert!(cells.snapshot(Vec::new()).conserves());
+        assert!(cells.snapshot(Vec::new(), Vec::new(), 0).conserves());
         MetricCells::bump(&cells.admitted);
-        assert!(!cells.snapshot(Vec::new()).conserves());
+        assert!(!cells.snapshot(Vec::new(), Vec::new(), 0).conserves());
     }
 }

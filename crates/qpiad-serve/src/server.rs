@@ -43,14 +43,15 @@
 //! determinism protocol underneath guarantees they are byte-identical to
 //! a serial execution of the same requests.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use qpiad_core::network::{MediatorNetwork, NetworkAnswer};
 use qpiad_db::health::{MediationClock, PressureLevel, QueryBudget};
-use qpiad_db::{SelectQuery, SourceError};
+use qpiad_db::{AutonomousSource, SelectQuery, SourceError};
+use qpiad_learn::{KnowledgeStore, MiningConfig, SourceStats};
 
 use crate::coalesce::{Flight, FlightKey, Role, SharedAnswer, Singleflight};
 use crate::metrics::{MetricCells, ServeMetrics};
@@ -83,6 +84,15 @@ pub struct ServeConfig {
     /// [`ServeError::DeadlineRefused`] at admission. Default `None` — no
     /// server-side deadline.
     pub deadline: Option<Duration>,
+    /// Most mine/persist attempts one [`QpiadServer::maintain`] pass
+    /// spends per refresh candidate before giving up for the pass (the
+    /// member keeps serving its old knowledge generation). Default 2.
+    pub refresh_retries: usize,
+    /// Base of the exponential backoff (counted in maintenance passes) a
+    /// candidate waits after a fully failed refresh pass: after `f`
+    /// consecutive failed passes the member is deferred for
+    /// `min(refresh_backoff_base << (f - 1), 64)` passes. Default 1.
+    pub refresh_backoff_base: u64,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +103,8 @@ impl Default for ServeConfig {
             batch_queue_limit: usize::MAX,
             pressure_capacity: 0,
             deadline: None,
+            refresh_retries: 2,
+            refresh_backoff_base: 1,
         }
     }
 }
@@ -126,6 +138,19 @@ impl ServeConfig {
     /// Sets the server-wide deadline stamped into every pass budget.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets how many mine/persist attempts a maintenance pass spends per
+    /// refresh candidate (at least 1).
+    pub fn with_refresh_retries(mut self, n: usize) -> Self {
+        self.refresh_retries = n.max(1);
+        self
+    }
+
+    /// Sets the refresh backoff base, in maintenance passes (at least 1).
+    pub fn with_refresh_backoff_base(mut self, base: u64) -> Self {
+        self.refresh_backoff_base = base.max(1);
         self
     }
 }
@@ -209,6 +234,51 @@ impl BatchGate {
     }
 }
 
+/// Per-candidate refresh backoff: how many consecutive maintenance passes
+/// have failed for the member, and the first pass it becomes eligible
+/// again.
+#[derive(Debug, Clone, Copy, Default)]
+struct RefreshBackoff {
+    failures: u32,
+    next_eligible: u64,
+}
+
+/// The maintenance side of the server: the logical maintenance-pass
+/// counter and each failing candidate's backoff state. Guarded by one
+/// mutex — maintenance passes are expected to be driven by one background
+/// thread, but nothing breaks if several run concurrently (each candidate
+/// settles under the lock).
+#[derive(Debug, Default)]
+struct MaintenanceState {
+    pass: u64,
+    backoff: BTreeMap<String, RefreshBackoff>,
+}
+
+/// What one [`QpiadServer::maintain`] pass did, per candidate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintenanceReport {
+    /// The maintenance pass this report describes.
+    pub pass: u64,
+    /// Members whose knowledge was re-mined, persisted, and published.
+    pub refreshed: Vec<String>,
+    /// Members whose refresh failed every in-pass attempt (old knowledge
+    /// keeps serving; the candidate backs off), with the last error.
+    pub failed: Vec<(String, SourceError)>,
+    /// Members skipped this pass because their backoff window from an
+    /// earlier failed pass has not elapsed yet.
+    pub deferred: Vec<String>,
+    /// Extra attempts spent after first in-pass failures, summed over all
+    /// candidates.
+    pub retries: usize,
+}
+
+impl MaintenanceReport {
+    /// `true` iff the pass had nothing to do (no candidates at all).
+    pub fn is_idle(&self) -> bool {
+        self.refreshed.is_empty() && self.failed.is_empty() && self.deferred.is_empty()
+    }
+}
+
 /// A long-lived, thread-safe serving front end over a [`MediatorNetwork`].
 pub struct QpiadServer<'a> {
     network: MediatorNetwork<'a>,
@@ -217,6 +287,10 @@ pub struct QpiadServer<'a> {
     flights: Singleflight,
     batch_gate: BatchGate,
     metrics: MetricCells,
+    maintenance: Mutex<MaintenanceState>,
+    /// Where [`Self::maintain`] persists refreshed knowledge before
+    /// publishing it. `None` — refreshes publish in-memory only.
+    store: Option<(KnowledgeStore, MiningConfig)>,
 }
 
 impl<'a> QpiadServer<'a> {
@@ -236,12 +310,23 @@ impl<'a> QpiadServer<'a> {
             flights: Singleflight::default(),
             batch_gate: BatchGate::default(),
             metrics: MetricCells::default(),
+            maintenance: Mutex::new(MaintenanceState::default()),
+            store: None,
         }
     }
 
     /// Overrides the serving knobs.
     pub fn with_config(mut self, config: ServeConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches the durable [`KnowledgeStore`] (and the mining config its
+    /// snapshots are captured under) that [`Self::maintain`] persists
+    /// refreshed knowledge to *before* publishing it. Without a store,
+    /// refreshes publish in-memory only.
+    pub fn with_knowledge_store(mut self, store: KnowledgeStore, config: MiningConfig) -> Self {
+        self.store = Some((store, config));
         self
     }
 
@@ -255,12 +340,114 @@ impl<'a> QpiadServer<'a> {
         &self.network
     }
 
-    /// Mutable access to the wrapped network for lifecycle operations
-    /// (e.g. [`MediatorNetwork::refresh_member`]). Requires exclusive
-    /// access, so no pass can be in flight — knowledge swaps stay atomic
-    /// with respect to serving.
-    pub fn network_mut(&mut self) -> &mut MediatorNetwork<'a> {
-        &mut self.network
+    /// Runs one knowledge-maintenance pass **under live traffic**: drains
+    /// the network's refresh candidates (drift verdicts plus contained
+    /// knowledge-load failures) through `mine`, with bounded in-pass
+    /// retries ([`ServeConfig::refresh_retries`]) and cross-pass
+    /// exponential backoff ([`ServeConfig::refresh_backoff_base`]).
+    ///
+    /// Each successful candidate is persisted to the attached
+    /// [`KnowledgeStore`] *first* (crash-safe: journal + temp-file +
+    /// rename) and then published atomically into the member's knowledge
+    /// cell — in-flight query passes keep their pinned generation, later
+    /// passes see the new one whole, and the bumped epoch orphans the
+    /// member's cached plans. A candidate whose every attempt fails keeps
+    /// its old generation serving (a failed refresh can never produce a
+    /// torn or empty answer) and is deferred for a growing number of
+    /// passes.
+    ///
+    /// `mine` receives the candidate's name and its source; it typically
+    /// re-probes the source and re-mines (or incrementally refreshes) its
+    /// statistics. Takes `&self`: maintenance runs concurrently with
+    /// [`Self::query`] callers.
+    pub fn maintain(
+        &self,
+        mine: impl Fn(&str, &dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+    ) -> MaintenanceReport {
+        let pass = {
+            let mut state = lock(&self.maintenance);
+            state.pass += 1;
+            state.pass
+        };
+        self.maintain_pass(pass, mine)
+    }
+
+    /// [`Self::maintain`] at an explicit pass number — deterministic
+    /// harnesses drive the maintenance clock from their own schedule. The
+    /// internal pass counter is advanced to `pass` (never rewound), so
+    /// interleaving with [`Self::maintain`] stays monotonic.
+    pub fn maintain_at(
+        &self,
+        pass: u64,
+        mine: impl Fn(&str, &dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+    ) -> MaintenanceReport {
+        {
+            let mut state = lock(&self.maintenance);
+            state.pass = state.pass.max(pass);
+        }
+        self.maintain_pass(pass, mine)
+    }
+
+    fn maintain_pass(
+        &self,
+        pass: u64,
+        mine: impl Fn(&str, &dyn AutonomousSource) -> Result<SourceStats, SourceError>,
+    ) -> MaintenanceReport {
+        let mut report = MaintenanceReport { pass, ..MaintenanceReport::default() };
+        // Candidates come back in name order, so a pass's work list — and
+        // with a deterministic `mine`, its outcome — is reproducible.
+        for name in self.network.refresh_candidates() {
+            let eligible = {
+                let state = lock(&self.maintenance);
+                state.backoff.get(&name).is_none_or(|b| pass >= b.next_eligible)
+            };
+            if !eligible {
+                report.deferred.push(name);
+                continue;
+            }
+            let mut last_err = None;
+            for attempt in 0..self.config.refresh_retries.max(1) {
+                if attempt > 0 {
+                    MetricCells::bump(&self.metrics.refresh_retries);
+                    report.retries += 1;
+                }
+                match self.network.refresh_member_at(
+                    &name,
+                    |src| mine(&name, src),
+                    self.store.as_ref().map(|(s, c)| (s, c)),
+                    Some(pass),
+                ) {
+                    Ok(()) => {
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            match last_err {
+                None => {
+                    lock(&self.maintenance).backoff.remove(&name);
+                    MetricCells::bump(&self.metrics.refresh_success);
+                    self.metrics.last_refresh_pass.fetch_max(pass, Ordering::Relaxed);
+                    report.refreshed.push(name);
+                }
+                Some(e) => {
+                    {
+                        let mut state = lock(&self.maintenance);
+                        let b = state.backoff.entry(name.clone()).or_default();
+                        b.failures += 1;
+                        // Exponential in failed passes, capped at 64 so a
+                        // long outage cannot exile a member forever.
+                        let shift = u64::from(b.failures - 1).min(6);
+                        let wait = (self.config.refresh_backoff_base.max(1) << shift).min(64);
+                        b.next_eligible = pass + wait;
+                    }
+                    MetricCells::bump(&self.metrics.refresh_failure);
+                    report.failed.push((name, e));
+                }
+            }
+        }
+        report
     }
 
     /// Serves one query for `tenant`: admission, overload control,
@@ -400,9 +587,15 @@ impl<'a> QpiadServer<'a> {
         Ok(self.network.explain_under(query, pressure))
     }
 
-    /// A snapshot of the serving counters plus every member's meter.
+    /// A snapshot of the serving counters, every member's meter, and the
+    /// knowledge-lifecycle state (per-member epochs, refresh outcomes,
+    /// pending refresh queue depth).
     pub fn metrics(&self) -> ServeMetrics {
-        self.metrics.snapshot(self.network.member_meters())
+        self.metrics.snapshot(
+            self.network.member_meters(),
+            self.network.member_epochs(),
+            self.network.refresh_candidates().len(),
+        )
     }
 
     /// Number of mediation passes currently in flight in the coalescing

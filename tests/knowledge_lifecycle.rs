@@ -19,6 +19,13 @@
 //!    snapshot → pass-local probe → sequential absorb protocol as breaker
 //!    health, so verdicts, demotions, and post-refresh answers replay
 //!    byte-identically at 1 and 8 worker threads.
+//! 4. **Maintenance under traffic** — a refresh killed mid-persist
+//!    (fault-injected crash between temp write and rename) leaves the
+//!    store loadable at the prior version and the old epoch serving;
+//!    `QpiadServer::maintain` heals a drifted member while concurrent
+//!    queries flow (no refused or torn answer, exact conservation); a
+//!    failed refresh backs off across passes and keeps the old
+//!    generation serving byte-identically until it heals.
 //!
 //! The thread override is process-global; tests serialize on a mutex and
 //! restore the default on drop, mirroring `fault_tolerance.rs`.
@@ -37,7 +44,8 @@ use qpiad::db::{
 use qpiad::learn::drift::{DriftConfig, DriftRegistry, DriftVerdict};
 use qpiad::learn::knowledge::{MiningConfig, SourceStats};
 use qpiad::learn::persist::StatsSnapshot;
-use qpiad::learn::store::{encode_snapshot, KnowledgeStore};
+use qpiad::learn::store::{encode_snapshot, KnowledgeStore, PersistFault};
+use qpiad::serve::{QpiadServer, ServeConfig, Tenant};
 
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
@@ -225,7 +233,7 @@ fn drift_lifecycle(f: &Fixture, threads: usize) -> [Vec<String>; 3] {
         DriftConfig::default().with_min_observations(20).with_threshold(0.35),
     ));
     let store = scratch_store(&format!("drift-{threads}"));
-    let mut network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
         .with_drift(registry.clone())
         .add_supporting(&cars, f.cars_stats.clone());
 
@@ -380,4 +388,234 @@ fn mixed_lifecycle_network_replays_identically_across_thread_counts() {
     assert!(sequential[2]
         .iter()
         .any(|l| l.contains("source auctions") && l.contains("knowledge_unavailable: 1")));
+}
+
+// ---------------------------------------------------------------------------
+// 4. Crash safety: a refresh killed mid-persist leaves the store loadable
+// at the prior version, the old generation serving, and a restart sweeps
+// the debris.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_mid_persist_leaves_store_loadable_at_prior_version() {
+    let f = fixture();
+    let global = f.cars_ed.schema().clone();
+    let store = scratch_store("crash-mid-persist");
+    store.save("cars.com", &StatsSnapshot::capture(&f.cars_stats, &f.config)).unwrap();
+
+    let cars = WebSource::new("cars.com", f.cars_ed.clone());
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .add_supporting_from_store(&cars, &store);
+    assert!(network.knowledge_failures().is_empty());
+
+    let body = global.expect_attr("body_style");
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    let before = signature(&network.answer(&q).unwrap());
+    let prior = store.load_for("cars.com", cars.schema()).unwrap();
+
+    // Fresh statistics that would replace the snapshot — but the process
+    // "dies" after writing the temp file, before the rename.
+    let fresh =
+        SourceStats::mine(&uniform_sample(&f.cars_ed, 0.10, 7), f.cars_ed.len(), &f.config);
+    store.inject_persist_fault("cars.com", PersistFault::CrashBeforeRename);
+    let err = network.refresh_member("cars.com", |_| Ok(fresh.clone()), Some((&store, &f.config)));
+    assert!(err.is_err(), "a crashed persist must fail the refresh");
+    assert_eq!(cars.meter().refresh_failures, 1);
+    assert_eq!(cars.meter().refreshes, 0);
+
+    // The crash left debris (temp file + journal) next to the snapshot...
+    let tmp_debris = store.path_for("cars.com").with_extension("qks.tmp");
+    assert!(tmp_debris.exists(), "crash-before-rename must leave the temp file");
+
+    // ...yet the store still loads the *prior* version, and the old
+    // generation keeps serving byte-identically — nothing was published.
+    let loaded = store.load_for("cars.com", cars.schema()).unwrap();
+    assert_eq!(encode_snapshot(&loaded), encode_snapshot(&prior));
+    assert_eq!(signature(&network.answer(&q).unwrap()), before);
+    assert_eq!(network.member_epochs(), vec![("cars.com".to_string(), 0)]);
+
+    // A restart — reopening the store — runs the recovery sweep: the
+    // orphaned temp file and journal are removed, the snapshot survives.
+    let reopened = KnowledgeStore::open(store.root().to_path_buf()).unwrap();
+    assert!(!tmp_debris.exists(), "reopen must sweep crash debris");
+    let reloaded = reopened.load_for("cars.com", cars.schema()).unwrap();
+    assert_eq!(encode_snapshot(&reloaded), encode_snapshot(&prior));
+
+    // With the fault consumed, the same refresh now lands: durable first,
+    // then published, epoch bumped.
+    network
+        .refresh_member("cars.com", |_| Ok(fresh.clone()), Some((&reopened, &f.config)))
+        .unwrap();
+    assert_eq!(network.member_epochs(), vec![("cars.com".to_string(), 1)]);
+    assert_eq!(cars.meter().refreshes, 1);
+    let healed = reopened.load_for("cars.com", cars.schema()).unwrap();
+    assert_ne!(encode_snapshot(&healed), encode_snapshot(&prior));
+}
+
+// ---------------------------------------------------------------------------
+// 5. Maintenance under live traffic: drift fires, maintain() heals the
+// member while concurrent queries keep flowing, and no request is ever
+// refused or served a torn answer.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn maintain_heals_a_drifted_member_under_concurrent_traffic() {
+    let _guard = PinnedPool::acquire();
+    par::set_thread_override(Some(4));
+
+    let f = fixture();
+    let global = f.cars_ed.schema().clone();
+    let make = global.expect_attr("make");
+    let body = global.expect_attr("body_style");
+
+    let plan = SkewPlan::new(make, Value::str("Monopoly"), 0.9, 77);
+    let cars = SkewInjector::new(WebSource::new("cars.com", f.cars_ed.clone()), plan);
+    let registry = Arc::new(DriftRegistry::new(
+        DriftConfig::default().with_min_observations(20).with_threshold(0.35),
+    ));
+    let store = scratch_store("maintain-under-traffic");
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry.clone())
+        .add_supporting(&cars, f.cars_stats.clone());
+    let server = QpiadServer::new(network)
+        .with_config(ServeConfig::default().with_refresh_retries(2))
+        .with_knowledge_store(store, f.config.clone());
+    server.register(Tenant::interactive("t"));
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+
+    // Pass 1 fires the drift verdict; the member is queued for refresh.
+    server.query("t", &q).unwrap();
+    assert_eq!(server.metrics().pending_refresh, 1);
+
+    // What the source serves now: the skewed distribution, re-mined.
+    let skewed_rows: Vec<_> = f
+        .cars_ed
+        .tuples()
+        .iter()
+        .map(|t| {
+            if t.value(make).is_null() {
+                t.clone()
+            } else {
+                t.with_value(make, Value::str("Monopoly"))
+            }
+        })
+        .collect();
+    let skewed_ed = Relation::new(global.clone(), skewed_rows);
+    let fresh =
+        SourceStats::mine(&uniform_sample(&skewed_ed, 0.10, 2), skewed_ed.len(), &f.config);
+
+    // Maintenance races a four-thread query flood. Every request must
+    // settle — completed, never refused, never torn.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    let answer = server.query("t", &q).unwrap();
+                    assert!(!answer.per_source[0].certain.is_empty());
+                }
+            });
+        }
+        scope.spawn(|| {
+            let report = server.maintain(|name, _| {
+                assert_eq!(name, "cars.com");
+                Ok(fresh.clone())
+            });
+            assert_eq!(report.refreshed, vec!["cars.com".to_string()]);
+            assert!(report.failed.is_empty());
+        });
+    });
+
+    let m = server.metrics();
+    assert!(m.conserves(), "every admitted request must settle exactly once");
+    assert_eq!(m.errors, 0, "no request may fail across the swap");
+    assert_eq!(m.refresh_success, 1);
+    assert_eq!(m.refresh_failure, 0);
+    assert_eq!(m.last_refresh_pass, 1);
+    assert_eq!(m.knowledge_epochs, vec![("cars.com".to_string(), 1)]);
+    assert_eq!(m.pending_refresh, 0, "the healed member leaves the refresh queue");
+    assert!(!registry.is_drifted("cars.com"));
+
+    // EXPLAIN now reports the provenance of the serving generation.
+    let explain = server.explain(&q).unwrap();
+    assert!(
+        explain.contains("knowledge refreshed at pass 1 (epoch 1)"),
+        "EXPLAIN must surface the refresh: {explain}"
+    );
+
+    // A second maintenance pass finds nothing to do.
+    let idle = server.maintain(|_, _| Ok(fresh.clone()));
+    assert!(idle.is_idle());
+    assert_eq!(idle.pass, 2);
+}
+
+// ---------------------------------------------------------------------------
+// 6. Failed refreshes under maintain(): bounded retries, cross-pass
+// backoff, and the old generation never stops serving.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failed_refresh_backs_off_and_keeps_the_old_generation_serving() {
+    let _guard = PinnedPool::acquire();
+    par::set_thread_override(Some(1));
+
+    let f = fixture();
+    let global = f.cars_ed.schema().clone();
+    let make = global.expect_attr("make");
+    let body = global.expect_attr("body_style");
+
+    let plan = SkewPlan::new(make, Value::str("Monopoly"), 0.9, 77);
+    let cars = SkewInjector::new(WebSource::new("cars.com", f.cars_ed.clone()), plan);
+    let registry = Arc::new(DriftRegistry::new(
+        DriftConfig::default().with_min_observations(20).with_threshold(0.35),
+    ));
+    let store = scratch_store("maintain-backoff");
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry.clone())
+        .add_supporting(&cars, f.cars_stats.clone());
+    let server = QpiadServer::new(network)
+        .with_config(
+            ServeConfig::default().with_refresh_retries(2).with_refresh_backoff_base(2),
+        )
+        .with_knowledge_store(store, f.config.clone());
+    server.register(Tenant::interactive("t"));
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    server.query("t", &q).unwrap();
+    assert!(registry.is_drifted("cars.com"));
+    let before = signature(&server.query("t", &q).unwrap());
+
+    // Pass 1: mining fails both attempts — the member keeps its old
+    // (drift-demoted) generation and backs off for two passes.
+    let report = server.maintain(|_, _| {
+        Err(qpiad::db::SourceError::Timeout { waited_ms: 5 })
+    });
+    assert_eq!(report.pass, 1);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.retries, 1, "one extra in-pass attempt");
+    let m = server.metrics();
+    assert_eq!(m.refresh_failure, 1);
+    assert_eq!(m.refresh_retries, 1);
+    assert_eq!(m.last_refresh_pass, 0, "no refresh ever succeeded");
+    assert_eq!(m.knowledge_epochs, vec![("cars.com".to_string(), 0)]);
+
+    // Pass 2: still inside the backoff window — deferred, not retried.
+    let deferred = server.maintain(|_, _| panic!("a deferred candidate must not be mined"));
+    assert_eq!(deferred.deferred, vec!["cars.com".to_string()]);
+    assert!(deferred.failed.is_empty() && deferred.refreshed.is_empty());
+
+    // The old generation kept serving byte-identically throughout.
+    assert_eq!(signature(&server.query("t", &q).unwrap()), before);
+
+    // Pass 3: the window elapsed; a now-healthy mine heals the member.
+    let fresh =
+        SourceStats::mine(&uniform_sample(&f.cars_ed, 0.10, 7), f.cars_ed.len(), &f.config);
+    let healed = server.maintain(|_, _| Ok(fresh.clone()));
+    assert_eq!(healed.pass, 3);
+    assert_eq!(healed.refreshed, vec!["cars.com".to_string()]);
+    let m = server.metrics();
+    assert_eq!(m.refresh_success, 1);
+    assert_eq!(m.last_refresh_pass, 3);
+    assert_eq!(m.knowledge_epochs, vec![("cars.com".to_string(), 1)]);
+    assert!(m.conserves());
 }

@@ -90,7 +90,7 @@ fn refresh_member_invalidates_cached_plans() {
     let global = ed.schema().clone();
     let cars = WebSource::new("cars.com", ed.clone());
     let cache = Arc::new(PlanCache::new());
-    let mut network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
         .with_plan_cache(Arc::clone(&cache))
         .add_supporting(&cars, stats.clone());
     let v0 = network.member_knowledge_version("cars.com");

@@ -755,7 +755,7 @@ proptest! {
             .join("target/test-properties-store");
         let store = KnowledgeStore::open(dir).unwrap();
         store.save("cars.com", &StatsSnapshot::capture(stats, config)).unwrap();
-        let mut network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(k))
+        let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(k))
             .add_supporting_from_store(&cars, &store);
         prop_assert!(network.knowledge_failures().is_empty());
         let from_store = net_signature(&network.answer(&q).unwrap());
