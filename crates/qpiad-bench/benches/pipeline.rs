@@ -6,8 +6,10 @@
 //! knowledge lifecycle (snapshot persist + store load + drift-watched
 //! answer), the concurrent serving front end (`qpiad-serve` with request
 //! coalescing), a knowledge refresh under live traffic (drift-triggered
-//! `maintain()`: re-mine + persist + epoch swap while callers flood), and
-//! a 1M-row cold-answer scale probe — at
+//! `maintain()`: re-mine + persist + epoch swap while callers flood), an
+//! incremental maintenance fold (streamed validated rows folded into the
+//! 1M-row fixture's knowledge without a TANE re-run, timed against the
+//! full re-mine), and a 1M-row cold-answer scale probe — at
 //! `bench_scale()` with the worker pool pinned to 1 thread and then to the
 //! machine's hardware parallelism, and writes the timings to
 //! `BENCH_pipeline.json` at the repository root.
@@ -29,11 +31,11 @@ use std::sync::Arc;
 
 use qpiad_db::{
     AutonomousSource, BreakerConfig, FaultInjector, FaultPlan, HealthRegistry, Predicate,
-    RetryPolicy, SelectQuery, SelectionEngine, Value, WebSource,
+    Relation, RetryPolicy, SelectQuery, SelectionEngine, Value, WebSource,
 };
 use qpiad_eval::experiments::common::cars_world;
 use qpiad_learn::drift::{DriftConfig, DriftRegistry};
-use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+use qpiad_learn::knowledge::{FoldOutcome, MiningConfig, SourceStats};
 use qpiad_learn::persist::StatsSnapshot;
 use qpiad_learn::store::KnowledgeStore;
 use qpiad_serve::{QpiadServer, ServeConfig, ServeError, Tenant};
@@ -436,6 +438,101 @@ fn main() {
         }));
     }
 
+    // Incremental-maintenance stage, on the scale fixture: a hair-trigger
+    // drift threshold streams the first pass's validated rows into the
+    // member's sample stream. Figures of merit: the bare fold latency vs
+    // the batch refresh (merge + full TANE re-mine over the same merged
+    // sample) on identical inputs — that ratio is the point of the
+    // incremental path — and the served throughput while `maintain()`
+    // folds the stream under live caller traffic.
+    let fold_store_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/qpiad-bench-fold");
+    let fold_latency = std::cell::Cell::new(0.0_f64);
+    let remine_latency = std::cell::Cell::new(0.0_f64);
+    let fold_served = std::cell::Cell::new(0usize);
+    let fold_rows = std::cell::Cell::new(0usize);
+    let traffic_secs = std::cell::Cell::new(0.0_f64);
+    let fold_requests = if quick { 5 } else { 20 };
+    runs.push(time("knowledge_incremental", par_threads, reps, || {
+        let _ = std::fs::remove_dir_all(fold_store_dir);
+        let store = KnowledgeStore::open(fold_store_dir).expect("open fold store");
+        let registry = Arc::new(DriftRegistry::new(
+            DriftConfig::default().with_min_observations(10).with_threshold(0.0),
+        ));
+        let big_source = WebSource::new("cars1m", big_ed.clone());
+        let network =
+            MediatorNetwork::new(big_ed.schema().clone(), QpiadConfig::default().with_k(10))
+                .with_drift(Arc::clone(&registry))
+                .add_supporting(&big_source, big_stats.clone());
+        let server = QpiadServer::new(network)
+            .with_config(ServeConfig::default().with_refold_bound(0.5))
+            .with_knowledge_store(store, MiningConfig::default());
+        server.register(Tenant::interactive("bench"));
+
+        // The priming pass fires the verdict and streams the validated
+        // rows it retrieved, so the traffic span below measures the fold
+        // under load, not drift accumulation.
+        server.query("bench", &query).expect("priming pass");
+        let primed = server.metrics();
+        assert!(primed.pending_refresh >= 1, "the hair-trigger verdict must queue the member");
+        assert!(primed.stream.pending > 0, "validated rows must be streaming");
+        fold_rows.set(primed.stream.pending);
+
+        // The latency pair, timed bare over the exact streamed rows: the
+        // delta fold vs what the same refresh costs done the batch way
+        // (merge + full TANE re-mine over the merged sample). The traffic
+        // scope below exists to measure served throughput, not to time
+        // the fold — on a small machine the maintainer thread's wall time
+        // is dominated by scheduler contention with the caller threads.
+        let (streamed, _through) =
+            registry.stream_snapshot("cars1m").expect("streamed rows must be queued");
+        let probe = Relation::new(big_ed.schema().clone(), streamed);
+        let mining = MiningConfig::default();
+        let t0 = Instant::now();
+        let folded = big_stats.fold(&probe, &mining, 0.5).expect("fold accepts the probe");
+        fold_latency.set(t0.elapsed().as_secs_f64());
+        assert!(
+            matches!(folded, FoldOutcome::Folded { .. }),
+            "genuine rows must fold without a re-mine"
+        );
+        let t0 = Instant::now();
+        let remined = big_stats
+            .refresh(
+                &probe,
+                big_stats.selectivity().smpl_ratio(),
+                big_stats.selectivity().per_inc(),
+                &mining,
+            )
+            .expect("batch refresh accepts the probe");
+        remine_latency.set(t0.elapsed().as_secs_f64());
+        assert!(!remined.afds().is_empty(), "the comparator re-mine must produce knowledge");
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..par_threads {
+                scope.spawn(|| {
+                    for _ in 0..fold_requests {
+                        let ans = server
+                            .query("bench", &query)
+                            .expect("serving never aborts across a fold");
+                        assert!(ans.possible_count() > 0);
+                    }
+                });
+            }
+            let maintainer = scope.spawn(|| {
+                let report =
+                    server.maintain(|_, _| panic!("the fold must not fall back to a re-mine"));
+                assert_eq!(report.folded.len(), 1, "the drifted member must fold");
+            });
+            maintainer.join().expect("maintenance must not panic");
+        });
+        traffic_secs.set(t0.elapsed().as_secs_f64());
+        let m = server.metrics();
+        assert!(m.conserves(), "fold accounting must balance when quiesced");
+        assert_eq!(m.refresh_incremental, 1);
+        assert_eq!(m.refresh_full, 0);
+        fold_served.set(par_threads * fold_requests);
+    }));
+
     let speedup = |name: &str| -> f64 {
         let seq = runs.iter().find(|r| r.name == name && r.threads == 1).unwrap();
         let par = runs.iter().find(|r| r.name == name && r.threads != 1).unwrap();
@@ -524,6 +621,37 @@ fn main() {
              \"served_qps_during_refresh\": {qps_during_refresh:.1} }},\n",
             refresh_latency.get(),
             refresh_served.get()
+        ));
+    }
+    // Incremental-maintenance figures: the bare fold latency, the batch
+    // refresh (merge + full TANE re-mine over the same merged sample)
+    // latency on the identical input, their ratio (the maintenance saving
+    // the incremental path exists for), and the served throughput the
+    // server sustained while `maintain()` folded under traffic.
+    {
+        runs.iter()
+            .find(|r| r.name == "knowledge_incremental")
+            .expect("incremental stage ran");
+        let qps_during_fold = fold_served.get() as f64 / traffic_secs.get().max(1e-9);
+        let maintenance_speedup = remine_latency.get() / fold_latency.get().max(1e-9);
+        assert!(
+            maintenance_speedup >= 10.0,
+            "an incremental fold must be at least 10x cheaper than a full re-mine \
+             over the same merged sample, measured {maintenance_speedup:.1}x \
+             (fold {:.6}s vs re-mine {:.6}s)",
+            fold_latency.get(),
+            remine_latency.get()
+        );
+        json.push_str(&format!(
+            "  \"knowledge_incremental\": {{ \"callers\": {par_threads}, \
+             \"requests_per_caller\": {fold_requests}, \"fold_rows\": {}, \
+             \"fold_latency_secs\": {:.6}, \"full_remine_latency_secs\": {:.6}, \
+             \"maintenance_speedup_fold_over_remine\": {maintenance_speedup:.1}, \
+             \"served_during_fold\": {}, \"served_qps_during_fold\": {qps_during_fold:.1} }},\n",
+            fold_rows.get(),
+            fold_latency.get(),
+            remine_latency.get(),
+            fold_served.get()
         ));
     }
     // The plan cache's win is warm-over-cold at the same thread count, not

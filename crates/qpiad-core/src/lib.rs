@@ -78,6 +78,6 @@ pub use plan::{
     PlanCache, PlanCandidate, PlanEntry, SkipReason,
 };
 pub use qpiad_db::par;
-pub use network::{MediatorNetwork, NetworkAnswer, SourceAnswers, SourceOutcome};
+pub use network::{MediatorNetwork, MemberFold, NetworkAnswer, SourceAnswers, SourceOutcome};
 pub use rank::{order_rewrites, rescore, RankConfig, ScoredRewrite};
 pub use rewrite::{generate_rewrites, RewrittenQuery};

@@ -54,12 +54,13 @@ use qpiad_db::health::{
 };
 use qpiad_db::par;
 use qpiad_db::{
-    AttrId, AutonomousSource, Schema, SelectQuery, SourceBinding, SourceError, SourceMeter, Tuple,
+    AttrId, AutonomousSource, Relation, Schema, SelectQuery, SourceBinding, SourceError,
+    SourceMeter, Tuple,
 };
 use qpiad_learn::afd::AfdSet;
 use qpiad_learn::drift::{DriftProbe, DriftRegistry, DriftVerdict};
-use qpiad_learn::epoch::{KnowledgeCell, MemberKnowledge};
-use qpiad_learn::knowledge::{MiningConfig, SourceStats};
+use qpiad_learn::epoch::{KnowledgeCell, MemberKnowledge, RefreshKind};
+use qpiad_learn::knowledge::{FoldOutcome, MiningConfig, SourceStats};
 use qpiad_learn::persist::{PersistError, StatsSnapshot};
 use qpiad_learn::store::KnowledgeStore;
 
@@ -105,6 +106,34 @@ struct PassKnowledge {
 struct MemberDrift {
     probe: Option<DriftProbe>,
     demoted: bool,
+}
+
+/// What [`MediatorNetwork::refresh_member_incremental_at`] did for one
+/// member.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberFold {
+    /// Streamed rows were folded and the new generation published.
+    Folded {
+        /// How many queued rows the fold consumed.
+        rows: usize,
+        /// Worst AFD/AKey confidence drift from the full-mine anchor.
+        max_delta: f64,
+    },
+    /// The incremental path does not apply (no drift tracking, no mined
+    /// statistics, or nothing streamed); the caller decides whether a
+    /// full refresh is warranted.
+    NotApplicable {
+        /// Why the fold could not run.
+        reason: &'static str,
+    },
+    /// Confidence drift crossed the re-mine bound; a full refresh must
+    /// re-decide AFD membership.
+    RemineRequired {
+        /// Worst absolute confidence drift observed.
+        max_delta: f64,
+        /// The configured bound it crossed.
+        bound: f64,
+    },
 }
 
 /// How one member's contribution to a network answer went.
@@ -642,6 +671,7 @@ impl<'a> MediatorNetwork<'a> {
                 }
                 let mut next = MemberKnowledge::mined(stats);
                 next.refreshed_at_pass = pass;
+                next.refresh_kind = Some(RefreshKind::Full);
                 self.members[idx].knowledge.publish(next);
                 source.note_refresh();
                 Ok(())
@@ -654,6 +684,92 @@ impl<'a> MediatorNetwork<'a> {
                 }
                 source.note_refresh_failure();
                 Err(e)
+            }
+        }
+    }
+
+    /// Attempts to refresh one member's knowledge *incrementally*, by
+    /// folding the validated live rows queued in the drift registry's
+    /// sample stream into the retained sample
+    /// ([`SourceStats::fold`]) — no source probe, no TANE re-run, no
+    /// classifier retraining where the feature choice survived.
+    ///
+    /// The decision ladder:
+    ///
+    /// * No drift tracking, no mined statistics to fold into, or nothing
+    ///   streamed → [`MemberFold::NotApplicable`] — the caller falls back
+    ///   to a full [`Self::refresh_member_at`] (or skips).
+    /// * Folded confidences drifted past `bound` from their full-mine
+    ///   anchors → [`MemberFold::RemineRequired`] — AFD membership may
+    ///   have changed, only a full re-mine can re-decide it. The streamed
+    ///   rows stay queued; the full refresh that follows supersedes them.
+    /// * Otherwise the fold publishes exactly like a full refresh:
+    ///   persist-first into `persist`'s store, drift detector re-seeded
+    ///   (consuming the folded rows up to the snapshot watermark), new
+    ///   generation published with [`RefreshKind::Incremental`], cached
+    ///   plans orphaned via the knowledge-version bump.
+    pub fn refresh_member_incremental_at(
+        &self,
+        name: &str,
+        config: &MiningConfig,
+        persist: Option<(&KnowledgeStore, &MiningConfig)>,
+        bound: f64,
+        pass: Option<u64>,
+    ) -> Result<MemberFold, SourceError> {
+        let idx = self
+            .members
+            .iter()
+            .position(|m| m.source.name() == name)
+            .ok_or_else(|| SourceError::Internal {
+                message: format!("no member named `{name}`"),
+            })?;
+        let Some(drift) = &self.drift else {
+            return Ok(MemberFold::NotApplicable { reason: "drift tracking disabled" });
+        };
+        let pinned = self.members[idx].knowledge.pin();
+        let Some(stats) = pinned.stats.as_ref() else {
+            return Ok(MemberFold::NotApplicable { reason: "no mined statistics to fold into" });
+        };
+        let Some((rows, through)) = drift.stream_snapshot(name) else {
+            return Ok(MemberFold::NotApplicable { reason: "no streamed rows pending" });
+        };
+        let folded_rows = rows.len();
+        let fresh = Relation::new(stats.schema().clone(), rows);
+        let source = self.members[idx].source;
+        match stats.fold(&fresh, config, bound) {
+            // Streamed rows were arity-checked at probe time against the
+            // same schema the bundle holds, so skew here means a logic
+            // error, not a misbehaving source.
+            Err(e) => Err(SourceError::Internal {
+                message: format!("incremental fold for `{name}`: {e}"),
+            }),
+            Ok(FoldOutcome::RemineRequired { max_delta, bound }) => {
+                Ok(MemberFold::RemineRequired { max_delta, bound })
+            }
+            Ok(FoldOutcome::Folded { stats: folded, max_delta }) => {
+                if let Some((store, config)) = persist {
+                    let snapshot = StatsSnapshot::capture(&folded, config);
+                    if let Err(e) = store.save(name, &snapshot) {
+                        // Persist-first, exactly like the full path: a
+                        // generation that is not durable is never published.
+                        if let Some(h) = &self.health {
+                            h.absorb(name, &[Observation::Failure]);
+                        }
+                        source.note_refresh_failure();
+                        return Err(SourceError::Internal {
+                            message: format!(
+                                "persisting folded knowledge for `{name}`: {e}"
+                            ),
+                        });
+                    }
+                }
+                drift.note_folded(name, &folded, through);
+                let mut next = MemberKnowledge::mined(folded);
+                next.refreshed_at_pass = pass;
+                next.refresh_kind = Some(RefreshKind::Incremental);
+                self.members[idx].knowledge.publish(next);
+                source.note_refresh();
+                Ok(MemberFold::Folded { rows: folded_rows, max_delta })
             }
         }
     }
@@ -1324,11 +1440,15 @@ impl<'a> MediatorNetwork<'a> {
                     );
                 }
                 if let Some(pass) = knowledge.refreshed_at_pass {
-                    let _ = writeln!(
+                    let _ = write!(
                         out,
                         "  note: knowledge refreshed at pass {pass} (epoch {})",
                         knowledge.epoch
                     );
+                    if let Some(kind) = knowledge.refresh_kind {
+                        let _ = write!(out, " via {kind}");
+                    }
+                    let _ = writeln!(out);
                 }
                 return out;
             }

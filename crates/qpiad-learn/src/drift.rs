@@ -55,6 +55,7 @@ use qpiad_db::version::KnowledgeVersionClock;
 use qpiad_db::{AttrId, Tuple, Value};
 
 use crate::knowledge::SourceStats;
+use crate::stream::{SampleStream, StreamStats};
 
 /// Tuning knobs for drift detection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,11 +69,20 @@ pub struct DriftConfig {
     /// confidence in correlated-source selection, answer precision) until
     /// it is re-mined. Must lie in `(0, 1]`.
     pub demote_factor: f64,
+    /// Maximum validated live rows queued per source awaiting an
+    /// incremental fold (see [`SampleStream`]); rows beyond the bound are
+    /// dropped (and counted) rather than growing memory unboundedly.
+    pub stream_capacity: usize,
 }
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        DriftConfig { threshold: 0.35, min_observations: 50, demote_factor: 0.5 }
+        DriftConfig {
+            threshold: 0.35,
+            min_observations: 50,
+            demote_factor: 0.5,
+            stream_capacity: 4096,
+        }
     }
 }
 
@@ -93,6 +103,12 @@ impl DriftConfig {
     pub fn with_demote_factor(mut self, factor: f64) -> Self {
         assert!(factor > 0.0 && factor <= 1.0, "demote_factor must lie in (0, 1]");
         self.demote_factor = factor;
+        self
+    }
+
+    /// Overrides the per-source sample-stream capacity.
+    pub fn with_stream_capacity(mut self, capacity: usize) -> Self {
+        self.stream_capacity = capacity;
         self
     }
 }
@@ -231,6 +247,12 @@ pub struct DriftProbe {
     /// concurrent refresh has replaced, and merging it into the reset
     /// detector would register the *old-vs-new* gap as live drift.
     version: u64,
+    /// The validated live tuples themselves (not just their counts), kept
+    /// so [`DriftRegistry::absorb`] can route them into the source's
+    /// [`SampleStream`] for incremental folding instead of discarding
+    /// them. Capped at `row_capacity`; counts keep accumulating past it.
+    live_rows: Vec<Tuple>,
+    row_capacity: usize,
 }
 
 impl DriftProbe {
@@ -240,6 +262,8 @@ impl DriftProbe {
             reference: SideCounts::shaped(shape.arity),
             tracked: shape.tracked.clone(),
             version: 0,
+            live_rows: Vec::new(),
+            row_capacity: 0,
         }
     }
 
@@ -262,12 +286,23 @@ impl DriftProbe {
         let tracked = std::mem::take(&mut self.tracked);
         self.reference.accumulate(&tracked, reference);
         self.live.accumulate(&tracked, live);
+        let arity = self.live.attr_counts.len();
+        for t in live {
+            if self.live_rows.len() >= self.row_capacity {
+                break;
+            }
+            if t.arity() == arity {
+                self.live_rows.push(t.clone());
+            }
+        }
         self.tracked = tracked;
     }
 
-    fn merge_into(self, dst: &mut DriftProbe) {
+    fn merge_into(mut self, dst: &mut DriftProbe) {
         self.live.merge_into(&mut dst.live);
         self.reference.merge_into(&mut dst.reference);
+        let room = dst.row_capacity.saturating_sub(dst.live_rows.len());
+        dst.live_rows.extend(self.live_rows.drain(..).take(room));
     }
 }
 
@@ -335,7 +370,9 @@ impl DriftDetector {
 
     /// An empty pass-local probe shaped like this detector's statistics.
     pub fn probe(&self) -> DriftProbe {
-        DriftProbe::shaped(&self.shape)
+        let mut probe = DriftProbe::shaped(&self.shape);
+        probe.row_capacity = self.config.stream_capacity;
+        probe
     }
 
     /// Merges a pass-local probe and re-evaluates the statistic; returns
@@ -443,6 +480,10 @@ pub struct DriftRegistry {
     config: DriftConfig,
     inner: Mutex<BTreeMap<String, DriftDetector>>,
     versions: KnowledgeVersionClock,
+    /// Per-source queues of validated live rows awaiting an incremental
+    /// fold. A separate lock from `inner` — stream pushes happen after the
+    /// detector work, never nested, so the two can't deadlock.
+    streams: Mutex<BTreeMap<String, SampleStream>>,
 }
 
 impl DriftRegistry {
@@ -452,6 +493,7 @@ impl DriftRegistry {
             config,
             inner: Mutex::new(BTreeMap::new()),
             versions: KnowledgeVersionClock::new(),
+            streams: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -464,9 +506,14 @@ impl DriftRegistry {
     /// the source's knowledge version: registration installs the statistics
     /// every plan for this source derives from.
     pub fn register(&self, source: &str, stats: &SourceStats) {
-        let mut inner = self.inner.lock();
-        inner.insert(source.to_string(), DriftDetector::new(source, stats, self.config));
-        self.versions.bump(source);
+        {
+            let mut inner = self.inner.lock();
+            inner.insert(source.to_string(), DriftDetector::new(source, stats, self.config));
+            self.versions.bump(source);
+        }
+        self.streams
+            .lock()
+            .insert(source.to_string(), SampleStream::new(self.config.stream_capacity));
     }
 
     /// An empty pass-local probe for a registered source, stamped with the
@@ -484,22 +531,39 @@ impl DriftRegistry {
     /// crossed the threshold. Call sequentially, in registration order.
     ///
     /// A probe snapshotted against a knowledge version that has since moved
-    /// (a refresh published mid-pass) is dropped whole: its reference side
-    /// was paired with superseded statistics, and counting the old-vs-new
-    /// gap as live drift would re-fire the verdict the refresh just
-    /// cleared.
+    /// (a refresh published mid-pass) contributes nothing to the drift
+    /// *statistic*: its reference side was paired with superseded
+    /// statistics, and counting the old-vs-new gap as live drift would
+    /// re-fire the verdict the refresh just cleared. Its validated live
+    /// rows are still real observations of the source, though, so they are
+    /// salvaged into the source's [`SampleStream`] (counted as such)
+    /// instead of being silently dropped with the counts.
     ///
     /// A fired verdict demotes the source's knowledge, so it also bumps the
     /// source's knowledge version — cached plans built from the now-demoted
     /// estimates must not be served again.
-    pub fn absorb(&self, source: &str, probe: DriftProbe) -> Option<DriftVerdict> {
-        let mut inner = self.inner.lock();
-        if probe.version != self.versions.current(source) {
-            return None;
-        }
-        let verdict = inner.get_mut(source).and_then(|d| d.absorb(probe));
-        if verdict.is_some() {
-            self.versions.bump(source);
+    pub fn absorb(&self, source: &str, mut probe: DriftProbe) -> Option<DriftVerdict> {
+        let rows = std::mem::take(&mut probe.live_rows);
+        let (stale, verdict) = {
+            let mut inner = self.inner.lock();
+            let stale = probe.version != self.versions.current(source);
+            let verdict = if stale {
+                None
+            } else {
+                inner.get_mut(source).and_then(|d| d.absorb(probe))
+            };
+            if verdict.is_some() {
+                self.versions.bump(source);
+            }
+            (stale, verdict)
+        };
+        if !rows.is_empty() {
+            let mut streams = self.streams.lock();
+            if let Some(stream) = streams.get_mut(source) {
+                for t in rows {
+                    stream.push(t, stale);
+                }
+            }
         }
         verdict
     }
@@ -545,15 +609,68 @@ impl DriftRegistry {
     /// the source's knowledge version: plans built from the replaced
     /// statistics are stale.
     pub fn note_refreshed(&self, source: &str, stats: &SourceStats) {
-        let mut inner = self.inner.lock();
-        if let Some(d) = inner.get_mut(source) {
-            d.reset(stats);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(d) = inner.get_mut(source) {
+                d.reset(stats);
+            }
+            // Bumped under the detector lock so [`DriftRegistry::absorb`]'s
+            // stale-probe check and the reset are one atomic step: no probe
+            // snapshotted against the old statistics can slip into the reset
+            // detector between the two.
+            self.versions.bump(source);
         }
-        // Bumped under the detector lock so [`DriftRegistry::absorb`]'s
-        // stale-probe check and the reset are one atomic step: no probe
-        // snapshotted against the old statistics can slip into the reset
-        // detector between the two.
-        self.versions.bump(source);
+        // A full refresh re-probed the source: queued rows are superseded
+        // by the fresher sample it mined from.
+        if let Some(stream) = self.streams.lock().get_mut(source) {
+            stream.discard();
+        }
+    }
+
+    /// Resets a source's detector after an *incremental fold* published
+    /// `stats`, consuming the streamed rows up to the `through` watermark
+    /// of the [`DriftRegistry::stream_snapshot`] the fold was built from.
+    /// Rows that arrived after the snapshot stay queued for the next fold.
+    /// Bumps the knowledge version like [`DriftRegistry::note_refreshed`].
+    pub fn note_folded(&self, source: &str, stats: &SourceStats, through: u64) {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(d) = inner.get_mut(source) {
+                d.reset(stats);
+            }
+            self.versions.bump(source);
+        }
+        if let Some(stream) = self.streams.lock().get_mut(source) {
+            stream.clear_through(through);
+        }
+    }
+
+    /// The queued validated rows of a source's sample stream (arrival
+    /// order) plus the watermark to pass to [`DriftRegistry::note_folded`]
+    /// once they are folded. `None` if the source is unregistered or
+    /// nothing is queued.
+    pub fn stream_snapshot(&self, source: &str) -> Option<(Vec<Tuple>, u64)> {
+        let streams = self.streams.lock();
+        let stream = streams.get(source)?;
+        if stream.is_empty() {
+            return None;
+        }
+        Some(stream.snapshot())
+    }
+
+    /// Rows currently queued for a source (0 if unregistered).
+    pub fn stream_pending(&self, source: &str) -> usize {
+        self.streams.lock().get(source).map_or(0, SampleStream::pending)
+    }
+
+    /// Aggregate sample-stream counters across all registered sources.
+    pub fn stream_stats(&self) -> StreamStats {
+        let streams = self.streams.lock();
+        let mut total = StreamStats::default();
+        for stream in streams.values() {
+            total.merge(&stream.stats());
+        }
+        total
     }
 
     /// The source's current knowledge version. Monotonic; moves on
@@ -737,15 +854,66 @@ mod tests {
 
         // The stale probe's reference side was paired against replaced
         // statistics — absorbing it would re-fire the verdict the refresh
-        // just cleared. It must be dropped whole.
+        // just cleared. Its counts must be dropped whole...
         assert!(registry.absorb("s", stale).is_none());
         assert!(!registry.is_drifted("s"));
         assert_eq!(registry.observed_rows("s"), 0);
+        // ...but its validated rows are salvaged into the sample stream:
+        // they are real observations regardless of what they were paired
+        // against.
+        assert_eq!(registry.stream_pending("s"), 100);
+        assert_eq!(registry.stream_stats().salvaged, 100);
 
         // A probe snapshotted after the refresh still detects real drift.
         let mut fresh = registry.probe("s").unwrap();
         fresh.observe(&reference, &skewed);
         assert!(registry.absorb("s", fresh).is_some());
         assert!(registry.is_drifted("s"));
+    }
+
+    #[test]
+    fn absorbed_probes_feed_the_sample_stream() {
+        let (ed, stats) = mined();
+        let registry = DriftRegistry::new(DriftConfig::default());
+        registry.register("s", &stats);
+
+        let live: Vec<_> = ed.tuples().iter().take(30).cloned().collect();
+        let mut probe = registry.probe("s").unwrap();
+        probe.observe(&live, &live);
+        registry.absorb("s", probe);
+        assert_eq!(registry.stream_pending("s"), 30);
+        assert_eq!(registry.stream_stats().salvaged, 0);
+
+        // A fold consumes the snapshotted rows.
+        let (rows, through) = registry.stream_snapshot("s").unwrap();
+        assert_eq!(rows.len(), 30);
+        registry.note_folded("s", &stats, through);
+        assert_eq!(registry.stream_pending("s"), 0);
+        assert_eq!(registry.stream_stats().folded, 30);
+        assert!(registry.stream_snapshot("s").is_none());
+
+        // A full refresh supersedes whatever is queued.
+        let mut probe = registry.probe("s").unwrap();
+        probe.observe(&live, &live);
+        registry.absorb("s", probe);
+        assert_eq!(registry.stream_pending("s"), 30);
+        registry.note_refreshed("s", &stats);
+        assert_eq!(registry.stream_pending("s"), 0);
+        assert_eq!(registry.stream_stats().superseded, 30);
+    }
+
+    #[test]
+    fn stream_capacity_bounds_queued_rows() {
+        let (ed, stats) = mined();
+        let registry =
+            DriftRegistry::new(DriftConfig::default().with_stream_capacity(10));
+        registry.register("s", &stats);
+        let live: Vec<_> = ed.tuples().iter().take(25).cloned().collect();
+        let mut probe = registry.probe("s").unwrap();
+        probe.observe(&live, &live);
+        registry.absorb("s", probe);
+        // The probe itself caps row collection at the capacity, so nothing
+        // past it even reaches the stream.
+        assert_eq!(registry.stream_pending("s"), 10);
     }
 }

@@ -31,6 +31,28 @@ use parking_lot::RwLock;
 use crate::knowledge::SourceStats;
 use crate::persist::PersistError;
 
+/// How a published knowledge generation was produced by maintenance —
+/// surfaced in EXPLAIN and the serve metrics so operators can tell cheap
+/// incremental folds from full re-mines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// A full re-probe and re-mine (TANE, pruning, classifier training
+    /// from scratch).
+    Full,
+    /// An incremental fold of streamed validated rows into the retained
+    /// sample (delta count updates, no TANE re-run).
+    Incremental,
+}
+
+impl std::fmt::Display for RefreshKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshKind::Full => write!(f, "full re-mine"),
+            RefreshKind::Incremental => write!(f, "incremental fold"),
+        }
+    }
+}
+
 /// One immutable generation of a member's mined knowledge.
 ///
 /// `epoch` is stamped by [`KnowledgeCell::publish`]; constructors leave
@@ -52,6 +74,10 @@ pub struct MemberKnowledge {
     /// The maintenance pass that published this generation, when it was
     /// produced by a scheduled refresh (surfaced in EXPLAIN).
     pub refreshed_at_pass: Option<u64>,
+    /// Whether a maintenance refresh produced this generation as a full
+    /// re-mine or an incremental fold (None for registration-time
+    /// knowledge).
+    pub refresh_kind: Option<RefreshKind>,
 }
 
 impl MemberKnowledge {
@@ -64,6 +90,7 @@ impl MemberKnowledge {
             error: None,
             epoch: 0,
             refreshed_at_pass: None,
+            refresh_kind: None,
         }
     }
 
@@ -81,6 +108,7 @@ impl MemberKnowledge {
             error: Some(error),
             epoch: 0,
             refreshed_at_pass: None,
+            refresh_kind: None,
         }
     }
 
@@ -94,6 +122,7 @@ impl MemberKnowledge {
             error: None,
             epoch: 0,
             refreshed_at_pass: None,
+            refresh_kind: None,
         }
     }
 }

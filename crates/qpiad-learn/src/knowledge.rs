@@ -4,14 +4,69 @@
 //! pruning, classifier training, selectivity estimation — over a sample and
 //! packages the results for the query rewriter.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use qpiad_db::{AttrId, Relation, Schema};
+use qpiad_db::{AttrId, Relation, Schema, Tuple};
 
-use crate::afd::{prune_afds, AKey, AfdSet};
+use crate::afd::{prune_afds, AKey, Afd, AfdSet};
+use crate::nbc::NaiveBayes;
 use crate::selectivity::SelectivityEstimator;
-use crate::strategy::{FeatureStrategy, ValuePredictor};
+use crate::strategy::{
+    feature_choice, AttrPredictor, FeatureChoice, FeatureStrategy, ValuePredictor,
+};
+use crate::stream::{FoldState, NbcCounts};
 use crate::tane::{discover, TaneConfig};
+
+/// Why a refresh or fold could not use a probe. Classified (instead of the
+/// panic earlier versions used) so a misbehaving source degrades its own
+/// knowledge path without aborting mediation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// The probe's schema does not match the mined sample's — the source
+    /// changed shape underneath the mediator.
+    SchemaSkew {
+        /// Arity of the mined sample's schema.
+        expected: usize,
+        /// Arity of the probe's schema.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshError::SchemaSkew { expected, got } => write!(
+                f,
+                "refresh probe schema skew: expected arity {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
+
+/// What [`SourceStats::fold`] decided about a streamed probe.
+#[derive(Debug)]
+pub enum FoldOutcome {
+    /// The probe was folded incrementally; `stats` is the new bundle and
+    /// `max_delta` the worst AFD/AKey confidence drift since the last full
+    /// TANE run.
+    Folded {
+        /// The updated knowledge bundle.
+        stats: SourceStats,
+        /// Worst absolute confidence drift from the full-mine anchor.
+        max_delta: f64,
+    },
+    /// Confidence drift crossed the re-mine bound: the caller must run a
+    /// full refresh (TANE membership may have changed).
+    RemineRequired {
+        /// Worst absolute confidence drift observed.
+        max_delta: f64,
+        /// The bound it crossed.
+        bound: f64,
+    },
+}
 
 /// Knobs of the mining pipeline, with the paper's defaults.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -75,6 +130,10 @@ struct StatsInner {
     akeys: Vec<AKey>,
     predictor: ValuePredictor,
     selectivity: SelectivityEstimator,
+    /// Delta-maintainable count state behind [`SourceStats::fold`]. Derived
+    /// from the sample at mine time (shard-parallel), never persisted —
+    /// snapshot restore re-mines and rebuilds it.
+    fold: FoldState,
 }
 
 impl SourceStats {
@@ -110,6 +169,7 @@ impl SourceStats {
         );
         let afds = AfdSet::new(pruned);
         let predictor = ValuePredictor::train(sample, &afds, config.strategy, config.m_estimate);
+        let fold = FoldState::build(sample, &afds, &tane_result.akeys, &predictor.single_features());
         SourceStats {
             inner: Arc::new(StatsInner {
                 schema: sample.schema().clone(),
@@ -117,6 +177,7 @@ impl SourceStats {
                 akeys: tane_result.akeys,
                 predictor,
                 selectivity,
+                fold,
             }),
         }
     }
@@ -133,34 +194,154 @@ impl SourceStats {
     /// deterministic, so the merged-sample order above makes `refresh`
     /// itself deterministic. An empty `fresh` relation degenerates to
     /// re-mining the retained sample, which reproduces the original
-    /// bundle bit-for-bit.
+    /// bundle bit-for-bit. A probe whose schema does not match the mined
+    /// sample's is rejected with [`RefreshError::SchemaSkew`] instead of
+    /// panicking — the source degrades, the mediator keeps answering.
     pub fn refresh(
         &self,
         fresh: &Relation,
         smpl_ratio: f64,
         per_inc: f64,
         config: &MiningConfig,
-    ) -> SourceStats {
+    ) -> Result<SourceStats, RefreshError> {
         let old = self.selectivity().sample();
-        assert_eq!(
-            fresh.schema().arity(),
-            old.schema().arity(),
-            "refresh probe must share the source schema"
-        );
-        let fresh_by_id: std::collections::HashMap<_, _> =
-            fresh.tuples().iter().map(|t| (t.id(), t)).collect();
-        let mut merged: Vec<_> = old
-            .tuples()
-            .iter()
-            .map(|t| fresh_by_id.get(&t.id()).copied().unwrap_or(t).clone())
-            .collect();
-        let retained: std::collections::HashSet<_> =
-            old.tuples().iter().map(|t| t.id()).collect();
-        merged.extend(
-            fresh.tuples().iter().filter(|t| !retained.contains(&t.id())).cloned(),
-        );
+        let (merged, _, _) = merge_probe(old, fresh)?;
         let sample = Relation::new(old.schema().clone(), merged);
-        Self::mine_probed(&sample, smpl_ratio, per_inc, config)
+        Ok(Self::mine_probed(&sample, smpl_ratio, per_inc, config))
+    }
+
+    /// Folds streamed validated rows into the bundle *incrementally*: the
+    /// probe merges into the retained sample exactly as in
+    /// [`Self::refresh`], but instead of re-running TANE and retraining
+    /// every classifier, the mined artifacts are rebuilt from
+    /// delta-updated counts — `O(probe)` integer updates plus log-table
+    /// rebuilds.
+    ///
+    /// What a fold can and cannot change:
+    ///
+    /// * AFD and AKey **confidences** track the merged sample exactly
+    ///   (bit-identical to recomputing `g3` over it).
+    /// * AFD/AKey **membership** is frozen at the last full TANE run.
+    ///   When any confidence drifts more than `bound` from its full-mine
+    ///   anchor, the fold refuses ([`FoldOutcome::RemineRequired`]) and
+    ///   the caller runs a full [`Self::refresh`], which re-decides
+    ///   membership, pruning and minimality from scratch.
+    /// * Classifiers whose feature set is unchanged rebuild from
+    ///   maintained counts, bit-identical to retraining over the merged
+    ///   sample; classifiers whose feature choice shifted (a different
+    ///   AFD now wins, or a confidence crossed the Hybrid threshold) and
+    ///   ensembles retrain in full over the merged sample.
+    ///
+    /// `SmplRatio`/`PerInc` carry over from the current bundle — streamed
+    /// rows come from answered queries, not a fresh probing run, so they
+    /// carry no new cardinality evidence.
+    pub fn fold(
+        &self,
+        fresh: &Relation,
+        config: &MiningConfig,
+        bound: f64,
+    ) -> Result<FoldOutcome, RefreshError> {
+        let old = self.selectivity().sample();
+        let (merged, replaced, appended) = merge_probe(old, fresh)?;
+        let mut fold = self.inner.fold.applied(&replaced, &appended);
+        let max_delta = fold.max_confidence_delta();
+        if max_delta > bound {
+            return Ok(FoldOutcome::RemineRequired { max_delta, bound });
+        }
+        let merged = Relation::new(old.schema().clone(), merged);
+        let n = fold.n_rows();
+
+        // Same membership, folded confidences. `AfdSet::new` re-sorts each
+        // attribute's list, so a confidence update can change which AFD is
+        // "best" without a re-mine.
+        let afds = AfdSet::new(
+            fold.afds
+                .iter()
+                .map(|c| Afd::new(c.lhs.clone(), c.rhs, c.confidence(n)))
+                .collect(),
+        );
+        let akeys: Vec<AKey> = fold
+            .akeys
+            .iter()
+            .map(|c| AKey::new(c.attrs.clone(), c.confidence(n)))
+            .collect();
+
+        // Rebuild the per-attribute classifiers: count-table rebuild where
+        // the feature choice survived, full retrain where it shifted.
+        enum CountAction {
+            Keep,
+            Replace(NbcCounts),
+            Drop,
+        }
+        let all_attrs: Vec<AttrId> = merged.schema().attr_ids().collect();
+        let m = config.m_estimate;
+        let rebuilt = crate::par::parallel_map(&all_attrs, |target| {
+            match feature_choice(&afds, config.strategy, *target, &all_attrs) {
+                FeatureChoice::Single { features, afd } => {
+                    let maintained = fold
+                        .nbc_for(*target)
+                        .filter(|c| c.features == features)
+                        .map(|c| c.tables(&merged));
+                    match maintained {
+                        Some((classes, class_counts, cond)) => {
+                            let nbc = NaiveBayes::from_counts(
+                                *target,
+                                features,
+                                classes,
+                                class_counts,
+                                cond,
+                                m,
+                            );
+                            (AttrPredictor::Single { nbc, afd }, CountAction::Keep)
+                        }
+                        None => {
+                            let nbc = NaiveBayes::train(&merged, *target, features.clone(), m);
+                            let counts = NbcCounts::count(&merged, *target, features);
+                            (
+                                AttrPredictor::Single { nbc, afd },
+                                CountAction::Replace(counts),
+                            )
+                        }
+                    }
+                }
+                FeatureChoice::Ensemble(members) => {
+                    let members: Vec<(f64, NaiveBayes, Afd)> = members
+                        .into_iter()
+                        .map(|afd| {
+                            let nbc = NaiveBayes::train(&merged, *target, afd.lhs.clone(), m);
+                            (afd.confidence, nbc, afd)
+                        })
+                        .collect();
+                    (AttrPredictor::Ensemble(members), CountAction::Drop)
+                }
+            }
+        });
+        let mut per_attr: HashMap<AttrId, AttrPredictor> = HashMap::new();
+        for (target, (pred, action)) in all_attrs.iter().zip(rebuilt) {
+            per_attr.insert(*target, pred);
+            match action {
+                CountAction::Keep => {}
+                CountAction::Replace(counts) => fold.replace_nbc(counts),
+                CountAction::Drop => fold.drop_nbc(*target),
+            }
+        }
+        let predictor = ValuePredictor::from_parts(per_attr, config.strategy);
+        let selectivity = SelectivityEstimator::new(
+            merged.clone(),
+            self.selectivity().smpl_ratio(),
+            self.selectivity().per_inc(),
+        );
+        let stats = SourceStats {
+            inner: Arc::new(StatsInner {
+                schema: merged.schema().clone(),
+                afds,
+                akeys,
+                predictor,
+                selectivity,
+                fold,
+            }),
+        };
+        Ok(FoldOutcome::Folded { stats, max_delta })
     }
 
     /// The source's schema.
@@ -192,6 +373,45 @@ impl SourceStats {
     pub fn determining_set(&self, attr: AttrId) -> Option<&[AttrId]> {
         self.inner.afds.best(attr).map(|afd| afd.lhs.as_slice())
     }
+}
+
+/// Merges a fresh probe into the retained sample: a fresh tuple replaces
+/// the retained tuple with the same id in place, unseen ids append in
+/// probe order. Returns the merged rows plus the `(old, new)` replacement
+/// pairs and appended rows the fold path feeds to its count deltas.
+#[allow(clippy::type_complexity)]
+fn merge_probe(
+    old: &Relation,
+    fresh: &Relation,
+) -> Result<(Vec<Tuple>, Vec<(Tuple, Tuple)>, Vec<Tuple>), RefreshError> {
+    if fresh.schema().arity() != old.schema().arity() {
+        return Err(RefreshError::SchemaSkew {
+            expected: old.schema().arity(),
+            got: fresh.schema().arity(),
+        });
+    }
+    let fresh_by_id: HashMap<_, _> = fresh.tuples().iter().map(|t| (t.id(), t)).collect();
+    let mut replaced: Vec<(Tuple, Tuple)> = Vec::new();
+    let mut merged: Vec<Tuple> = old
+        .tuples()
+        .iter()
+        .map(|t| match fresh_by_id.get(&t.id()) {
+            Some(f) => {
+                replaced.push((t.clone(), (*f).clone()));
+                (*f).clone()
+            }
+            None => t.clone(),
+        })
+        .collect();
+    let retained: std::collections::HashSet<_> = old.tuples().iter().map(|t| t.id()).collect();
+    let appended: Vec<Tuple> = fresh
+        .tuples()
+        .iter()
+        .filter(|t| !retained.contains(&t.id()))
+        .cloned()
+        .collect();
+    merged.extend(appended.iter().cloned());
+    Ok((merged, replaced, appended))
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub mod persist;
 pub mod selectivity;
 pub mod store;
 pub mod strategy;
+pub mod stream;
 pub mod tan;
 pub mod tane;
 pub mod tree;
@@ -64,11 +65,12 @@ pub mod tree;
 pub use afd::{AKey, Afd, AfdSet};
 pub use cache::PredictionCache;
 pub use drift::{DriftConfig, DriftDetector, DriftProbe, DriftRegistry, DriftVerdict};
-pub use epoch::{KnowledgeCell, MemberKnowledge};
-pub use knowledge::{MiningConfig, SourceStats};
+pub use epoch::{KnowledgeCell, MemberKnowledge, RefreshKind};
+pub use knowledge::{FoldOutcome, MiningConfig, RefreshError, SourceStats};
 pub use persist::{PersistError, StatsSnapshot};
 pub use qpiad_db::par;
 pub use nbc::{NaiveBayes, RowScorer};
 pub use selectivity::SelectivityEstimator;
 pub use store::{KnowledgeStore, PersistFault};
 pub use strategy::{FeatureStrategy, RowMatcher, ValuePredictor};
+pub use stream::{SampleStream, StreamStats};

@@ -174,6 +174,78 @@ impl NaiveBayes {
         }
     }
 
+    /// Builds a classifier from externally maintained counts — the
+    /// incremental-fold path (`qpiad_learn::stream`) keeps the integer
+    /// co-occurrence counts up to date across sample folds and rebuilds
+    /// the log tables here instead of re-scanning the sample.
+    ///
+    /// `classes` must be in first-appearance order of the target column
+    /// (the order [`Self::train`] assigns), `class_counts` aligned with
+    /// it, and `cond` must contain an entry iff the (feature value, class)
+    /// pair co-occurred at least once. Under those invariants the result
+    /// is bit-identical to [`Self::train`] over the same sample: all
+    /// counts are exact integer `f64`s and the log tables below are the
+    /// same expressions evaluated in the same order.
+    pub(crate) fn from_counts(
+        target: AttrId,
+        features: Vec<AttrId>,
+        classes: Vec<Value>,
+        class_counts: Vec<f64>,
+        cond: Vec<Vec<(Value, Vec<f64>)>>,
+        m: f64,
+    ) -> Self {
+        assert!(m >= 0.0, "m-estimate weight must be non-negative");
+        assert!(!features.contains(&target), "target cannot be a feature");
+        assert_eq!(classes.len(), class_counts.len());
+        assert_eq!(features.len(), cond.len());
+
+        let k = classes.len();
+        let class_index: FastHashMap<Value, usize> =
+            classes.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        let total: f64 = class_counts.iter().sum();
+        let domain_size: Vec<usize> = cond.iter().map(|rows| rows.len().max(1)).collect();
+
+        let log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|n_c| ((n_c + 1.0) / (total + k as f64)).ln())
+            .collect();
+        let smoothed = |n_xc: f64, c: usize, p_uniform: f64| -> f64 {
+            let p = (n_xc + m * p_uniform) / (class_counts[c] + m);
+            p.max(1e-300).ln()
+        };
+        let log_cond: Vec<FastHashMap<Value, Vec<f64>>> = cond
+            .into_iter()
+            .enumerate()
+            .map(|(fi, rows)| {
+                let p_uniform = 1.0 / domain_size[fi] as f64;
+                rows.into_iter()
+                    .map(|(v, counts)| {
+                        let logs = (0..k).map(|c| smoothed(counts[c], c, p_uniform)).collect();
+                        (v, logs)
+                    })
+                    .collect()
+            })
+            .collect();
+        let log_unseen: Vec<Vec<f64>> = domain_size
+            .iter()
+            .map(|ds| {
+                let p_uniform = 1.0 / *ds as f64;
+                (0..k).map(|c| smoothed(0.0, c, p_uniform)).collect()
+            })
+            .collect();
+
+        NaiveBayes {
+            target,
+            features,
+            classes,
+            class_index,
+            total,
+            log_prior,
+            log_cond,
+            log_unseen,
+        }
+    }
+
     /// The target attribute.
     pub fn target(&self) -> AttrId {
         self.target

@@ -47,13 +47,71 @@ impl Default for FeatureStrategy {
 /// A per-attribute predictor assembled according to a strategy.
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // one value per attribute, never collected in bulk
-enum AttrPredictor {
+pub(crate) enum AttrPredictor {
     Single {
         nbc: NaiveBayes,
         /// The AFD that selected the features (None = all attributes).
         afd: Option<Afd>,
     },
     Ensemble(Vec<(f64, NaiveBayes, Afd)>),
+}
+
+/// The feature selection a strategy makes for one target attribute —
+/// computed without training, so the incremental fold can check whether an
+/// attribute's feature set survived a knowledge update before deciding
+/// between a count-table rebuild and a full retrain.
+#[derive(Debug, Clone)]
+pub(crate) enum FeatureChoice {
+    /// One NBC over `features`; `afd` is the justifying AFD if any.
+    Single {
+        features: Vec<AttrId>,
+        afd: Option<Afd>,
+    },
+    /// One NBC per AFD (never delta-maintained; always retrains in full).
+    Ensemble(Vec<Afd>),
+}
+
+/// The feature selection `train_one` would make for `target` under
+/// `strategy` and the given AFDs. Kept in lockstep with `train_one`: both
+/// must agree or the fold path would rebuild the wrong tables.
+pub(crate) fn feature_choice(
+    afds: &AfdSet,
+    strategy: FeatureStrategy,
+    target: AttrId,
+    all_attrs: &[AttrId],
+) -> FeatureChoice {
+    let others = || {
+        all_attrs
+            .iter()
+            .copied()
+            .filter(|a| *a != target)
+            .collect::<Vec<_>>()
+    };
+    match strategy {
+        FeatureStrategy::AllAttributes => FeatureChoice::Single { features: others(), afd: None },
+        FeatureStrategy::BestAfd => match afds.best(target) {
+            Some(afd) => FeatureChoice::Single {
+                features: afd.lhs.clone(),
+                afd: Some(afd.clone()),
+            },
+            None => FeatureChoice::Single { features: others(), afd: None },
+        },
+        FeatureStrategy::HybridOneAfd { min_conf } => match afds.best(target) {
+            Some(afd) if afd.confidence >= min_conf => FeatureChoice::Single {
+                features: afd.lhs.clone(),
+                afd: Some(afd.clone()),
+            },
+            _ => FeatureChoice::Single { features: others(), afd: None },
+        },
+        FeatureStrategy::Ensemble => {
+            let members: Vec<Afd> = afds.for_attr(target).to_vec();
+            if members.is_empty() {
+                FeatureChoice::Single { features: others(), afd: None }
+            } else {
+                FeatureChoice::Ensemble(members)
+            }
+        }
+    }
 }
 
 /// Value-distribution predictors for every attribute of a source, built
@@ -143,6 +201,31 @@ impl ValuePredictor {
         let per_attr: HashMap<AttrId, AttrPredictor> =
             all_attrs.into_iter().zip(trained).collect();
         ValuePredictor { per_attr, strategy }
+    }
+
+    /// Assembles a predictor from per-attribute parts the incremental fold
+    /// built (mixing count-rebuilt and freshly retrained classifiers).
+    pub(crate) fn from_parts(
+        per_attr: HashMap<AttrId, AttrPredictor>,
+        strategy: FeatureStrategy,
+    ) -> Self {
+        ValuePredictor { per_attr, strategy }
+    }
+
+    /// The `(target, features)` pairs of every Single predictor, sorted by
+    /// target — the classifiers whose counts the fold state maintains
+    /// (ensembles always retrain in full).
+    pub(crate) fn single_features(&self) -> Vec<(AttrId, Vec<AttrId>)> {
+        let mut specs: Vec<(AttrId, Vec<AttrId>)> = self
+            .per_attr
+            .iter()
+            .filter_map(|(attr, pred)| match pred {
+                AttrPredictor::Single { nbc, .. } => Some((*attr, nbc.features().to_vec())),
+                AttrPredictor::Ensemble(_) => None,
+            })
+            .collect();
+        specs.sort_by_key(|(attr, _)| *attr);
+        specs
     }
 
     /// The strategy the predictor was built with.

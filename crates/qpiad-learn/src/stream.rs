@@ -1,0 +1,870 @@
+//! Incremental knowledge maintenance: the validated-response sample
+//! stream and the delta-maintained count state behind
+//! [`SourceStats::fold`](crate::knowledge::SourceStats::fold).
+//!
+//! A long-running mediator keeps seeing *validated live responses* — the
+//! very rows the drift detector pairs against the mined sample. Until
+//! now those rows were used once for the drift statistic and discarded;
+//! re-mining then re-probed the source and re-ran the whole §5 pipeline
+//! from scratch. This module keeps them:
+//!
+//! * [`SampleStream`] queues validated rows per source (deduplicated by
+//!   tuple id, weighted by how often an id re-appears, capacity-bounded)
+//!   until a maintenance pass folds them into the mined sample.
+//! * `FoldState` is the crate-internal count state that makes the mined
+//!   artifacts *delta-maintainable*: per-AFD determining-set group counts
+//!   (exactly the integers behind the `g3` error), per-AKey valuation
+//!   counts, and per-attribute NBC co-occurrence counts. Folding a probe
+//!   subtracts the replaced rows' contributions and adds the new ones —
+//!   `O(probe)` integer updates instead of an `O(sample × candidates)`
+//!   TANE re-run.
+//!
+//! ## Exactness
+//!
+//! The count-based confidences are *bit-identical* to recomputing the
+//! stripped-partition `g3` measures over the merged sample:
+//!
+//! * Grouping rows by their complete determining-set valuation (rows with
+//!   a null on any lhs attribute excluded) reproduces `Π_X` exactly;
+//!   singleton groups contribute `len − keep = 0` removals, which is why
+//!   stripping them from the partition never changed the error.
+//! * A target value that is globally unique maps to `NO_CLASS` in the
+//!   stripped target lookup and is counted as a removal there; counting
+//!   it by value gives it an in-group majority of 1 — and `keep =
+//!   max(majority, 1)` in both formulations, so the removal totals agree
+//!   integer-for-integer (see `counts_match_partition_g3` below).
+//! * The final confidence is computed with the same float expression in
+//!   the same order (`1.0 − removals as f64 / n_rows as f64`).
+//!
+//! All state lives in `BTreeMap`s keyed by values, so shard-parallel
+//! accumulation merged in shard order is canonical: byte-identical at any
+//! `QPIAD_THREADS`.
+
+use std::collections::BTreeMap;
+
+use qpiad_db::{AttrId, Relation, Tuple, TupleId, Value};
+
+use crate::afd::{AKey, Afd, AfdSet};
+
+/// Rows per shard for the parallel initial count build. Fixed (not a
+/// function of the thread count) so the shard boundaries — and therefore
+/// the merge order — are identical at any `QPIAD_THREADS`.
+const SHARD_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// SampleStream
+// ---------------------------------------------------------------------------
+
+/// One queued validated row.
+#[derive(Debug, Clone)]
+struct StreamedRow {
+    tuple: Tuple,
+    /// How many times this id was pushed (re-observations replace the
+    /// stored tuple and raise the weight).
+    weight: u64,
+    /// Arrival order of the id's *first* observation — the fold merges
+    /// rows in this order, mirroring probe order in `SourceStats::refresh`.
+    seq: u64,
+    /// Sequence of the most recent push for this id; a row replaced after
+    /// a fold snapshot was taken survives `clear_through`.
+    touched: u64,
+}
+
+/// A capacity-bounded queue of validated live rows awaiting a fold,
+/// deduplicated by tuple id.
+///
+/// Pushing an id already queued replaces the stored tuple (latest
+/// observation wins, exactly like the probe merge in
+/// [`SourceStats::refresh`](crate::knowledge::SourceStats::refresh)) and
+/// raises its weight; the weight is diagnostic — a folded row enters the
+/// sample once regardless of how often it was re-observed.
+#[derive(Debug)]
+pub struct SampleStream {
+    rows: BTreeMap<TupleId, StreamedRow>,
+    next_seq: u64,
+    capacity: usize,
+    collected: u64,
+    salvaged: u64,
+    dropped: u64,
+    folded: u64,
+    superseded: u64,
+}
+
+/// Counter snapshot of one stream (or an aggregate over streams).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Rows currently queued awaiting a fold.
+    pub pending: usize,
+    /// Rows ever accepted into the stream (including re-observations).
+    pub collected: u64,
+    /// Accepted rows that arrived on probes outlived by a refresh — rows
+    /// whose drift statistic was dropped as stale but whose validated
+    /// content was still worth keeping.
+    pub salvaged: u64,
+    /// Rows refused because the stream was at capacity.
+    pub dropped: u64,
+    /// Rows consumed by an incremental fold.
+    pub folded: u64,
+    /// Rows discarded because a full re-mine superseded them.
+    pub superseded: u64,
+}
+
+impl StreamStats {
+    /// Element-wise sum, for aggregating per-source streams.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.pending += other.pending;
+        self.collected += other.collected;
+        self.salvaged += other.salvaged;
+        self.dropped += other.dropped;
+        self.folded += other.folded;
+        self.superseded += other.superseded;
+    }
+}
+
+impl SampleStream {
+    /// An empty stream holding at most `capacity` distinct tuple ids.
+    pub fn new(capacity: usize) -> Self {
+        SampleStream {
+            rows: BTreeMap::new(),
+            next_seq: 0,
+            capacity,
+            collected: 0,
+            salvaged: 0,
+            dropped: 0,
+            folded: 0,
+            superseded: 0,
+        }
+    }
+
+    /// Queues one validated row; `salvaged` marks rows recovered from a
+    /// refresh-outlived probe. Returns whether the row was accepted.
+    pub fn push(&mut self, tuple: Tuple, salvaged: bool) -> bool {
+        if let Some(row) = self.rows.get_mut(&tuple.id()) {
+            row.tuple = tuple;
+            row.weight += 1;
+            row.touched = self.next_seq;
+            self.next_seq += 1;
+        } else if self.rows.len() < self.capacity {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.rows.insert(tuple.id(), StreamedRow { tuple, weight: 1, seq, touched: seq });
+        } else {
+            self.dropped += 1;
+            return false;
+        }
+        self.collected += 1;
+        if salvaged {
+            self.salvaged += 1;
+        }
+        true
+    }
+
+    /// Rows currently queued.
+    pub fn pending(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The queued rows in arrival order plus the watermark to pass back to
+    /// [`SampleStream::clear_through`] once they have been folded.
+    pub fn snapshot(&self) -> (Vec<Tuple>, u64) {
+        let mut rows: Vec<(u64, &Tuple)> =
+            self.rows.values().map(|r| (r.seq, &r.tuple)).collect();
+        rows.sort_unstable_by_key(|(seq, _)| *seq);
+        (rows.into_iter().map(|(_, t)| t.clone()).collect(), self.next_seq)
+    }
+
+    /// Drops rows whose latest push happened before the `through`
+    /// watermark of a [`SampleStream::snapshot`] — they are in the folded
+    /// sample now. A row re-pushed *after* the snapshot stays queued for
+    /// the next fold.
+    pub fn clear_through(&mut self, through: u64) {
+        let before = self.rows.len();
+        self.rows.retain(|_, r| r.touched >= through);
+        self.folded += (before - self.rows.len()) as u64;
+    }
+
+    /// Drops everything queued: a full re-mine re-probed the source, so
+    /// the queued rows are superseded by fresher knowledge.
+    pub fn discard(&mut self) {
+        self.superseded += self.rows.len() as u64;
+        self.rows.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            pending: self.rows.len(),
+            collected: self.collected,
+            salvaged: self.salvaged,
+            dropped: self.dropped,
+            folded: self.folded,
+            superseded: self.superseded,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Count state
+// ---------------------------------------------------------------------------
+
+fn inc(map: &mut BTreeMap<Value, u64>, key: &Value) {
+    *map.entry(key.clone()).or_insert(0) += 1;
+}
+
+fn dec(map: &mut BTreeMap<Value, u64>, key: &Value) {
+    if let Some(n) = map.get_mut(key) {
+        *n -= 1;
+        if *n == 0 {
+            map.remove(key);
+        }
+    } else {
+        debug_assert!(false, "removed a row that was never counted");
+    }
+}
+
+fn merge_counts(dst: &mut BTreeMap<Value, u64>, src: BTreeMap<Value, u64>) {
+    for (v, n) in src {
+        *dst.entry(v).or_insert(0) += n;
+    }
+}
+
+/// The rows of one determining-set valuation, counted by rhs value.
+#[derive(Debug, Clone, Default)]
+struct AfdGroup {
+    by_value: BTreeMap<Value, u64>,
+    null_rhs: u64,
+}
+
+impl AfdGroup {
+    fn len(&self) -> u64 {
+        self.by_value.values().sum::<u64>() + self.null_rhs
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_value.is_empty() && self.null_rhs == 0
+    }
+}
+
+/// Count state of one mined AFD `lhs ⇝ rhs`.
+#[derive(Debug, Clone)]
+pub(crate) struct AfdCounts {
+    pub(crate) lhs: Vec<AttrId>,
+    pub(crate) rhs: AttrId,
+    /// Confidence at the last full TANE run — the anchor the re-mine
+    /// bound compares folded confidences against.
+    pub(crate) base_confidence: f64,
+    groups: BTreeMap<Vec<Value>, AfdGroup>,
+}
+
+impl AfdCounts {
+    fn shaped(afd: &Afd) -> Self {
+        AfdCounts {
+            lhs: afd.lhs.clone(),
+            rhs: afd.rhs,
+            base_confidence: afd.confidence,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    fn key_of(&self, t: &Tuple) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(self.lhs.len());
+        for a in &self.lhs {
+            let v = t.value(*a);
+            if v.is_null() {
+                return None; // stripped: a null matches nothing
+            }
+            key.push(v.clone());
+        }
+        Some(key)
+    }
+
+    fn add_row(&mut self, t: &Tuple) {
+        let Some(key) = self.key_of(t) else { return };
+        let group = self.groups.entry(key).or_default();
+        let rhs = t.value(self.rhs);
+        if rhs.is_null() {
+            group.null_rhs += 1;
+        } else {
+            inc(&mut group.by_value, rhs);
+        }
+    }
+
+    fn remove_row(&mut self, t: &Tuple) {
+        let Some(key) = self.key_of(t) else { return };
+        let Some(group) = self.groups.get_mut(&key) else {
+            debug_assert!(false, "removed a row that was never grouped");
+            return;
+        };
+        let rhs = t.value(self.rhs);
+        if rhs.is_null() {
+            group.null_rhs -= 1;
+        } else {
+            dec(&mut group.by_value, rhs);
+        }
+        if group.is_empty() {
+            self.groups.remove(&key);
+        }
+    }
+
+    fn merge(&mut self, src: AfdCounts) {
+        for (key, group) in src.groups {
+            let dst = self.groups.entry(key).or_default();
+            dst.null_rhs += group.null_rhs;
+            merge_counts(&mut dst.by_value, group.by_value);
+        }
+    }
+
+    /// `1 − g3(lhs → rhs)` over the counted rows — bit-identical to
+    /// [`StrippedPartition::g3_error`](crate::partition::StrippedPartition::g3_error)
+    /// on the same relation (see the module docs for why).
+    pub(crate) fn confidence(&self, n_rows: u64) -> f64 {
+        if n_rows == 0 {
+            return 1.0;
+        }
+        let mut removals = 0u64;
+        for group in self.groups.values() {
+            let majority = group.by_value.values().copied().max().unwrap_or(0);
+            let keep = majority.max(u64::from(group.null_rhs > 0 && majority == 0));
+            removals += group.len() - keep;
+        }
+        1.0 - removals as f64 / n_rows as f64
+    }
+}
+
+/// Count state of one mined approximate key.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyCounts {
+    pub(crate) attrs: Vec<AttrId>,
+    pub(crate) base_confidence: f64,
+    groups: BTreeMap<Vec<Value>, u64>,
+}
+
+impl KeyCounts {
+    fn shaped(akey: &AKey) -> Self {
+        KeyCounts {
+            attrs: akey.attrs.clone(),
+            base_confidence: akey.confidence,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    fn key_of(&self, t: &Tuple) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(self.attrs.len());
+        for a in &self.attrs {
+            let v = t.value(*a);
+            if v.is_null() {
+                return None;
+            }
+            key.push(v.clone());
+        }
+        Some(key)
+    }
+
+    fn add_row(&mut self, t: &Tuple) {
+        if let Some(key) = self.key_of(t) {
+            *self.groups.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_row(&mut self, t: &Tuple) {
+        if let Some(key) = self.key_of(t) {
+            if let Some(n) = self.groups.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.groups.remove(&key);
+                }
+            } else {
+                debug_assert!(false, "removed a row that was never keyed");
+            }
+        }
+    }
+
+    fn merge(&mut self, src: KeyCounts) {
+        for (key, n) in src.groups {
+            *self.groups.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// `1 − g3_key(attrs)` over the counted rows — bit-identical to
+    /// [`StrippedPartition::g3_key_error`](crate::partition::StrippedPartition::g3_key_error).
+    pub(crate) fn confidence(&self, n_rows: u64) -> f64 {
+        if n_rows == 0 {
+            return 1.0;
+        }
+        let dups: u64 = self.groups.values().map(|c| c - 1).sum();
+        1.0 - dups as f64 / n_rows as f64
+    }
+}
+
+/// Batch-training tables derived from delta counts: classes in
+/// first-appearance order, their counts, and per-feature conditional
+/// rows keyed by feature value — the inputs
+/// [`NaiveBayes::from_counts`](crate::nbc::NaiveBayes::from_counts)
+/// takes.
+pub(crate) type NbcTables = (Vec<Value>, Vec<f64>, Vec<Vec<(Value, Vec<f64>)>>);
+
+/// Count state of one attribute's single-NBC classifier: exactly the
+/// integer counts [`NaiveBayes::train`](crate::nbc::NaiveBayes::train)
+/// accumulates, kept updatable.
+#[derive(Debug, Clone)]
+pub(crate) struct NbcCounts {
+    pub(crate) target: AttrId,
+    pub(crate) features: Vec<AttrId>,
+    /// Non-null target occurrences per class value.
+    class_counts: BTreeMap<Value, u64>,
+    /// Per feature: feature value → class value → co-occurrence count.
+    /// An entry exists iff the pair co-occurred at least once — the same
+    /// membership rule batch training uses, which is what keeps the
+    /// smoothing domain size identical.
+    cond: Vec<BTreeMap<Value, BTreeMap<Value, u64>>>,
+}
+
+impl NbcCounts {
+    fn shaped(target: AttrId, features: Vec<AttrId>) -> Self {
+        let cond = features.iter().map(|_| BTreeMap::new()).collect();
+        NbcCounts { target, features, class_counts: BTreeMap::new(), cond }
+    }
+
+    fn add_row(&mut self, t: &Tuple) {
+        let tv = t.value(self.target);
+        if tv.is_null() {
+            return; // null target: not a training example
+        }
+        inc(&mut self.class_counts, tv);
+        for (fi, f) in self.features.iter().enumerate() {
+            let fv = t.value(*f);
+            if !fv.is_null() {
+                inc(self.cond[fi].entry(fv.clone()).or_default(), tv);
+            }
+        }
+    }
+
+    fn remove_row(&mut self, t: &Tuple) {
+        let tv = t.value(self.target);
+        if tv.is_null() {
+            return;
+        }
+        dec(&mut self.class_counts, tv);
+        for (fi, f) in self.features.iter().enumerate() {
+            let fv = t.value(*f);
+            if fv.is_null() {
+                continue;
+            }
+            if let Some(classes) = self.cond[fi].get_mut(fv) {
+                dec(classes, tv);
+                if classes.is_empty() {
+                    self.cond[fi].remove(fv);
+                }
+            } else {
+                debug_assert!(false, "removed a co-occurrence that was never counted");
+            }
+        }
+    }
+
+    fn merge(&mut self, src: NbcCounts) {
+        merge_counts(&mut self.class_counts, src.class_counts);
+        for (dst, src) in self.cond.iter_mut().zip(src.cond) {
+            for (fv, classes) in src {
+                merge_counts(dst.entry(fv).or_default(), classes);
+            }
+        }
+    }
+
+    /// Builds counts over a whole sample in one pass (used when a fold
+    /// changes an attribute's feature set and the delta state must be
+    /// re-seeded from the merged sample).
+    pub(crate) fn count(sample: &Relation, target: AttrId, features: Vec<AttrId>) -> Self {
+        let mut counts = NbcCounts::shaped(target, features);
+        for t in sample.tuples() {
+            counts.add_row(t);
+        }
+        counts
+    }
+
+    /// Classes in first-appearance order over `sample`'s target column —
+    /// the order batch training assigns — paired with their counts, plus
+    /// the per-feature conditional tables in that class order. Feed these
+    /// to [`NaiveBayes::from_counts`](crate::nbc::NaiveBayes::from_counts).
+    pub(crate) fn tables(&self, sample: &Relation) -> NbcTables {
+        let mut classes: Vec<Value> = Vec::new();
+        let mut index: BTreeMap<&Value, usize> = BTreeMap::new();
+        for t in sample.tuples() {
+            let tv = t.value(self.target);
+            if !tv.is_null() && !index.contains_key(tv) {
+                classes.push(tv.clone());
+            }
+            if !tv.is_null() {
+                let next = classes.len() - 1;
+                index.entry(tv).or_insert(next);
+            }
+        }
+        debug_assert_eq!(
+            classes.len(),
+            self.class_counts.len(),
+            "delta class set must match the merged sample's"
+        );
+        let class_counts: Vec<f64> = classes
+            .iter()
+            .map(|c| self.class_counts.get(c).copied().unwrap_or(0) as f64)
+            .collect();
+        let k = classes.len();
+        let idx_of = |v: &Value| index.get(v).copied();
+        let cond: Vec<Vec<(Value, Vec<f64>)>> = self
+            .cond
+            .iter()
+            .map(|per_value| {
+                per_value
+                    .iter()
+                    .map(|(fv, by_class)| {
+                        let mut row = vec![0f64; k];
+                        for (cv, n) in by_class {
+                            if let Some(c) = idx_of(cv) {
+                                row[c] = *n as f64;
+                            }
+                        }
+                        (fv.clone(), row)
+                    })
+                    .collect()
+            })
+            .collect();
+        (classes, class_counts, cond)
+    }
+}
+
+/// The full delta-maintainable count state of one mined bundle.
+#[derive(Debug, Clone)]
+pub(crate) struct FoldState {
+    /// Rows in the retained sample — the `g3` denominator.
+    n_rows: u64,
+    /// One count state per mined AFD, sorted by `(rhs, lhs)` so the fold
+    /// path never iterates the `AfdSet`'s hash map.
+    pub(crate) afds: Vec<AfdCounts>,
+    /// One count state per mined AKey, sorted by attribute set.
+    pub(crate) akeys: Vec<KeyCounts>,
+    /// One count state per attribute trained as a single NBC, sorted by
+    /// target (ensemble attributes retrain from the merged sample).
+    pub(crate) nbc: Vec<NbcCounts>,
+}
+
+impl FoldState {
+    /// An empty state shaped like the mined artifacts.
+    fn shaped(afds: &AfdSet, akeys: &[AKey], nbc_specs: &[(AttrId, Vec<AttrId>)]) -> Self {
+        let mut afd_list: Vec<&Afd> = afds.iter().collect();
+        afd_list.sort_by(|a, b| a.rhs.cmp(&b.rhs).then_with(|| a.lhs.cmp(&b.lhs)));
+        let mut key_list: Vec<&AKey> = akeys.iter().collect();
+        key_list.sort_by(|a, b| a.attrs.cmp(&b.attrs));
+        let mut specs: Vec<&(AttrId, Vec<AttrId>)> = nbc_specs.iter().collect();
+        specs.sort_by_key(|(target, _)| *target);
+        FoldState {
+            n_rows: 0,
+            afds: afd_list.into_iter().map(AfdCounts::shaped).collect(),
+            akeys: key_list.into_iter().map(KeyCounts::shaped).collect(),
+            nbc: specs
+                .into_iter()
+                .map(|(target, features)| NbcCounts::shaped(*target, features.clone()))
+                .collect(),
+        }
+    }
+
+    fn accumulate(&mut self, rows: &[Tuple]) {
+        for t in rows {
+            self.add_row(t);
+        }
+    }
+
+    fn merge(&mut self, src: FoldState) {
+        self.n_rows += src.n_rows;
+        for (dst, src) in self.afds.iter_mut().zip(src.afds) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.akeys.iter_mut().zip(src.akeys) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.nbc.iter_mut().zip(src.nbc) {
+            dst.merge(src);
+        }
+    }
+
+    /// Builds the count state over a sample, shard-parallel: fixed-size
+    /// row shards accumulate partial counts across the [`crate::par`]
+    /// worker pool and merge sequentially in shard order. Integer adds
+    /// into ordered maps commute, so the result is byte-identical at any
+    /// thread count.
+    pub(crate) fn build(
+        sample: &Relation,
+        afds: &AfdSet,
+        akeys: &[AKey],
+        nbc_specs: &[(AttrId, Vec<AttrId>)],
+    ) -> Self {
+        let template = FoldState::shaped(afds, akeys, nbc_specs);
+        let rows = sample.tuples();
+        if rows.len() <= SHARD_ROWS {
+            let mut state = template;
+            state.accumulate(rows);
+            return state;
+        }
+        let shards: Vec<&[Tuple]> = rows.chunks(SHARD_ROWS).collect();
+        let partials = crate::par::parallel_map(&shards, |shard| {
+            let mut partial = template.clone();
+            partial.accumulate(shard);
+            partial
+        });
+        let mut state = FoldState::shaped(afds, akeys, nbc_specs);
+        for partial in partials {
+            state.merge(partial);
+        }
+        state
+    }
+
+    /// Builds the post-delta count state without mutating `self`: every
+    /// count structure clones itself and replays the delta independently
+    /// across the [`crate::par`] worker pool — `replaced` rows swap old
+    /// for new in place, `appended` rows are new ids. The structures are
+    /// disjoint and the replay order within each is fixed, so the result
+    /// is byte-identical to a sequential clone-then-replay at any thread
+    /// count. Replaced pairs whose tuples are identical are exact no-ops
+    /// on every structure (a remove immediately undone by the same add)
+    /// and are filtered out first — live refreshes mostly re-deliver
+    /// unchanged rows, so this skips the bulk of the replay.
+    pub(crate) fn applied(&self, replaced: &[(Tuple, Tuple)], appended: &[Tuple]) -> FoldState {
+        let changed: Vec<&(Tuple, Tuple)> = replaced.iter().filter(|(o, n)| o != n).collect();
+        let replay_afd = |counts: &AfdCounts| {
+            let mut counts = counts.clone();
+            for (old, new) in &changed {
+                counts.remove_row(old);
+                counts.add_row(new);
+            }
+            for t in appended {
+                counts.add_row(t);
+            }
+            counts
+        };
+        let replay_key = |counts: &KeyCounts| {
+            let mut counts = counts.clone();
+            for (old, new) in &changed {
+                counts.remove_row(old);
+                counts.add_row(new);
+            }
+            for t in appended {
+                counts.add_row(t);
+            }
+            counts
+        };
+        let replay_nbc = |counts: &NbcCounts| {
+            let mut counts = counts.clone();
+            for (old, new) in &changed {
+                counts.remove_row(old);
+                counts.add_row(new);
+            }
+            for t in appended {
+                counts.add_row(t);
+            }
+            counts
+        };
+        FoldState {
+            n_rows: self.n_rows + appended.len() as u64,
+            afds: crate::par::parallel_map(&self.afds, replay_afd),
+            akeys: crate::par::parallel_map(&self.akeys, replay_key),
+            nbc: crate::par::parallel_map(&self.nbc, replay_nbc),
+        }
+    }
+
+    /// The worst absolute confidence drift of any AFD or AKey from its
+    /// last full TANE run — the quantity the re-mine bound gates on.
+    pub(crate) fn max_confidence_delta(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for afd in &self.afds {
+            worst = worst.max((afd.confidence(self.n_rows) - afd.base_confidence).abs());
+        }
+        for akey in &self.akeys {
+            worst = worst.max((akey.confidence(self.n_rows) - akey.base_confidence).abs());
+        }
+        worst
+    }
+
+    /// Replaces the count state of `target`'s classifier (the fold path
+    /// re-seeds it when the attribute's feature set changed).
+    pub(crate) fn replace_nbc(&mut self, counts: NbcCounts) {
+        match self.nbc.binary_search_by_key(&counts.target, |c| c.target) {
+            Ok(i) => self.nbc[i] = counts,
+            Err(i) => self.nbc.insert(i, counts),
+        }
+    }
+
+    /// Drops the count state of `target`'s classifier (the attribute is
+    /// now trained as an ensemble, which always retrains in full).
+    pub(crate) fn drop_nbc(&mut self, target: AttrId) {
+        if let Ok(i) = self.nbc.binary_search_by_key(&target, |c| c.target) {
+            self.nbc.remove(i);
+        }
+    }
+
+    /// The count state of `target`'s classifier, if delta-maintained.
+    pub(crate) fn nbc_for(&self, target: AttrId) -> Option<&NbcCounts> {
+        self.nbc
+            .binary_search_by_key(&target, |c| c.target)
+            .ok()
+            .map(|i| &self.nbc[i])
+    }
+
+    fn add_row(&mut self, t: &Tuple) {
+        self.n_rows += 1;
+        for afd in &mut self.afds {
+            afd.add_row(t);
+        }
+        for akey in &mut self.akeys {
+            akey.add_row(t);
+        }
+        for nbc in &mut self.nbc {
+            nbc.add_row(t);
+        }
+    }
+
+    pub(crate) fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::StrippedPartition;
+    use qpiad_db::{AttrType, Schema, TupleId};
+
+    fn relation(rows: &[(&str, &str)]) -> Relation {
+        let schema = Schema::of(
+            "t",
+            &[("x", AttrType::Categorical), ("y", AttrType::Categorical)],
+        );
+        let mk = |s: &str| if s == "-" { Value::Null } else { Value::str(s) };
+        let tuples = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| Tuple::new(TupleId(i as u32), vec![mk(x), mk(y)]))
+            .collect();
+        Relation::new(schema, tuples)
+    }
+
+    #[test]
+    fn counts_match_partition_g3() {
+        // Nulls on both sides, globally unique target values, all-null
+        // groups: every case the stripped-partition measure handles.
+        let r = relation(&[
+            ("a", "1"),
+            ("a", "1"),
+            ("a", "2"),
+            ("a", "-"),
+            ("b", "uniq"),
+            ("b", "-"),
+            ("-", "1"),
+            ("c", "-"),
+            ("c", "-"),
+            ("d", "3"),
+        ]);
+        let afd = Afd::new(vec![AttrId(0)], AttrId(1), 0.0);
+        let set = AfdSet::new(vec![afd]);
+        let state = FoldState::build(&r, &set, &[], &[]);
+        let px = StrippedPartition::from_column(&r, AttrId(0));
+        let py = StrippedPartition::from_column(&r, AttrId(1));
+        let expect = 1.0 - px.g3_error(&py.lookup());
+        let got = state.afds[0].confidence(state.n_rows());
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn key_counts_match_partition_g3_key() {
+        let r = relation(&[("a", "1"), ("a", "1"), ("b", "2"), ("-", "3"), ("c", "4")]);
+        let akey = AKey::new(vec![AttrId(0)], 0.0);
+        let state = FoldState::build(&r, &AfdSet::default(), &[akey], &[]);
+        let p = StrippedPartition::from_column(&r, AttrId(0));
+        let expect = 1.0 - p.g3_key_error();
+        assert_eq!(state.akeys[0].confidence(state.n_rows()).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn delta_updates_equal_rebuild() {
+        let base = relation(&[("a", "1"), ("a", "1"), ("b", "2"), ("b", "2"), ("c", "3")]);
+        let afd = Afd::new(vec![AttrId(0)], AttrId(1), 0.0);
+        let set = AfdSet::new(vec![afd]);
+        let specs = vec![(AttrId(1), vec![AttrId(0)])];
+        let built = FoldState::build(&base, &set, &[], &specs);
+
+        // Replace row 1's target and append two rows.
+        let old = base.tuples()[1].clone();
+        let new = Tuple::new(TupleId(1), vec![Value::str("a"), Value::str("9")]);
+        let appended = vec![
+            Tuple::new(TupleId(7), vec![Value::str("a"), Value::str("1")]),
+            Tuple::new(TupleId(8), vec![Value::Null, Value::str("1")]),
+        ];
+        let state = built.applied(&[(old, new.clone())], &appended);
+
+        let mut merged: Vec<Tuple> = base.tuples().to_vec();
+        merged[1] = new;
+        merged.extend(appended);
+        let merged = Relation::new(base.schema().clone(), merged);
+        let rebuilt = FoldState::build(&merged, &set, &[], &specs);
+
+        assert_eq!(state.n_rows(), rebuilt.n_rows());
+        assert_eq!(
+            state.afds[0].confidence(state.n_rows()).to_bits(),
+            rebuilt.afds[0].confidence(rebuilt.n_rows()).to_bits()
+        );
+        let (ca, na, conda) = state.nbc[0].tables(&merged);
+        let (cb, nb, condb) = rebuilt.nbc[0].tables(&merged);
+        assert_eq!(ca, cb);
+        assert_eq!(na, nb);
+        assert_eq!(conda, condb);
+    }
+
+    #[test]
+    fn stream_dedups_by_id_and_tracks_counters() {
+        let mut stream = SampleStream::new(2);
+        let t0 = Tuple::new(TupleId(0), vec![Value::str("a")]);
+        let t0b = Tuple::new(TupleId(0), vec![Value::str("b")]);
+        let t1 = Tuple::new(TupleId(1), vec![Value::str("c")]);
+        let t2 = Tuple::new(TupleId(2), vec![Value::str("d")]);
+        assert!(stream.push(t0, false));
+        assert!(stream.push(t0b.clone(), true));
+        assert!(stream.push(t1, false));
+        assert!(!stream.push(t2, false)); // over capacity
+        let s = stream.stats();
+        assert_eq!(s.pending, 2);
+        assert_eq!(s.collected, 3);
+        assert_eq!(s.salvaged, 1);
+        assert_eq!(s.dropped, 1);
+        // Latest observation wins for a duplicated id.
+        let (rows, through) = stream.snapshot();
+        assert_eq!(rows[0].value(AttrId(0)), t0b.value(AttrId(0)));
+        stream.clear_through(through);
+        assert!(stream.is_empty());
+        assert_eq!(stream.stats().folded, 2);
+    }
+
+    #[test]
+    fn rows_touched_after_a_snapshot_survive_the_clear() {
+        let mut stream = SampleStream::new(8);
+        stream.push(Tuple::new(TupleId(0), vec![Value::str("a")]), false);
+        let (_, through) = stream.snapshot();
+        // Re-observed after the snapshot: must stay queued for the next
+        // fold, or the newer observation would be lost.
+        stream.push(Tuple::new(TupleId(0), vec![Value::str("b")]), false);
+        stream.clear_through(through);
+        assert_eq!(stream.pending(), 1);
+    }
+
+    #[test]
+    fn discard_counts_superseded_rows() {
+        let mut stream = SampleStream::new(8);
+        stream.push(Tuple::new(TupleId(0), vec![Value::str("a")]), false);
+        stream.push(Tuple::new(TupleId(1), vec![Value::str("b")]), false);
+        stream.discard();
+        assert!(stream.is_empty());
+        assert_eq!(stream.stats().superseded, 2);
+        assert_eq!(stream.stats().folded, 0);
+    }
+}

@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use qpiad_db::SourceMeter;
+use qpiad_learn::StreamStats;
 
 /// Lock-free accumulation cells behind [`ServeMetrics`].
 #[derive(Debug, Default)]
@@ -45,6 +46,8 @@ pub(crate) struct MetricCells {
     pub refresh_success: AtomicUsize,
     pub refresh_failure: AtomicUsize,
     pub refresh_retries: AtomicUsize,
+    pub refresh_full: AtomicUsize,
+    pub refresh_incremental: AtomicUsize,
     pub last_refresh_pass: AtomicU64,
 }
 
@@ -75,6 +78,7 @@ impl MetricCells {
         per_source: Vec<(String, SourceMeter)>,
         knowledge_epochs: Vec<(String, u64)>,
         pending_refresh: usize,
+        stream: StreamStats,
     ) -> ServeMetrics {
         ServeMetrics {
             admitted: self.admitted.load(Ordering::Relaxed),
@@ -94,10 +98,13 @@ impl MetricCells {
             refresh_success: self.refresh_success.load(Ordering::Relaxed),
             refresh_failure: self.refresh_failure.load(Ordering::Relaxed),
             refresh_retries: self.refresh_retries.load(Ordering::Relaxed),
+            refresh_full: self.refresh_full.load(Ordering::Relaxed),
+            refresh_incremental: self.refresh_incremental.load(Ordering::Relaxed),
             last_refresh_pass: self.last_refresh_pass.load(Ordering::Relaxed),
             per_source,
             knowledge_epochs,
             pending_refresh,
+            stream,
         }
     }
 }
@@ -153,6 +160,14 @@ pub struct ServeMetrics {
     /// Extra refresh attempts spent after a first in-pass failure
     /// (bounded by [`ServeConfig::refresh_retries`](crate::ServeConfig::refresh_retries)).
     pub refresh_retries: usize,
+    /// Successful refreshes published as full re-mines (TANE re-run,
+    /// classifiers retrained from scratch).
+    pub refresh_full: usize,
+    /// Successful refreshes published as incremental folds of streamed
+    /// validated rows (delta count updates, no TANE re-run). Together
+    /// with [`refresh_full`](Self::refresh_full) this partitions
+    /// [`refresh_success`](Self::refresh_success).
+    pub refresh_incremental: usize,
     /// The most recent maintenance pass that published at least one
     /// refreshed generation (`0` — maintenance passes start at 1 — means
     /// no refresh has ever succeeded).
@@ -165,6 +180,11 @@ pub struct ServeMetrics {
     /// Members currently queued for re-mining (drift verdicts plus
     /// contained knowledge-load failures) at snapshot time.
     pub pending_refresh: usize,
+    /// Sample-stream counters aggregated across every member's
+    /// [`qpiad_learn::SampleStream`]: rows collected from validated live
+    /// responses, rows salvaged from refresh-outlived probes, rows folded
+    /// into published knowledge, and rows still pending.
+    pub stream: StreamStats,
 }
 
 impl ServeMetrics {
@@ -204,8 +224,8 @@ mod tests {
     #[test]
     fn snapshot_copies_cells_and_rates_divide_safely() {
         let cells = MetricCells::default();
-        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).coalesce_hit_rate(), 0.0);
-        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).shed_rate(), 0.0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default()).coalesce_hit_rate(), 0.0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default()).shed_rate(), 0.0);
         for _ in 0..4 {
             MetricCells::bump(&cells.admitted);
         }
@@ -220,6 +240,7 @@ mod tests {
             vec![("s".into(), SourceMeter { queries: 7, ..Default::default() })],
             vec![("s".into(), 3)],
             1,
+            StreamStats::default(),
         );
         assert_eq!(m.admitted, 4);
         assert_eq!(m.leaders, 1);
@@ -233,11 +254,11 @@ mod tests {
     fn lowering_a_zero_gauge_saturates_instead_of_wrapping() {
         let cells = MetricCells::default();
         MetricCells::lower_gauge(&cells.coalesce_waiters);
-        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0).coalesce_waiters, 0);
+        assert_eq!(cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default()).coalesce_waiters, 0);
         MetricCells::raise_gauge(&cells.in_flight, &cells.in_flight_peak);
         MetricCells::lower_gauge(&cells.in_flight);
         MetricCells::lower_gauge(&cells.in_flight);
-        let m = cells.snapshot(Vec::new(), Vec::new(), 0);
+        let m = cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default());
         assert_eq!(m.in_flight, 0);
         assert_eq!(m.in_flight_peak, 1);
     }
@@ -256,8 +277,8 @@ mod tests {
         }
         MetricCells::bump(&cells.deadline_refused);
         MetricCells::bump(&cells.errors);
-        assert!(cells.snapshot(Vec::new(), Vec::new(), 0).conserves());
+        assert!(cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default()).conserves());
         MetricCells::bump(&cells.admitted);
-        assert!(!cells.snapshot(Vec::new(), Vec::new(), 0).conserves());
+        assert!(!cells.snapshot(Vec::new(), Vec::new(), 0, StreamStats::default()).conserves());
     }
 }

@@ -48,7 +48,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use qpiad_core::network::{MediatorNetwork, NetworkAnswer};
+use qpiad_core::network::{MediatorNetwork, MemberFold, NetworkAnswer};
 use qpiad_db::health::{MediationClock, PressureLevel, QueryBudget};
 use qpiad_db::{AutonomousSource, SelectQuery, SourceError};
 use qpiad_learn::{KnowledgeStore, MiningConfig, SourceStats};
@@ -58,7 +58,7 @@ use crate::metrics::{MetricCells, ServeMetrics};
 use crate::tenant::{Tenant, TenantClass};
 
 /// Serving knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Most batch-class mediation passes allowed to execute at once;
     /// further batch leaders queue. Interactive passes are never gated.
@@ -93,6 +93,17 @@ pub struct ServeConfig {
     /// consecutive failed passes the member is deferred for
     /// `min(refresh_backoff_base << (f - 1), 64)` passes. Default 1.
     pub refresh_backoff_base: u64,
+    /// Whether a maintenance pass first tries to fold a candidate's
+    /// streamed validated rows into its existing knowledge (an
+    /// incremental delta publication) before falling back to a full
+    /// re-mine. Default `true`.
+    pub prefer_incremental: bool,
+    /// Largest AFD/AKey confidence shift an incremental fold may publish
+    /// without a TANE re-run; a fold whose worst delta crosses this
+    /// bound is abandoned and the candidate is fully re-mined instead
+    /// (dependency *membership* could have changed, not just
+    /// confidence). Default `0.05`.
+    pub refold_bound: f64,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +116,8 @@ impl Default for ServeConfig {
             deadline: None,
             refresh_retries: 2,
             refresh_backoff_base: 1,
+            prefer_incremental: true,
+            refold_bound: 0.05,
         }
     }
 }
@@ -151,6 +164,19 @@ impl ServeConfig {
     /// Sets the refresh backoff base, in maintenance passes (at least 1).
     pub fn with_refresh_backoff_base(mut self, base: u64) -> Self {
         self.refresh_backoff_base = base.max(1);
+        self
+    }
+
+    /// Enables or disables the incremental-fold fast path in maintenance.
+    pub fn with_prefer_incremental(mut self, enabled: bool) -> Self {
+        self.prefer_incremental = enabled;
+        self
+    }
+
+    /// Sets the confidence-delta bound past which a fold escalates to a
+    /// full re-mine (clamped to be non-negative).
+    pub fn with_refold_bound(mut self, bound: f64) -> Self {
+        self.refold_bound = bound.max(0.0);
         self
     }
 }
@@ -259,8 +285,13 @@ struct MaintenanceState {
 pub struct MaintenanceReport {
     /// The maintenance pass this report describes.
     pub pass: u64,
-    /// Members whose knowledge was re-mined, persisted, and published.
+    /// Members whose knowledge was re-mined, persisted, and published
+    /// via the full path (probe → TANE → classifiers from scratch).
     pub refreshed: Vec<String>,
+    /// Members whose knowledge was updated by an incremental fold of
+    /// streamed validated rows (delta count updates; no full re-mine),
+    /// persisted, and published.
+    pub folded: Vec<String>,
     /// Members whose refresh failed every in-pass attempt (old knowledge
     /// keeps serving; the candidate backs off), with the last error.
     pub failed: Vec<(String, SourceError)>,
@@ -275,7 +306,10 @@ pub struct MaintenanceReport {
 impl MaintenanceReport {
     /// `true` iff the pass had nothing to do (no candidates at all).
     pub fn is_idle(&self) -> bool {
-        self.refreshed.is_empty() && self.failed.is_empty() && self.deferred.is_empty()
+        self.refreshed.is_empty()
+            && self.folded.is_empty()
+            && self.failed.is_empty()
+            && self.deferred.is_empty()
     }
 }
 
@@ -342,7 +376,13 @@ impl<'a> QpiadServer<'a> {
 
     /// Runs one knowledge-maintenance pass **under live traffic**: drains
     /// the network's refresh candidates (drift verdicts plus contained
-    /// knowledge-load failures) through `mine`, with bounded in-pass
+    /// knowledge-load failures). Each candidate is first offered the
+    /// incremental path (when [`ServeConfig::prefer_incremental`] is on):
+    /// its streamed validated rows are folded into the existing knowledge
+    /// as delta count updates and published without a TANE re-run, unless
+    /// the fold's worst confidence shift crosses
+    /// [`ServeConfig::refold_bound`]. Candidates the fold cannot serve
+    /// fall back to a full re-mine through `mine`, with bounded in-pass
     /// retries ([`ServeConfig::refresh_retries`]) and cross-pass
     /// exponential backoff ([`ServeConfig::refresh_backoff_base`]).
     ///
@@ -394,6 +434,8 @@ impl<'a> QpiadServer<'a> {
         mine: impl Fn(&str, &dyn AutonomousSource) -> Result<SourceStats, SourceError>,
     ) -> MaintenanceReport {
         let mut report = MaintenanceReport { pass, ..MaintenanceReport::default() };
+        let mining_config =
+            self.store.as_ref().map(|(_, c)| c.clone()).unwrap_or_default();
         // Candidates come back in name order, so a pass's work list — and
         // with a deterministic `mine`, its outcome — is reproducible.
         for name in self.network.refresh_candidates() {
@@ -404,6 +446,27 @@ impl<'a> QpiadServer<'a> {
             if !eligible {
                 report.deferred.push(name);
                 continue;
+            }
+            // Cheap path first: fold the member's streamed validated rows
+            // into its existing knowledge. Any reason the fold cannot or
+            // must not publish — no stream, no statistics, confidence
+            // drift past the bound, a persist fault — falls through to
+            // the full re-mine below.
+            if self.config.prefer_incremental {
+                if let Ok(MemberFold::Folded { .. }) = self.network.refresh_member_incremental_at(
+                    &name,
+                    &mining_config,
+                    self.store.as_ref().map(|(s, c)| (s, c)),
+                    self.config.refold_bound,
+                    Some(pass),
+                ) {
+                    lock(&self.maintenance).backoff.remove(&name);
+                    MetricCells::bump(&self.metrics.refresh_success);
+                    MetricCells::bump(&self.metrics.refresh_incremental);
+                    self.metrics.last_refresh_pass.fetch_max(pass, Ordering::Relaxed);
+                    report.folded.push(name);
+                    continue;
+                }
             }
             let mut last_err = None;
             for attempt in 0..self.config.refresh_retries.max(1) {
@@ -428,6 +491,7 @@ impl<'a> QpiadServer<'a> {
                 None => {
                     lock(&self.maintenance).backoff.remove(&name);
                     MetricCells::bump(&self.metrics.refresh_success);
+                    MetricCells::bump(&self.metrics.refresh_full);
                     self.metrics.last_refresh_pass.fetch_max(pass, Ordering::Relaxed);
                     report.refreshed.push(name);
                 }
@@ -595,6 +659,7 @@ impl<'a> QpiadServer<'a> {
             self.network.member_meters(),
             self.network.member_epochs(),
             self.network.refresh_candidates().len(),
+            self.network.drift().map(|d| d.stream_stats()).unwrap_or_default(),
         )
     }
 

@@ -33,7 +33,7 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use qpiad::core::network::{MediatorNetwork, NetworkAnswer, SourceOutcome};
+use qpiad::core::network::{MediatorNetwork, MemberFold, NetworkAnswer, SourceOutcome};
 use qpiad::core::{par, QpiadConfig};
 use qpiad::data::cars::CarsConfig;
 use qpiad::data::corrupt::{corrupt, CorruptionConfig};
@@ -477,8 +477,14 @@ fn maintain_heals_a_drifted_member_under_concurrent_traffic() {
     let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
         .with_drift(registry.clone())
         .add_supporting(&cars, f.cars_stats.clone());
+    // The incremental fast path is pinned off: this scenario checks the
+    // *full* re-mine under racing traffic, and whether a fold's delta
+    // crosses the bound would depend on how many rows the query threads
+    // have streamed by the time maintenance runs.
     let server = QpiadServer::new(network)
-        .with_config(ServeConfig::default().with_refresh_retries(2))
+        .with_config(
+            ServeConfig::default().with_refresh_retries(2).with_prefer_incremental(false),
+        )
         .with_knowledge_store(store, f.config.clone());
     server.register(Tenant::interactive("t"));
 
@@ -618,4 +624,139 @@ fn failed_refresh_backs_off_and_keeps_the_old_generation_serving() {
     assert_eq!(m.last_refresh_pass, 3);
     assert_eq!(m.knowledge_epochs, vec![("cars.com".to_string(), 1)]);
     assert!(m.conserves());
+}
+
+// ---------------------------------------------------------------------------
+// 7. Incremental maintenance: validated live rows stream into the sample,
+// maintain() folds them without a full re-mine, and the whole path replays
+// byte-identically across thread counts.
+// ---------------------------------------------------------------------------
+
+/// Dataset seed for the incremental scenarios, env-overridable so the CI
+/// matrix (`QPIAD_CHAOS_SEED`) exercises different generated worlds.
+fn chaos_seed() -> u64 {
+    std::env::var("QPIAD_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn seeded_fixture() -> Fixture {
+    let cars_gd = CarsConfig::default().with_rows(5_000).generate(chaos_seed());
+    let (cars_ed, _) = corrupt(&cars_gd, &CorruptionConfig::default().with_seed(1));
+    let config = MiningConfig::default();
+    let cars_stats = SourceStats::mine(&uniform_sample(&cars_ed, 0.10, 2), cars_ed.len(), &config);
+    Fixture { cars_ed, cars_stats, config }
+}
+
+#[test]
+fn maintenance_folds_streamed_rows_without_a_full_remine() {
+    let _guard = PinnedPool::acquire();
+    par::set_thread_override(Some(4));
+
+    let f = seeded_fixture();
+    let global = f.cars_ed.schema().clone();
+    let body = global.expect_attr("body_style");
+
+    // An un-skewed source with a hair-trigger drift threshold: the first
+    // observed pass queues the member for refresh, but the live rows it
+    // streamed are genuine — their folded confidence deltas stay tiny, so
+    // the incremental path can serve the refresh.
+    let cars = WebSource::new("cars.com", f.cars_ed.clone());
+    let registry = Arc::new(DriftRegistry::new(
+        DriftConfig::default().with_min_observations(10).with_threshold(0.0),
+    ));
+    let store = scratch_store("maintain-incremental");
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry.clone())
+        .add_supporting(&cars, f.cars_stats.clone());
+    let server = QpiadServer::new(network)
+        .with_config(ServeConfig::default().with_refold_bound(0.5))
+        .with_knowledge_store(store, f.config.clone());
+    server.register(Tenant::interactive("t"));
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    server.query("t", &q).unwrap();
+    let m = server.metrics();
+    assert_eq!(m.pending_refresh, 1, "the hair-trigger verdict must queue the member");
+    assert!(m.stream.pending > 0, "validated live rows must be streaming");
+    assert!(m.stream.collected > 0);
+
+    // Maintenance folds the streamed rows; the full-mine closure must
+    // never run.
+    let report = server.maintain(|_, _| panic!("an incremental fold must not re-mine"));
+    assert_eq!(report.folded, vec!["cars.com".to_string()]);
+    assert!(report.refreshed.is_empty() && report.failed.is_empty());
+    assert!(!report.is_idle());
+
+    let m = server.metrics();
+    assert_eq!(m.refresh_success, 1);
+    assert_eq!(m.refresh_incremental, 1);
+    assert_eq!(m.refresh_full, 0);
+    assert_eq!(m.last_refresh_pass, 1);
+    assert_eq!(m.knowledge_epochs, vec![("cars.com".to_string(), 1)]);
+    assert_eq!(m.pending_refresh, 0, "the folded member leaves the refresh queue");
+    assert!(m.stream.folded > 0, "consumed rows are charged to the fold");
+    assert_eq!(m.stream.pending, 0, "the fold drains the stream");
+    assert!(!registry.is_drifted("cars.com"));
+
+    // EXPLAIN names the kind of refresh that produced the serving
+    // generation.
+    let explain = server.explain(&q).unwrap();
+    assert!(
+        explain.contains("knowledge refreshed at pass 1 (epoch 1) via incremental fold"),
+        "EXPLAIN must surface the fold: {explain}"
+    );
+
+    // Service continues on the folded generation.
+    let answer = server.query("t", &q).unwrap();
+    assert!(!answer.per_source[0].certain.is_empty());
+    assert!(server.metrics().conserves());
+}
+
+/// Runs verdict → incremental fold → post-fold pass at a given thread
+/// count and returns everything observable: both answers' signatures plus
+/// the fold's row count and exact max delta.
+fn incremental_lifecycle(f: &Fixture, threads: usize) -> Vec<Vec<String>> {
+    par::set_thread_override(Some(threads));
+
+    let global = f.cars_ed.schema().clone();
+    let body = global.expect_attr("body_style");
+    let cars = WebSource::new("cars.com", f.cars_ed.clone());
+    let registry = Arc::new(DriftRegistry::new(
+        DriftConfig::default().with_min_observations(10).with_threshold(0.0),
+    ));
+    let store = scratch_store(&format!("incremental-{threads}"));
+    let network = MediatorNetwork::new(global.clone(), QpiadConfig::default().with_k(8))
+        .with_drift(registry.clone())
+        .add_supporting(&cars, f.cars_stats.clone());
+
+    let q = SelectQuery::new(vec![Predicate::eq(body, "Convt")]);
+    let first = network.answer(&q).unwrap();
+    assert_eq!(registry.pending_refresh(), vec!["cars.com".to_string()], "threads={threads}");
+
+    let fold = network
+        .refresh_member_incremental_at("cars.com", &f.config, Some((&store, &f.config)), 0.5, Some(1))
+        .unwrap();
+    let fold_line = match fold {
+        MemberFold::Folded { rows, max_delta } => {
+            format!("folded rows={rows} max_delta={:016x}", max_delta.to_bits())
+        }
+        other => panic!("threads={threads}: expected a fold, got {other:?}"),
+    };
+    assert_eq!(network.member_epochs(), vec![("cars.com".to_string(), 1)]);
+    assert!(store.load_for("cars.com", cars.schema()).is_ok(), "fold persists before publishing");
+
+    let after = network.answer(&q).unwrap();
+    vec![signature(&first), vec![fold_line], signature(&after)]
+}
+
+#[test]
+fn incremental_fold_replays_identically_at_1_and_8_threads() {
+    let _guard = PinnedPool::acquire();
+    let f = seeded_fixture();
+    let sequential = incremental_lifecycle(&f, 1);
+    let parallel = incremental_lifecycle(&f, 8);
+    assert_eq!(sequential, parallel);
+    assert_ne!(
+        sequential[0], sequential[2],
+        "the folded generation must actually change the served answer's provenance"
+    );
 }
